@@ -1,0 +1,44 @@
+#ifndef HPR_BENCH_COMMON_H
+#define HPR_BENCH_COMMON_H
+
+// Shared output helpers for the figure-reproduction benches.  Every bench
+// prints one table whose rows/series mirror what the paper's figure
+// plots, in a grep-friendly "fig<k>: <x> <series>=<value> ..." format
+// plus a human-readable aligned table.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hpr::bench {
+
+struct Series {
+    std::string name;
+    std::vector<double> values;  // one per x point
+};
+
+/// Print a figure table: header line, then one row per x value.
+inline void print_figure(const std::string& figure, const std::string& x_label,
+                         const std::vector<double>& xs,
+                         const std::vector<Series>& series) {
+    std::printf("\n=== %s ===\n", figure.c_str());
+    std::printf("%-18s", x_label.c_str());
+    for (const Series& s : series) std::printf("%20s", s.name.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::printf("%-18g", xs[i]);
+        for (const Series& s : series) {
+            if (i < s.values.size()) {
+                std::printf("%20.3f", s.values[i]);
+            } else {
+                std::printf("%20s", "-");
+            }
+        }
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
+}  // namespace hpr::bench
+
+#endif  // HPR_BENCH_COMMON_H

@@ -1,0 +1,219 @@
+// Google-benchmark microbenchmarks for the library's hot paths: the
+// binomial pmf construction, window reduction, single and multi behavior
+// tests, the issuer re-ordering of collusion-resilient testing, and the
+// trust-function accumulators.  These complement the figure benches
+// (fig3..fig9) with per-operation cost visibility.
+
+#include <benchmark/benchmark.h>
+
+#include "core/changepoint.h"
+#include "core/collusion.h"
+#include "core/multi_test.h"
+#include "core/online.h"
+#include "repsys/eigentrust.h"
+#include "repsys/trust.h"
+#include "sim/generators.h"
+#include "sim/gossip.h"
+#include "sim/overlay.h"
+
+namespace {
+
+using namespace hpr;  // NOLINT: bench file, keep call sites readable
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = core::make_calibrator(core::BehaviorTestConfig{});
+    return cal;
+}
+
+std::vector<std::uint8_t> outcomes_of(std::size_t n) {
+    stats::Rng rng{n * 2654435761u + 7};
+    return sim::honest_outcomes(n, 0.9, rng);
+}
+
+repsys::TransactionHistory history_of(std::size_t n, std::uint32_t clients) {
+    stats::Rng rng{n * 40503u + 11};
+    return sim::honest_history(n, 0.9, rng, 1, sim::ClientIdScheme{100, clients});
+}
+
+void BM_BinomialConstruct(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        const stats::Binomial b{n, 0.9};
+        benchmark::DoNotOptimize(b.pmf_table().data());
+    }
+}
+BENCHMARK(BM_BinomialConstruct)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_BinomialSample(benchmark::State& state) {
+    const stats::Binomial b{10, 0.9};
+    stats::Rng rng{12345};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(b.sample(rng));
+    }
+}
+BENCHMARK(BM_BinomialSample);
+
+void BM_WindowStats(benchmark::State& state) {
+    const auto outcomes = outcomes_of(static_cast<std::size_t>(state.range(0)));
+    const std::span<const std::uint8_t> view{outcomes};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::compute_window_stats(view, 10).good_total);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowStats)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SingleBehaviorTest(benchmark::State& state) {
+    const core::BehaviorTest tester{{}, shared_cal()};
+    const auto outcomes = outcomes_of(static_cast<std::size_t>(state.range(0)));
+    const std::span<const std::uint8_t> view{outcomes};
+    (void)tester.test(view);  // warm calibration
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tester.test(view).passed);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SingleBehaviorTest)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MultiBehaviorTest(benchmark::State& state) {
+    core::MultiTestConfig config;
+    config.stop_on_failure = false;
+    const core::MultiTest tester{config, shared_cal()};
+    const auto outcomes = outcomes_of(static_cast<std::size_t>(state.range(0)));
+    const std::span<const std::uint8_t> view{outcomes};
+    (void)tester.test(view);  // warm calibration
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tester.test(view).passed);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MultiBehaviorTest)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CalibrationColdKey(benchmark::State& state) {
+    // Cost of one cold Monte-Carlo calibration (1000 replications).
+    stats::CalibrationConfig config;
+    config.windows_grid_ratio = 1.0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        stats::Calibrator calibrator{config};
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(
+            calibrator.threshold(static_cast<std::size_t>(state.range(0)), 10, 0.9));
+    }
+}
+BENCHMARK(BM_CalibrationColdKey)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ReorderByIssuer(benchmark::State& state) {
+    const auto history = history_of(static_cast<std::size_t>(state.range(0)), 64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::reorder_by_issuer(history.view()).size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReorderByIssuer)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TrustAccumulator(benchmark::State& state) {
+    static const char* kSpecs[] = {"average", "weighted:0.5", "beta", "decay:0.98"};
+    const auto trust = repsys::make_trust_function(
+        kSpecs[static_cast<std::size_t>(state.range(0))]);
+    stats::Rng rng{777};
+    const auto acc = trust->make_accumulator();
+    for (auto _ : state) {
+        acc->update(rng.bernoulli(0.9));
+        benchmark::DoNotOptimize(acc->value());
+    }
+    state.SetLabel(trust->name());
+}
+BENCHMARK(BM_TrustAccumulator)->DenseRange(0, 3);
+
+void BM_OnlineScreenerObserve(benchmark::State& state) {
+    core::OnlineScreener screener{{}, shared_cal()};
+    stats::Rng rng{31};
+    for (int i = 0; i < 500; ++i) screener.observe(rng.bernoulli(0.9));
+    for (auto _ : state) {
+        screener.observe(rng.bernoulli(0.9));
+        benchmark::DoNotOptimize(screener.state());
+    }
+}
+BENCHMARK(BM_OnlineScreenerObserve);
+
+void BM_ChangePointDetect(benchmark::State& state) {
+    const core::ChangePointDetector detector;
+    stats::Rng rng{32};
+    auto outcomes = sim::honest_outcomes(static_cast<std::size_t>(state.range(0)) / 2,
+                                         0.95, rng);
+    const auto tail = sim::honest_outcomes(
+        static_cast<std::size_t>(state.range(0)) / 2, 0.7, rng);
+    outcomes.insert(outcomes.end(), tail.begin(), tail.end());
+    const std::span<const std::uint8_t> view{outcomes};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(detector.detect(view).size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChangePointDetect)->Arg(1000)->Arg(10000);
+
+void BM_EigenTrustCompute(benchmark::State& state) {
+    stats::Rng rng{33};
+    std::vector<repsys::Feedback> feedbacks;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+        feedbacks.push_back(repsys::Feedback{
+            i + 1, static_cast<repsys::EntityId>(1 + rng.uniform_int(std::uint64_t{32})),
+            static_cast<repsys::EntityId>(100 + rng.uniform_int(std::uint64_t{200})),
+            rng.bernoulli(0.85) ? repsys::Rating::kPositive
+                                : repsys::Rating::kNegative});
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(repsys::EigenTrust::compute(feedbacks).iterations());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EigenTrustCompute)->Arg(1000)->Arg(10000);
+
+void BM_OverlayPublish(benchmark::State& state) {
+    sim::OverlayConfig config;
+    config.nodes = static_cast<std::size_t>(state.range(0));
+    sim::FeedbackOverlay overlay{config};
+    repsys::Timestamp time = 1;
+    stats::Rng rng{34};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(overlay.publish(repsys::Feedback{
+            time++, static_cast<repsys::EntityId>(rng.uniform_int(std::uint64_t{500})),
+            9, repsys::Rating::kPositive}));
+    }
+}
+BENCHMARK(BM_OverlayPublish)->Arg(64)->Arg(1024);
+
+void BM_OverlayLookup(benchmark::State& state) {
+    sim::OverlayConfig config;
+    config.nodes = static_cast<std::size_t>(state.range(0));
+    sim::FeedbackOverlay overlay{config};
+    for (repsys::Timestamp t = 1; t <= 1000; ++t) {
+        overlay.publish(repsys::Feedback{
+            t, static_cast<repsys::EntityId>(t % 100), 9, repsys::Rating::kPositive});
+    }
+    stats::Rng rng{35};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            overlay.lookup(static_cast<repsys::EntityId>(rng.uniform_int(std::uint64_t{100})))
+                .size());
+    }
+}
+BENCHMARK(BM_OverlayLookup)->Arg(64)->Arg(1024);
+
+void BM_GossipRound(benchmark::State& state) {
+    std::vector<double> values(static_cast<std::size_t>(state.range(0)));
+    stats::Rng rng{36};
+    for (auto& v : values) v = rng.uniform();
+    sim::GossipNetwork network{values};
+    for (auto _ : state) {
+        network.step();
+        benchmark::DoNotOptimize(network.rounds());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GossipRound)->Arg(128)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

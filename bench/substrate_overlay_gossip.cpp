@@ -1,0 +1,113 @@
+// Substrate benchmarks: the decentralized feedback machinery the paper's
+// §2 availability assumption rests on.
+//
+//  * Overlay routing: greedy finger routing over a consistent-hash ring
+//    — worst/mean lookup hops must grow logarithmically in network size
+//    (the P-Grid-style "special data organization scheme" of [11]).
+//  * Overlay availability: fraction of server logs still retrievable as
+//    nodes crash, per replication factor.
+//  * Gossip aggregation: push-sum rounds to agreement vs. network size
+//    (the decentralized aggregation of [17]).
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "sim/gossip.h"
+#include "sim/overlay.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace hpr;
+
+void routing_bench() {
+    const std::vector<double> sizes{16, 64, 256, 1024, 4096};
+    bench::Series mean_hops{"mean hops", {}};
+    bench::Series worst_hops{"worst hops", {}};
+    bench::Series log2n{"log2(n)", {}};
+    for (const double n : sizes) {
+        sim::OverlayConfig config;
+        config.nodes = static_cast<std::size_t>(n);
+        config.replication = 1;
+        const sim::FeedbackOverlay overlay{config};
+        stats::Rng rng{config.nodes};
+        double total = 0.0;
+        std::size_t worst = 0;
+        constexpr int kLookups = 500;
+        for (int i = 0; i < kLookups; ++i) {
+            (void)overlay.lookup(static_cast<repsys::EntityId>(rng()));
+            total += static_cast<double>(overlay.last_hops());
+            worst = std::max(worst, overlay.last_hops());
+        }
+        mean_hops.values.push_back(total / kLookups);
+        worst_hops.values.push_back(static_cast<double>(worst));
+        log2n.values.push_back(std::log2(n));
+    }
+    bench::print_figure("Substrate  overlay lookup hops vs network size", "nodes",
+                        sizes, {mean_hops, worst_hops, log2n});
+}
+
+void availability_bench() {
+    const std::vector<double> failure_fractions{0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
+    std::vector<bench::Series> series;
+    for (const std::size_t replication : {1u, 3u, 5u}) {
+        bench::Series s{"repl=" + std::to_string(replication), {}};
+        for (const double fail : failure_fractions) {
+            sim::OverlayConfig config;
+            config.nodes = 128;
+            config.replication = replication;
+            sim::FeedbackOverlay overlay{config};
+            constexpr repsys::EntityId kServers = 200;
+            for (repsys::EntityId srv = 1; srv <= kServers; ++srv) {
+                overlay.publish(repsys::Feedback{1, srv, 9999,
+                                                 repsys::Rating::kPositive});
+            }
+            stats::Rng rng{static_cast<std::uint64_t>(fail * 100) + replication};
+            const auto to_kill = static_cast<std::size_t>(fail * 128);
+            std::vector<std::size_t> order(128);
+            for (std::size_t i = 0; i < 128; ++i) order[i] = i;
+            rng.shuffle(order);
+            for (std::size_t i = 0; i < to_kill; ++i) overlay.fail_node(order[i]);
+            std::size_t alive_logs = 0;
+            for (repsys::EntityId srv = 1; srv <= kServers; ++srv) {
+                if (!overlay.lookup(srv).empty()) ++alive_logs;
+            }
+            s.values.push_back(static_cast<double>(alive_logs) / kServers);
+        }
+        series.push_back(std::move(s));
+    }
+    bench::print_figure(
+        "Substrate  feedback-log availability vs node failures (128 nodes)",
+        "failed_fraction", failure_fractions, series);
+}
+
+void gossip_bench() {
+    const std::vector<double> sizes{8, 32, 128, 512, 2048};
+    bench::Series rounds{"rounds to 1e-6", {}};
+    bench::Series error{"final max error", {}};
+    for (const double n : sizes) {
+        std::vector<double> shard_ratios;
+        stats::Rng rng{static_cast<std::uint64_t>(n)};
+        for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+            shard_ratios.push_back(0.8 + 0.2 * rng.uniform());
+        }
+        sim::GossipConfig config;
+        config.tolerance = 1e-6;
+        sim::GossipNetwork network{shard_ratios, config,
+                                   static_cast<std::uint64_t>(n) + 1};
+        rounds.values.push_back(static_cast<double>(network.run()));
+        error.values.push_back(network.max_error());
+    }
+    bench::print_figure(
+        "Substrate  push-sum gossip rounds to agreement vs network size", "nodes",
+        sizes, {rounds, error});
+}
+
+}  // namespace
+
+int main() {
+    routing_bench();
+    availability_bench();
+    gossip_bench();
+    return 0;
+}

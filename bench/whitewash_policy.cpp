@@ -1,0 +1,90 @@
+// Newcomer-policy study: whitewashing vs. the §7 trade-off.
+//
+// Behavior testing cannot screen short histories, so a whitewashing
+// attacker (honest for `prep` transactions, a burst of cheats, then a
+// fresh identity — §3.1's cheat-and-run in a loop) slides under it
+// forever.  The paper's answer is policy, not statistics: treat
+// newcomers as high-risk, or price identities.  This bench quantifies
+// the policy knob: bad transactions suffered and honest-newcomer
+// starvation under the lenient (trust-value) vs strict (reject
+// newcomers) client policy, across whitewash cycle lengths.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "sim/market.h"
+
+namespace {
+
+using namespace hpr;
+
+struct Outcome {
+    double bad_suffered;
+    double whitewasher_share;  // fraction of post-bootstrap traffic it captured
+};
+
+Outcome run(std::size_t prep, sim::NewcomerPolicy policy,
+            const std::shared_ptr<stats::Calibrator>& cal) {
+    core::TwoPhaseConfig config;
+    config.mode = core::ScreeningMode::kMulti;
+    config.test.bonferroni = true;
+    const auto assessor = std::make_shared<const core::TwoPhaseAssessor>(
+        config,
+        std::shared_ptr<const repsys::TrustFunction>{
+            repsys::make_trust_function("average")},
+        cal);
+
+    sim::MarketConfig market_config;
+    market_config.steps = 1000;
+    market_config.trust_threshold = 0.85;
+    market_config.bootstrap_per_server = 60;
+    market_config.exploration = 0.08;
+    market_config.newcomer_policy = policy;
+    market_config.seed = 77000 + prep;
+
+    sim::Marketplace market{market_config, assessor};
+    market.add_server(std::make_unique<sim::HonestStrategy>(0.95));
+    market.add_server(std::make_unique<sim::HonestStrategy>(0.92));
+    const auto ww =
+        market.add_server(std::make_unique<sim::WhitewashStrategy>(prep, 5, 0.96));
+    market.run();
+
+    const auto reports = market.report();
+    double total_tx = 0.0;
+    for (const auto& [id, r] : reports) total_tx += static_cast<double>(r.transactions);
+    Outcome outcome;
+    outcome.bad_suffered = static_cast<double>(market.total_bad_suffered());
+    outcome.whitewasher_share =
+        total_tx == 0.0
+            ? 0.0
+            : static_cast<double>(reports.at(ww).transactions) / total_tx;
+    return outcome;
+}
+
+}  // namespace
+
+int main() {
+    const auto cal = core::make_calibrator({});
+    const std::vector<double> preps{10, 20, 35, 60, 100};
+
+    hpr::bench::Series bad_lenient{"bad (lenient)", {}};
+    hpr::bench::Series bad_strict{"bad (strict)", {}};
+    hpr::bench::Series share_lenient{"ww share (lenient)", {}};
+    hpr::bench::Series share_strict{"ww share (strict)", {}};
+    for (const double prep : preps) {
+        const auto p = static_cast<std::size_t>(prep);
+        const Outcome lenient = run(p, sim::NewcomerPolicy::kTrustValue, cal);
+        const Outcome strict = run(p, sim::NewcomerPolicy::kReject, cal);
+        bad_lenient.values.push_back(lenient.bad_suffered);
+        bad_strict.values.push_back(strict.bad_suffered);
+        share_lenient.values.push_back(lenient.whitewasher_share);
+        share_strict.values.push_back(strict.whitewasher_share);
+    }
+    hpr::bench::print_figure(
+        "Policy study  whitewashing attacker vs newcomer policy",
+        "whitewash_prep", preps,
+        {bad_lenient, bad_strict, share_lenient, share_strict});
+    std::printf("\n(strict policy starves short-lived identities at the price of "
+                "also starving honest newcomers - the paper's §7 trade-off)\n");
+    return 0;
+}

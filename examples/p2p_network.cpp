@@ -1,0 +1,73 @@
+// Fully decentralized deployment (paper §2's P2P sketch, composed from
+// the overlay + gossip + two-phase assessor substrates):
+//
+//   build/examples/p2p_network
+//
+// 64 peers form a consistent-hashing overlay; feedback for three file
+// providers is published with 3-way replication; a downloader assesses
+// each provider from overlay-retrieved logs (no central server), peers
+// agree on global trust by weighted push-sum gossip, and the system keeps
+// answering through node crashes.
+
+#include <cstdio>
+
+#include "hpr.h"
+
+using namespace hpr;
+
+int main() {
+    sim::P2PConfig config;
+    config.overlay.nodes = 64;
+    config.overlay.replication = 3;
+    config.assessment.mode = core::ScreeningMode::kMulti;
+    config.assessment.test.bonferroni = true;
+    config.seed = 99;
+    sim::DecentralizedReputationSystem network{config};
+
+    // Three providers: solid, mediocre, and a hibernating attacker.
+    stats::Rng rng{2026};
+    const auto publish = [&](const repsys::TransactionHistory& history) {
+        for (const auto& f : history.feedbacks()) network.record(f);
+    };
+    publish(sim::honest_history(600, 0.95, rng, 1));
+    publish(sim::honest_history(600, 0.82, rng, 2));
+    publish(sim::hibernating_history(580, 25, 0.95, rng, 3));
+
+    std::printf("assessments from overlay-retrieved logs (64 peers, 3 replicas):\n");
+    for (const repsys::EntityId server : {1u, 2u, 3u}) {
+        const auto assessment = network.assess(server);
+        std::printf("  provider %u: %-22s trust=%-9s (%zu routing hops)\n", server,
+                    core::to_string(assessment.verdict),
+                    assessment.trust ? std::to_string(*assessment.trust).c_str()
+                                     : "withheld",
+                    network.last_hops());
+    }
+
+    // Decentralized consensus on provider 1's trust across 20 peers that
+    // each saw only a shard of its transactions.
+    const auto consensus = network.gossip_trust(1, 20);
+    std::printf("\ngossip consensus on provider 1: %.4f (exact %.4f) after %zu "
+                "push-sum rounds\n",
+                consensus.value, consensus.exact, consensus.rounds);
+
+    // Crash a third of the overlay; the system keeps answering.
+    stats::Rng chaos{7};
+    std::size_t killed = 0;
+    while (killed < 21) {
+        const auto victim = static_cast<std::size_t>(chaos.uniform_int(std::uint64_t{64}));
+        if (network.overlay().live_nodes() > 0) {
+            network.fail_node(victim);
+        }
+        ++killed;
+    }
+    std::printf("\nafter crashing ~1/3 of the overlay (%zu live nodes):\n",
+                network.overlay().live_nodes());
+    for (const repsys::EntityId server : {1u, 2u, 3u}) {
+        const auto assessment = network.assess(server);
+        std::printf("  provider %u: %s\n", server, core::to_string(assessment.verdict));
+    }
+    std::printf("\n(insufficient-history answers mean every replica of that "
+                "provider's log died - replication 3 of 64 nodes bounds the "
+                "blast radius)\n");
+    return 0;
+}

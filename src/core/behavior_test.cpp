@@ -1,0 +1,71 @@
+#include "core/behavior_test.h"
+
+#include <stdexcept>
+
+namespace hpr::core {
+
+std::shared_ptr<stats::Calibrator> make_calibrator(const BehaviorTestConfig& config) {
+    stats::CalibrationConfig cc;
+    cc.confidence = config.confidence;
+    cc.replications = config.replications;
+    cc.kind = config.distance;
+    return std::make_shared<stats::Calibrator>(cc);
+}
+
+BehaviorTest::BehaviorTest(BehaviorTestConfig config,
+                           std::shared_ptr<stats::Calibrator> calibrator)
+    : config_(config), calibrator_(std::move(calibrator)) {
+    if (config_.window_size == 0) {
+        throw std::invalid_argument("BehaviorTest: window size must be > 0");
+    }
+    if (config_.min_windows == 0) {
+        throw std::invalid_argument("BehaviorTest: min_windows must be > 0");
+    }
+    if (!calibrator_) calibrator_ = make_calibrator(config_);
+}
+
+BehaviorTestResult BehaviorTest::test(std::span<const repsys::Feedback> feedbacks) const {
+    return test(compute_window_stats(feedbacks, config_.window_size));
+}
+
+BehaviorTestResult BehaviorTest::test(std::span<const std::uint8_t> outcomes) const {
+    return test(compute_window_stats(outcomes, config_.window_size));
+}
+
+BehaviorTestResult BehaviorTest::test(const WindowStats& stats) const {
+    if (stats.window_size != config_.window_size) {
+        throw std::invalid_argument("BehaviorTest: window size mismatch");
+    }
+    return test(stats.distribution());
+}
+
+BehaviorTestResult BehaviorTest::test(const stats::EmpiricalDistribution& counts,
+                                      double confidence_override) const {
+    if (counts.max_value() != config_.window_size) {
+        throw std::invalid_argument("BehaviorTest: distribution support mismatch");
+    }
+    BehaviorTestResult result;
+    result.windows = counts.size();
+    result.transactions_used = counts.size() * config_.window_size;
+    if (counts.size() < config_.min_windows) {
+        // Not enough evidence to reject the honest-player hypothesis.
+        result.sufficient = false;
+        result.passed = true;
+        return result;
+    }
+    result.sufficient = true;
+    result.p_hat = result.transactions_used == 0
+                       ? 0.0
+                       : static_cast<double>(counts.value_sum()) /
+                             static_cast<double>(result.transactions_used);
+    const stats::Binomial reference{config_.window_size, result.p_hat};
+    result.distance = stats::distance(counts, reference.pmf_table(), config_.distance);
+    const double confidence =
+        confidence_override > 0.0 ? confidence_override : config_.confidence;
+    result.threshold = calibrator_->threshold(counts.size(), config_.window_size,
+                                              result.p_hat, confidence);
+    result.passed = result.distance <= result.threshold;
+    return result;
+}
+
+}  // namespace hpr::core

@@ -1,0 +1,89 @@
+#ifndef HPR_CORE_BEHAVIOR_TEST_H
+#define HPR_CORE_BEHAVIOR_TEST_H
+
+/// \file behavior_test.h
+/// The single behavior test of paper §3.2 (the pseudocode of Fig. 2):
+/// break the history into windows of m transactions, compare the empirical
+/// distribution of per-window good counts against B(m, p̂) using the L1
+/// distribution distance, and accept iff the distance is below the
+/// Monte-Carlo-calibrated threshold ε for the configured confidence.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/config.h"
+#include "core/window_stats.h"
+#include "repsys/types.h"
+#include "stats/calibrate.h"
+
+namespace hpr::core {
+
+/// Outcome of one behavior test.
+struct BehaviorTestResult {
+    /// Whether the history is consistent with the honest-player model.
+    /// True whenever `sufficient` is false: a short history carries too
+    /// little evidence to *reject* honesty (it is the caller's policy
+    /// decision how to treat unscreenable newcomers — see paper §7).
+    bool passed = true;
+
+    /// Whether there were at least min_windows complete windows.
+    bool sufficient = false;
+
+    double distance = 0.0;    ///< measured distribution distance d
+    double threshold = 0.0;   ///< calibrated ε
+    double p_hat = 0.0;       ///< estimated trust value ΣG_i / n
+    std::size_t windows = 0;  ///< number of complete windows k
+    std::size_t transactions_used = 0;  ///< k * m
+
+    /// Signed slack ε - d; negative when the test fails.
+    [[nodiscard]] double margin() const noexcept { return threshold - distance; }
+};
+
+/// Reusable single-behavior tester.  Stateless apart from the shared
+/// calibration cache, so one instance can screen any number of servers.
+class BehaviorTest {
+public:
+    /// \param config      test parameters
+    /// \param calibrator  shared threshold calibrator; if null a private
+    ///                    one is created from the config.
+    explicit BehaviorTest(BehaviorTestConfig config = {},
+                          std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    /// Test a feedback sequence (oldest first).
+    [[nodiscard]] BehaviorTestResult test(std::span<const repsys::Feedback> feedbacks) const;
+
+    /// Test a raw outcome sequence (nonzero = good, oldest first).
+    [[nodiscard]] BehaviorTestResult test(std::span<const std::uint8_t> outcomes) const;
+
+    /// Test precomputed window statistics (the shared core; also the entry
+    /// point used by the incremental multi-test).
+    [[nodiscard]] BehaviorTestResult test(const WindowStats& stats) const;
+
+    /// Test an empirical window-count distribution directly (the sum of
+    /// good transactions is the distribution's value_sum()).
+    ///
+    /// \param confidence_override  when positive, replaces the configured
+    ///        confidence for this one test.  Multi-testing uses this for
+    ///        its family-wise (Bonferroni) correction.
+    [[nodiscard]] BehaviorTestResult test(const stats::EmpiricalDistribution& counts,
+                                          double confidence_override = 0.0) const;
+
+    [[nodiscard]] const BehaviorTestConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const std::shared_ptr<stats::Calibrator>& calibrator() const noexcept {
+        return calibrator_;
+    }
+
+private:
+    BehaviorTestConfig config_;
+    std::shared_ptr<stats::Calibrator> calibrator_;
+};
+
+/// Build a calibrator matching a test config (confidence, replications,
+/// distance kind).
+[[nodiscard]] std::shared_ptr<stats::Calibrator> make_calibrator(
+    const BehaviorTestConfig& config);
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_BEHAVIOR_TEST_H

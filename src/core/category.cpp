@@ -1,0 +1,54 @@
+#include "core/category.h"
+
+#include <stdexcept>
+
+namespace hpr::core {
+
+std::vector<std::string> CategoryTestResult::failed_categories() const {
+    std::vector<std::string> failed;
+    for (const auto& [label, result] : per_category) {
+        if (!result.passed) failed.push_back(label);
+    }
+    return failed;
+}
+
+std::map<std::string, std::vector<repsys::Feedback>> partition_by_category(
+    std::span<const repsys::Feedback> feedbacks, const Categorizer& categorizer) {
+    if (!categorizer) {
+        throw std::invalid_argument("partition_by_category: categorizer must be set");
+    }
+    std::map<std::string, std::vector<repsys::Feedback>> partitions;
+    for (const repsys::Feedback& f : feedbacks) {
+        partitions[categorizer(f)].push_back(f);
+    }
+    return partitions;
+}
+
+CategoryTest::CategoryTest(MultiTestConfig config, Categorizer categorizer,
+                           std::shared_ptr<stats::Calibrator> calibrator)
+    : multi_(config, std::move(calibrator)), categorizer_(std::move(categorizer)) {
+    if (!categorizer_) {
+        throw std::invalid_argument("CategoryTest: categorizer must be set");
+    }
+}
+
+CategoryTestResult CategoryTest::test(
+    std::span<const repsys::Feedback> feedbacks) const {
+    CategoryTestResult result;
+    for (const auto& [label, partition] : partition_by_category(feedbacks, categorizer_)) {
+        result.per_category.emplace(
+            label, multi_.test(std::span<const repsys::Feedback>{partition}));
+    }
+    return result;
+}
+
+MultiTestResult CategoryTest::test_category(
+    std::span<const repsys::Feedback> feedbacks, const std::string& label) const {
+    std::vector<repsys::Feedback> partition;
+    for (const repsys::Feedback& f : feedbacks) {
+        if (categorizer_(f) == label) partition.push_back(f);
+    }
+    return multi_.test(std::span<const repsys::Feedback>{partition});
+}
+
+}  // namespace hpr::core

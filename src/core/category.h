@@ -1,0 +1,78 @@
+#ifndef HPR_CORE_CATEGORY_H
+#define HPR_CORE_CATEGORY_H
+
+/// \file category.h
+/// Category-partitioned behavior testing (paper §4, closing discussion).
+///
+/// A server may legitimately provide different service quality to
+/// different client categories (the paper's example: a US movie server
+/// serving North America well but Africa poorly).  Treating all
+/// transactions as one population would raise false alerts, so this
+/// module partitions feedbacks by a user-supplied categorizer and runs
+/// an independent behavior test per category.  A client then consults
+/// only the categories it cares about; false alerts in unexpected
+/// categories point at service-quality factors the deployment had not
+/// modeled — the "adaptively discover important factors" use the paper
+/// describes.
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/behavior_test.h"
+#include "core/multi_test.h"
+#include "repsys/types.h"
+
+namespace hpr::core {
+
+/// Maps a feedback to a category label (e.g. by client region).
+using Categorizer = std::function<std::string(const repsys::Feedback&)>;
+
+/// Screening results per category.
+struct CategoryTestResult {
+    /// Per-category multi-test results, keyed by category label.
+    std::map<std::string, MultiTestResult> per_category;
+
+    /// Every testable category passed.
+    [[nodiscard]] bool all_passed() const noexcept {
+        for (const auto& [label, result] : per_category) {
+            if (!result.passed) return false;
+        }
+        return true;
+    }
+
+    /// Labels of failing categories.
+    [[nodiscard]] std::vector<std::string> failed_categories() const;
+};
+
+/// Partition a feedback sequence by category, preserving time order
+/// inside each partition.
+[[nodiscard]] std::map<std::string, std::vector<repsys::Feedback>> partition_by_category(
+    std::span<const repsys::Feedback> feedbacks, const Categorizer& categorizer);
+
+/// Behavior testing applied independently to each category.
+class CategoryTest {
+public:
+    CategoryTest(MultiTestConfig config, Categorizer categorizer,
+                 std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    /// Multi-test every category.
+    [[nodiscard]] CategoryTestResult test(
+        std::span<const repsys::Feedback> feedbacks) const;
+
+    /// Multi-test a single category of interest (paper: "if a user is in
+    /// North Carolina, knowing the server's service quality to customers
+    /// in North America would suffice").
+    [[nodiscard]] MultiTestResult test_category(
+        std::span<const repsys::Feedback> feedbacks, const std::string& label) const;
+
+private:
+    MultiTest multi_;
+    Categorizer categorizer_;
+};
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_CATEGORY_H

@@ -1,0 +1,234 @@
+#include "core/changepoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpr::core {
+namespace {
+
+/// Oldest-first per-window good counts (the oldest partial remainder is
+/// dropped, mirroring compute_window_stats' newest-anchored truncation as
+/// closely as a stream-ordered view allows).
+template <typename Sequence, typename IsGood>
+std::vector<std::uint32_t> window_counts_oldest_first(const Sequence& seq,
+                                                      std::uint32_t m,
+                                                      IsGood is_good) {
+    const std::size_t n = seq.size();
+    const std::size_t k = n / m;
+    std::vector<std::uint32_t> counts;
+    counts.reserve(k);
+    const std::size_t offset = n - k * m;
+    for (std::size_t w = 0; w < k; ++w) {
+        const std::size_t begin = offset + w * m;
+        std::uint32_t good = 0;
+        for (std::size_t i = begin; i < begin + m; ++i) {
+            if (is_good(seq[i])) ++good;
+        }
+        counts.push_back(good);
+    }
+    return counts;
+}
+
+/// Binomial log-likelihood of a segment with `good` successes out of
+/// `total` trials at its fitted rate (binomial coefficients cancel in
+/// likelihood ratios and are omitted).
+double segment_log_likelihood(double good, double total) {
+    if (total <= 0.0) return 0.0;
+    const double p = good / total;
+    double ll = 0.0;
+    if (good > 0.0) ll += good * std::log(p);
+    if (total - good > 0.0) ll += (total - good) * std::log1p(-p);
+    return ll;
+}
+
+}  // namespace
+
+ChangePointDetector::ChangePointDetector(ChangePointConfig config) : config_(config) {
+    if (config_.window_size == 0) {
+        throw std::invalid_argument("ChangePointDetector: window size must be > 0");
+    }
+    if (config_.min_segment_windows == 0) {
+        throw std::invalid_argument(
+            "ChangePointDetector: min_segment_windows must be > 0");
+    }
+    if (!(config_.penalty_factor >= 0.0)) {
+        throw std::invalid_argument("ChangePointDetector: penalty must be >= 0");
+    }
+}
+
+std::vector<ChangePoint> ChangePointDetector::change_points_from(
+    std::span<const std::uint32_t> good_counts) const {
+    const std::size_t k = good_counts.size();
+    std::vector<ChangePoint> found;
+    if (k < 2 * config_.min_segment_windows) return found;
+
+    const double m = static_cast<double>(config_.window_size);
+    std::vector<double> prefix_good(k + 1, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+        prefix_good[i + 1] = prefix_good[i] + good_counts[i];
+    }
+    const auto goods_in = [&](std::size_t a, std::size_t b) {
+        return prefix_good[b] - prefix_good[a];
+    };
+    const double threshold =
+        config_.penalty_factor * std::log(static_cast<double>(k) + 1.0);
+
+    // Binary segmentation: repeatedly split the segment whose best split
+    // has the largest gain above the penalty.
+    struct Todo {
+        std::size_t begin;
+        std::size_t end;
+    };
+    std::vector<Todo> todo{{0, k}};
+    while (!todo.empty()) {
+        if (config_.max_change_points != 0 &&
+            found.size() >= config_.max_change_points) {
+            break;
+        }
+        const Todo current = todo.back();
+        todo.pop_back();
+        const std::size_t len = current.end - current.begin;
+        if (len < 2 * config_.min_segment_windows) continue;
+
+        const double whole_ll = segment_log_likelihood(
+            goods_in(current.begin, current.end), static_cast<double>(len) * m);
+        double best_gain = 0.0;
+        std::size_t best_split = 0;
+        for (std::size_t t = current.begin + config_.min_segment_windows;
+             t + config_.min_segment_windows <= current.end; ++t) {
+            const double left_ll = segment_log_likelihood(
+                goods_in(current.begin, t),
+                static_cast<double>(t - current.begin) * m);
+            const double right_ll =
+                segment_log_likelihood(goods_in(t, current.end),
+                                       static_cast<double>(current.end - t) * m);
+            const double gain = 2.0 * (left_ll + right_ll - whole_ll);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_split = t;
+            }
+        }
+        if (best_gain <= threshold || best_split == 0) continue;
+
+        ChangePoint cp;
+        cp.window_index = best_split;
+        cp.gain = best_gain;
+        cp.p_before = goods_in(current.begin, best_split) /
+                      (static_cast<double>(best_split - current.begin) * m);
+        cp.p_after = goods_in(best_split, current.end) /
+                     (static_cast<double>(current.end - best_split) * m);
+        found.push_back(cp);
+        todo.push_back({current.begin, best_split});
+        todo.push_back({best_split, current.end});
+    }
+
+    std::sort(found.begin(), found.end(),
+              [](const ChangePoint& a, const ChangePoint& b) {
+                  return a.window_index < b.window_index;
+              });
+    return found;
+}
+
+std::vector<Segment> ChangePointDetector::segment_windows(
+    std::span<const std::uint32_t> good_counts) const {
+    const auto change_points = change_points_from(good_counts);
+    std::vector<Segment> segments;
+    const double m = static_cast<double>(config_.window_size);
+    std::size_t begin = 0;
+    const auto close_segment = [&](std::size_t end) {
+        if (end == begin) return;
+        double good = 0.0;
+        for (std::size_t i = begin; i < end; ++i) good += good_counts[i];
+        segments.push_back(
+            Segment{begin, end, good / (static_cast<double>(end - begin) * m)});
+        begin = end;
+    };
+    for (const ChangePoint& cp : change_points) close_segment(cp.window_index);
+    close_segment(good_counts.size());
+    return segments;
+}
+
+std::vector<Segment> ChangePointDetector::segment(
+    std::span<const repsys::Feedback> feedbacks) const {
+    const auto counts = window_counts_oldest_first(
+        feedbacks, config_.window_size,
+        [](const repsys::Feedback& f) { return f.good(); });
+    return segment_windows(counts);
+}
+
+std::vector<Segment> ChangePointDetector::segment(
+    std::span<const std::uint8_t> outcomes) const {
+    const auto counts = window_counts_oldest_first(
+        outcomes, config_.window_size, [](std::uint8_t o) { return o != 0; });
+    return segment_windows(counts);
+}
+
+std::vector<ChangePoint> ChangePointDetector::detect(
+    std::span<const repsys::Feedback> feedbacks) const {
+    const auto counts = window_counts_oldest_first(
+        feedbacks, config_.window_size,
+        [](const repsys::Feedback& f) { return f.good(); });
+    return change_points_from(counts);
+}
+
+std::vector<ChangePoint> ChangePointDetector::detect(
+    std::span<const std::uint8_t> outcomes) const {
+    const auto counts = window_counts_oldest_first(
+        outcomes, config_.window_size, [](std::uint8_t o) { return o != 0; });
+    return change_points_from(counts);
+}
+
+namespace {
+
+/// The segmentation must window exactly like the test.
+ChangePointConfig aligned_to(ChangePointConfig segmentation, std::uint32_t window) {
+    segmentation.window_size = window;
+    return segmentation;
+}
+
+}  // namespace
+
+AdaptiveBehaviorTest::AdaptiveBehaviorTest(BehaviorTestConfig test_config,
+                                           ChangePointConfig segmentation,
+                                           std::shared_ptr<stats::Calibrator> calibrator)
+    : single_(test_config, std::move(calibrator)),
+      detector_(aligned_to(segmentation, test_config.window_size)) {}
+
+AdaptiveTestResult AdaptiveBehaviorTest::test_windows(const WindowStats& stats) const {
+    // WindowStats orders counts newest-first; segmentation wants stream
+    // order.
+    std::vector<std::uint32_t> oldest_first{stats.good_counts.rbegin(),
+                                            stats.good_counts.rend()};
+    AdaptiveTestResult result;
+    if (oldest_first.size() < single_.config().min_windows) {
+        result.sufficient = false;
+        result.passed = true;
+        return result;
+    }
+    result.sufficient = true;
+    result.segments = detector_.segment_windows(oldest_first);
+    for (const Segment& segment : result.segments) {
+        stats::EmpiricalDistribution counts{single_.config().window_size};
+        for (std::size_t i = segment.begin_window; i < segment.end_window; ++i) {
+            counts.add(oldest_first[i]);
+        }
+        const BehaviorTestResult segment_result = single_.test(counts);
+        if (!segment_result.passed) result.passed = false;
+        result.per_segment.push_back(segment_result);
+    }
+    return result;
+}
+
+AdaptiveTestResult AdaptiveBehaviorTest::test(
+    std::span<const repsys::Feedback> feedbacks) const {
+    return test_windows(
+        compute_window_stats(feedbacks, single_.config().window_size));
+}
+
+AdaptiveTestResult AdaptiveBehaviorTest::test(
+    std::span<const std::uint8_t> outcomes) const {
+    return test_windows(compute_window_stats(outcomes, single_.config().window_size));
+}
+
+}  // namespace hpr::core

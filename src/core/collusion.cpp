@@ -1,0 +1,65 @@
+#include "core/collusion.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hpr::core {
+
+std::vector<repsys::Feedback> reorder_by_issuer(
+    std::span<const repsys::Feedback> feedbacks) {
+    struct Group {
+        std::size_t count = 0;
+        std::size_t first_index = 0;  // index of the client's first feedback
+    };
+    std::unordered_map<repsys::EntityId, Group> groups;
+    groups.reserve(feedbacks.size());
+    for (std::size_t i = 0; i < feedbacks.size(); ++i) {
+        auto [it, inserted] = groups.try_emplace(feedbacks[i].client);
+        if (inserted) it->second.first_index = i;
+        ++it->second.count;
+    }
+
+    std::vector<repsys::EntityId> order;
+    order.reserve(groups.size());
+    for (const auto& [client, group] : groups) order.push_back(client);
+    std::sort(order.begin(), order.end(),
+              [&](repsys::EntityId a, repsys::EntityId b) {
+                  const Group& ga = groups.at(a);
+                  const Group& gb = groups.at(b);
+                  if (ga.count != gb.count) return ga.count > gb.count;
+                  return ga.first_index < gb.first_index;
+              });
+
+    // Bucket feedbacks per client preserving time order, then concatenate
+    // buckets in the computed group order.
+    std::unordered_map<repsys::EntityId, std::vector<repsys::Feedback>> buckets;
+    buckets.reserve(groups.size());
+    for (const auto& [client, group] : groups) buckets[client].reserve(group.count);
+    for (const repsys::Feedback& f : feedbacks) buckets[f.client].push_back(f);
+
+    std::vector<repsys::Feedback> reordered;
+    reordered.reserve(feedbacks.size());
+    for (const repsys::EntityId client : order) {
+        const auto& bucket = buckets[client];
+        reordered.insert(reordered.end(), bucket.begin(), bucket.end());
+    }
+    return reordered;
+}
+
+CollusionResilientTest::CollusionResilientTest(
+    MultiTestConfig config, std::shared_ptr<stats::Calibrator> calibrator)
+    : multi_(config, std::move(calibrator)) {}
+
+BehaviorTestResult CollusionResilientTest::test_single(
+    std::span<const repsys::Feedback> feedbacks) const {
+    const auto reordered = reorder_by_issuer(feedbacks);
+    return multi_.single().test(std::span<const repsys::Feedback>{reordered});
+}
+
+MultiTestResult CollusionResilientTest::test_multi(
+    std::span<const repsys::Feedback> feedbacks) const {
+    const auto reordered = reorder_by_issuer(feedbacks);
+    return multi_.test(std::span<const repsys::Feedback>{reordered});
+}
+
+}  // namespace hpr::core

@@ -1,0 +1,60 @@
+#ifndef HPR_CORE_COLLUSION_H
+#define HPR_CORE_COLLUSION_H
+
+/// \file collusion.h
+/// Collusion-resilient behavior testing (paper §4).
+///
+/// Colluders can feed a server fake positive feedback, so the raw
+/// time-ordered history of a colluding attacker can look perfectly
+/// honest.  The paper's countermeasure exploits two observations about
+/// honest servers: (1) their supporter base keeps growing, and (2) the
+/// feedback distribution of frequent clients matches that of occasional
+/// clients.  The test therefore re-orders the feedback sequence — clients
+/// with more feedbacks first, each client's feedbacks in time order — and
+/// runs the standard distribution test on the re-ordered sequence.  A
+/// colluder's large all-positive block then shows up as a distributional
+/// shift between the head and the tail of the sequence.
+
+#include <span>
+#include <vector>
+
+#include "core/behavior_test.h"
+#include "core/multi_test.h"
+#include "repsys/types.h"
+
+namespace hpr::core {
+
+/// Re-order a feedback sequence by issuer (paper §4): group feedbacks by
+/// client, sort groups by descending feedback count (ties: the client
+/// whose first feedback is older comes first), keep each group internally
+/// in time order, and concatenate.
+[[nodiscard]] std::vector<repsys::Feedback> reorder_by_issuer(
+    std::span<const repsys::Feedback> feedbacks);
+
+/// Collusion-resilient behavior tester: the §3 tests applied to the
+/// issuer-reordered sequence.
+class CollusionResilientTest {
+public:
+    explicit CollusionResilientTest(MultiTestConfig config = {},
+                                    std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    /// Single behavior test on the re-ordered sequence (§4, first form).
+    [[nodiscard]] BehaviorTestResult test_single(
+        std::span<const repsys::Feedback> feedbacks) const;
+
+    /// Multi-testing on the re-ordered sequence (§4, "Similarly, ... we
+    /// can also perform multi-testing of server behavior").
+    [[nodiscard]] MultiTestResult test_multi(
+        std::span<const repsys::Feedback> feedbacks) const;
+
+    [[nodiscard]] const MultiTestConfig& config() const noexcept {
+        return multi_.config();
+    }
+
+private:
+    MultiTest multi_;
+};
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_COLLUSION_H

@@ -1,0 +1,164 @@
+#include "core/multi_test.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace hpr::core {
+namespace {
+
+/// Number of suffix stages for a history of n transactions: suffix
+/// lengths n, n-step, ... while at least min_windows complete windows
+/// remain.  Returns 0 when even the full history is too short.
+std::size_t stage_count(std::size_t n, std::size_t step, std::uint32_t m,
+                        std::size_t min_windows) {
+    const std::size_t min_len = min_windows * m;
+    if (n < min_len) return 0;
+    return (n - min_len) / step + 1;
+}
+
+/// Per-stage confidence implementing the family-wise (Bonferroni)
+/// correction when enabled; 0 means "use the configured default".
+double stage_confidence(const MultiTestConfig& config, std::size_t stages) {
+    if (!config.bonferroni || stages == 0) return 0.0;
+    return 1.0 - (1.0 - config.base.confidence) / static_cast<double>(stages);
+}
+
+void finalize(MultiTestResult& result) {
+    if (result.stages_run == 0) {
+        result.min_margin = 0.0;
+        result.sufficient = false;
+        result.passed = true;
+    }
+}
+
+}  // namespace
+
+MultiTest::MultiTest(MultiTestConfig config,
+                     std::shared_ptr<stats::Calibrator> calibrator)
+    : config_(config), single_(config.base, std::move(calibrator)) {
+    config_.step = config_.effective_step();
+}
+
+template <typename Sequence, typename IsGood>
+MultiTestResult MultiTest::test_incremental(const Sequence& seq, IsGood is_good) const {
+    const std::uint32_t m = config_.base.window_size;
+    const std::size_t n = seq.size();
+    const std::size_t step = config_.step;
+    const std::size_t stages = stage_count(n, step, m, config_.base.min_windows);
+
+    MultiTestResult result;
+    result.min_margin = std::numeric_limits<double>::infinity();
+    if (stages == 0) {
+        finalize(result);
+        return result;
+    }
+    result.sufficient = true;
+
+    // Windows are anchored at the newest end of the full sequence; window
+    // w covers [n - (w+1)m, n - w*m).  The suffix of length L contains
+    // exactly floor(L/m) of these windows, so suffixes share windows and
+    // the statistics accumulate incrementally from shortest to longest.
+    const auto windows_of = [&](std::size_t stage) {
+        // stage 0 = shortest suffix, stage stages-1 = full history.
+        const std::size_t suffix_len = n - (stages - 1 - stage) * step;
+        return suffix_len / m;
+    };
+
+    stats::EmpiricalDistribution counts{m};
+    std::size_t added_windows = 0;
+    const auto add_windows_upto = [&](std::size_t target) {
+        while (added_windows < target) {
+            const std::size_t w = added_windows;  // 0 = newest window
+            const std::size_t begin = n - (w + 1) * m;
+            std::uint32_t good = 0;
+            for (std::size_t i = begin; i < begin + m; ++i) {
+                if (is_good(seq[i])) ++good;
+            }
+            counts.add(good);
+            ++added_windows;
+        }
+    };
+
+    const double confidence = stage_confidence(config_, stages);
+    for (std::size_t stage = 0; stage < stages; ++stage) {
+        add_windows_upto(windows_of(stage));
+        const BehaviorTestResult stage_result = single_.test(counts, confidence);
+        ++result.stages_run;
+        if (stage_result.sufficient && stage_result.margin() < result.min_margin) {
+            result.min_margin = stage_result.margin();
+        }
+        if (config_.collect_details) result.details.push_back(stage_result);
+        if (!stage_result.passed) {
+            result.passed = false;
+            if (!result.failed_suffix_length) {
+                result.failed_suffix_length = n - (stages - 1 - stage) * step;
+                result.failure = stage_result;
+            }
+            if (config_.stop_on_failure) break;
+        }
+    }
+    finalize(result);
+    return result;
+}
+
+MultiTestResult MultiTest::test(std::span<const repsys::Feedback> feedbacks) const {
+    return test_incremental(feedbacks,
+                            [](const repsys::Feedback& f) { return f.good(); });
+}
+
+MultiTestResult MultiTest::test(std::span<const std::uint8_t> outcomes) const {
+    return test_incremental(outcomes, [](std::uint8_t o) { return o != 0; });
+}
+
+template <typename Subspan>
+MultiTestResult MultiTest::test_naive_impl(std::size_t n, Subspan suffix) const {
+    const std::uint32_t m = config_.base.window_size;
+    const std::size_t step = config_.step;
+    const std::size_t stages = stage_count(n, step, m, config_.base.min_windows);
+
+    MultiTestResult result;
+    result.min_margin = std::numeric_limits<double>::infinity();
+    if (stages == 0) {
+        finalize(result);
+        return result;
+    }
+    result.sufficient = true;
+
+    const double confidence = stage_confidence(config_, stages);
+    for (std::size_t stage = 0; stage < stages; ++stage) {
+        const std::size_t suffix_len = n - (stages - 1 - stage) * step;
+        const BehaviorTestResult stage_result = single_.test(
+            compute_window_stats(suffix(suffix_len), m).distribution(), confidence);
+        ++result.stages_run;
+        if (stage_result.sufficient && stage_result.margin() < result.min_margin) {
+            result.min_margin = stage_result.margin();
+        }
+        if (config_.collect_details) result.details.push_back(stage_result);
+        if (!stage_result.passed) {
+            result.passed = false;
+            if (!result.failed_suffix_length) {
+                result.failed_suffix_length = suffix_len;
+                result.failure = stage_result;
+            }
+            if (config_.stop_on_failure) break;
+        }
+    }
+    finalize(result);
+    return result;
+}
+
+MultiTestResult MultiTest::test_naive(std::span<const repsys::Feedback> feedbacks) const {
+    const std::size_t n = feedbacks.size();
+    return test_naive_impl(n, [&](std::size_t len) {
+        return feedbacks.subspan(n - len, len);
+    });
+}
+
+MultiTestResult MultiTest::test_naive(std::span<const std::uint8_t> outcomes) const {
+    const std::size_t n = outcomes.size();
+    return test_naive_impl(n, [&](std::size_t len) {
+        return outcomes.subspan(n - len, len);
+    });
+}
+
+}  // namespace hpr::core

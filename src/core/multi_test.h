@@ -1,0 +1,87 @@
+#ifndef HPR_CORE_MULTI_TEST_H
+#define HPR_CORE_MULTI_TEST_H
+
+/// \file multi_test.h
+/// Multi-testing of server behavior (paper §3.3): the single behavior
+/// test is applied to the whole history and to the most recent
+/// n - step, n - 2*step, ... transactions, so that both long-term and
+/// short-term behavior must look honest.  Failing any suffix marks the
+/// server suspicious.
+///
+/// Two implementations are provided:
+///  * test()        — the optimized O(n) algorithm of §5.5: window
+///    statistics are accumulated incrementally from the newest suffix to
+///    the full history, so each additional suffix costs O(step + m).
+///  * test_naive()  — the direct O(n²/step) algorithm (each suffix is
+///    re-windowed from scratch).  Kept as the reference implementation:
+///    the test suite checks both agree bit-for-bit, and the Fig. 9 bench
+///    uses it as the ablation baseline.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/behavior_test.h"
+#include "core/config.h"
+#include "repsys/types.h"
+
+namespace hpr::core {
+
+/// Outcome of a multi-test.
+struct MultiTestResult {
+    bool passed = true;           ///< every evaluated suffix passed
+    bool sufficient = false;      ///< at least one suffix was testable
+    std::size_t stages_run = 0;   ///< number of suffix tests evaluated
+
+    /// Length (in transactions) of the shortest failing suffix, if any.
+    std::optional<std::size_t> failed_suffix_length;
+
+    /// Result of the failing stage, if any.
+    std::optional<BehaviorTestResult> failure;
+
+    /// Per-stage results, shortest suffix first (only when
+    /// MultiTestConfig::collect_details is set).
+    std::vector<BehaviorTestResult> details;
+
+    /// Smallest ε - d margin across evaluated stages (how close the
+    /// history came to rejection).
+    double min_margin = 0.0;
+};
+
+/// Reusable multi-tester sharing one calibration cache.
+class MultiTest {
+public:
+    explicit MultiTest(MultiTestConfig config = {},
+                       std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    /// Optimized O(n) multi-test over a feedback sequence (oldest first).
+    [[nodiscard]] MultiTestResult test(std::span<const repsys::Feedback> feedbacks) const;
+
+    /// Optimized O(n) multi-test over a raw outcome sequence.
+    [[nodiscard]] MultiTestResult test(std::span<const std::uint8_t> outcomes) const;
+
+    /// Reference O(n²/step) implementation (identical verdicts).
+    [[nodiscard]] MultiTestResult test_naive(
+        std::span<const repsys::Feedback> feedbacks) const;
+    [[nodiscard]] MultiTestResult test_naive(
+        std::span<const std::uint8_t> outcomes) const;
+
+    [[nodiscard]] const MultiTestConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const BehaviorTest& single() const noexcept { return single_; }
+
+private:
+    template <typename Sequence, typename IsGood>
+    [[nodiscard]] MultiTestResult test_incremental(const Sequence& seq,
+                                                   IsGood is_good) const;
+
+    template <typename Subspan>
+    [[nodiscard]] MultiTestResult test_naive_impl(std::size_t n, Subspan suffix) const;
+
+    MultiTestConfig config_;
+    BehaviorTest single_;
+};
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_MULTI_TEST_H

@@ -1,0 +1,71 @@
+#include "core/multidim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpr::core {
+
+std::vector<std::string> MultiDimensionalResult::failed_dimensions() const {
+    std::vector<std::string> failed;
+    for (const auto& [name, result] : per_dimension) {
+        if (!result.passed) failed.push_back(name);
+    }
+    return failed;
+}
+
+MultiDimensionalTest::MultiDimensionalTest(std::vector<std::string> dimensions,
+                                           MultiTestConfig config,
+                                           std::shared_ptr<stats::Calibrator> calibrator)
+    : dimensions_(std::move(dimensions)), multi_(config, std::move(calibrator)) {
+    if (dimensions_.empty()) {
+        throw std::invalid_argument("MultiDimensionalTest: need >= 1 dimension");
+    }
+    auto sorted = dimensions_;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        throw std::invalid_argument("MultiDimensionalTest: duplicate dimension name");
+    }
+}
+
+std::vector<std::uint8_t> MultiDimensionalTest::outcomes_of(
+    std::span<const DimensionalFeedback> feedbacks, std::size_t index) const {
+    std::vector<std::uint8_t> outcomes;
+    outcomes.reserve(feedbacks.size());
+    for (const DimensionalFeedback& f : feedbacks) {
+        if (f.ratings.size() != dimensions_.size()) {
+            throw std::invalid_argument(
+                "MultiDimensionalTest: rating count does not match dimensions");
+        }
+        outcomes.push_back(repsys::is_good(f.ratings[index]) ? 1 : 0);
+    }
+    return outcomes;
+}
+
+MultiDimensionalResult MultiDimensionalTest::test(
+    std::span<const DimensionalFeedback> feedbacks) const {
+    MultiDimensionalResult result;
+    for (std::size_t d = 0; d < dimensions_.size(); ++d) {
+        const auto outcomes = outcomes_of(feedbacks, d);
+        MultiTestResult dimension_result =
+            multi_.test(std::span<const std::uint8_t>{outcomes});
+        if (dimension_result.sufficient) result.sufficient = true;
+        if (!dimension_result.passed) result.passed = false;
+        result.per_dimension.emplace(dimensions_[d], std::move(dimension_result));
+    }
+    return result;
+}
+
+MultiTestResult MultiDimensionalTest::test_dimension(
+    std::span<const DimensionalFeedback> feedbacks,
+    const std::string& dimension) const {
+    const auto it = std::find(dimensions_.begin(), dimensions_.end(), dimension);
+    if (it == dimensions_.end()) {
+        throw std::invalid_argument("MultiDimensionalTest: unknown dimension '" +
+                                    dimension + "'");
+    }
+    const auto outcomes = outcomes_of(
+        feedbacks, static_cast<std::size_t>(it - dimensions_.begin()));
+    return multi_.test(std::span<const std::uint8_t>{outcomes});
+}
+
+}  // namespace hpr::core

@@ -1,0 +1,47 @@
+#include "core/multinomial_test.h"
+
+namespace hpr::core {
+
+MultinomialBehaviorTest::MultinomialBehaviorTest(
+    BehaviorTestConfig config, std::shared_ptr<stats::Calibrator> calibrator)
+    : single_(config, std::move(calibrator)) {}
+
+MultinomialTestResult MultinomialBehaviorTest::test(
+    std::span<const repsys::Feedback> feedbacks) const {
+    const std::uint32_t m = single_.config().window_size;
+    const std::size_t n = feedbacks.size();
+    const std::size_t k = n / m;
+
+    MultinomialTestResult result;
+    result.per_category.resize(kCategories);
+    result.p_hat.assign(kCategories, 0.0);
+    if (k < single_.config().min_windows) {
+        result.sufficient = false;
+        result.passed = true;
+        return result;
+    }
+    result.sufficient = true;
+
+    // Per-category window counts, windows anchored at the newest end.
+    const std::size_t offset = n - k * m;
+    std::vector<stats::EmpiricalDistribution> counts(
+        kCategories, stats::EmpiricalDistribution{m});
+    for (std::size_t w = 0; w < k; ++w) {
+        const std::size_t begin = offset + w * m;
+        std::array<std::uint32_t, kCategories> window_counts{};
+        for (std::size_t i = begin; i < begin + m; ++i) {
+            const auto category = static_cast<std::size_t>(feedbacks[i].rating);
+            if (category < kCategories) ++window_counts[category];
+        }
+        for (std::size_t j = 0; j < kCategories; ++j) counts[j].add(window_counts[j]);
+    }
+
+    for (std::size_t j = 0; j < kCategories; ++j) {
+        result.per_category[j] = single_.test(counts[j]);
+        result.p_hat[j] = result.per_category[j].p_hat;
+        if (!result.per_category[j].passed) result.passed = false;
+    }
+    return result;
+}
+
+}  // namespace hpr::core

@@ -1,0 +1,59 @@
+#ifndef HPR_CORE_MULTINOMIAL_TEST_H
+#define HPR_CORE_MULTINOMIAL_TEST_H
+
+/// \file multinomial_test.h
+/// Behavior testing for multi-valued feedback (paper §3.1: "we only need
+/// to replace binomial distributions in our framework with multinomial
+/// distributions for multi-value feedbacks").
+///
+/// An honest player's per-window rating counts follow a multinomial
+/// Mult(m, p_1..p_c).  The test checks, per rating category j, that the
+/// empirical distribution of the per-window count of category j matches
+/// its marginal Binomial(m, p̂_j), reusing the binary machinery (including
+/// threshold calibration).  The history passes iff every category passes.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "core/behavior_test.h"
+#include "repsys/types.h"
+
+namespace hpr::core {
+
+/// Result of multinomial behavior testing.
+struct MultinomialTestResult {
+    bool passed = true;
+    bool sufficient = false;
+
+    /// One binary-style result per rating category, indexed by the
+    /// numeric value of repsys::Rating.
+    std::vector<BehaviorTestResult> per_category;
+
+    /// Estimated category probabilities p̂_j.
+    std::vector<double> p_hat;
+};
+
+/// Multinomial behavior tester for ratings taking values in
+/// {negative, positive, neutral}.
+class MultinomialBehaviorTest {
+public:
+    static constexpr std::size_t kCategories = 3;
+
+    explicit MultinomialBehaviorTest(BehaviorTestConfig config = {},
+                                     std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    [[nodiscard]] MultinomialTestResult test(
+        std::span<const repsys::Feedback> feedbacks) const;
+
+    [[nodiscard]] const BehaviorTestConfig& config() const noexcept {
+        return single_.config();
+    }
+
+private:
+    BehaviorTest single_;
+};
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_MULTINOMIAL_TEST_H

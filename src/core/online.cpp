@@ -1,0 +1,103 @@
+#include "core/online.h"
+
+#include <stdexcept>
+
+namespace hpr::core {
+
+const char* to_string(StreamState state) noexcept {
+    switch (state) {
+        case StreamState::kInsufficient: return "insufficient";
+        case StreamState::kClear: return "clear";
+        case StreamState::kSuspicious: return "suspicious";
+    }
+    return "unknown";
+}
+
+OnlineScreener::OnlineScreener(OnlineScreenerConfig config,
+                               std::shared_ptr<stats::Calibrator> calibrator)
+    : config_(config),
+      single_(config.test.base,
+              calibrator ? std::move(calibrator) : make_calibrator(config.test.base)),
+      step_windows_(config.test.effective_step() / config.test.base.window_size) {
+    if (config_.patience == 0 || config_.recovery == 0) {
+        throw std::invalid_argument(
+            "OnlineScreener: patience and recovery must be positive");
+    }
+}
+
+double OnlineScreener::p_hat() const noexcept {
+    if (window_good_counts_.empty()) return 0.0;
+    std::uint64_t good = 0;
+    for (const std::uint32_t g : window_good_counts_) good += g;
+    return static_cast<double>(good) /
+           static_cast<double>(window_good_counts_.size() *
+                               config_.test.base.window_size);
+}
+
+void OnlineScreener::observe(bool good) {
+    ++transactions_;
+    if (good) ++current_window_good_;
+    if (++current_window_fill_ < config_.test.base.window_size) return;
+
+    window_good_counts_.push_back(current_window_good_);
+    current_window_good_ = 0;
+    current_window_fill_ = 0;
+    if (window_good_counts_.size() >= config_.test.base.min_windows) evaluate();
+}
+
+void OnlineScreener::evaluate() {
+    // The §3.3 suffix ladder over complete windows: suffixes of
+    // k, k - step, k - 2*step, ... windows (newest last in storage).
+    const std::size_t total = window_good_counts_.size();
+    const std::size_t min_windows = config_.test.base.min_windows;
+    const std::size_t stages = (total - min_windows) / step_windows_ + 1;
+    const double confidence =
+        config_.test.bonferroni
+            ? 1.0 - (1.0 - config_.test.base.confidence) / static_cast<double>(stages)
+            : 0.0;
+
+    bool all_passed = true;
+    stats::EmpiricalDistribution counts{config_.test.base.window_size};
+    std::size_t added = 0;
+    for (std::size_t stage = 0; stage < stages; ++stage) {
+        const std::size_t want = total - (stages - 1 - stage) * step_windows_;
+        while (added < want) {
+            counts.add(window_good_counts_[total - 1 - added]);  // newest first
+            ++added;
+        }
+        const BehaviorTestResult result = single_.test(counts, confidence);
+        if (!result.passed) {
+            all_passed = false;
+            if (config_.test.stop_on_failure) break;
+        }
+    }
+
+    ++evaluations_;
+    last_evaluation_passed_ = all_passed;
+    if (all_passed) {
+        ++passing_streak_;
+        failing_streak_ = 0;
+    } else {
+        ++failing_streak_;
+        passing_streak_ = 0;
+    }
+
+    switch (state_) {
+        case StreamState::kInsufficient:
+            if (all_passed) {
+                state_ = StreamState::kClear;
+            } else if (failing_streak_ >= config_.patience) {
+                state_ = StreamState::kSuspicious;
+            }
+            // else: failing but under patience — stay insufficient.
+            break;
+        case StreamState::kClear:
+            if (failing_streak_ >= config_.patience) state_ = StreamState::kSuspicious;
+            break;
+        case StreamState::kSuspicious:
+            if (passing_streak_ >= config_.recovery) state_ = StreamState::kClear;
+            break;
+    }
+}
+
+}  // namespace hpr::core

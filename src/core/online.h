@@ -1,0 +1,116 @@
+#ifndef HPR_CORE_ONLINE_H
+#define HPR_CORE_ONLINE_H
+
+/// \file online.h
+/// Streaming honest-player screening.
+///
+/// The batch MultiTest re-walks a server's feedback log on every call —
+/// fine for assess-before-transaction, wasteful for a reputation server
+/// monitoring thousands of live feedback streams.  OnlineScreener is the
+/// streaming form: feed outcomes one at a time; window statistics update
+/// in O(1), and the suffix ladder of §3.3 is re-evaluated only when a
+/// window completes (every m feedbacks), at O(k) in the number of
+/// complete windows.
+///
+/// It also adds hysteresis.  A single marginal evaluation should not
+/// ostracize a server (the sequential-testing problem: over a long stream
+/// even an honest player will eventually graze the threshold), so state
+/// transitions require `patience` consecutive failing evaluations to flag
+/// and `recovery` consecutive passing ones to clear.
+///
+/// One deliberate difference from the batch tester: windows are anchored
+/// at the *start* of the stream (feedbacks 1..m form the first window),
+/// because a stream has no fixed newest end.  Window statistics are
+/// order-independent within a window, so the tests are statistically
+/// identical; verdicts can differ only through window phase.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/behavior_test.h"
+#include "core/config.h"
+#include "repsys/types.h"
+#include "stats/calibrate.h"
+#include "stats/empirical.h"
+
+namespace hpr::core {
+
+/// Streaming screener state.
+enum class StreamState : std::uint8_t {
+    kInsufficient,  ///< not enough complete windows to evaluate yet
+    kClear,         ///< consistent with the honest-player model
+    kSuspicious,    ///< flagged after `patience` consecutive failures
+};
+
+[[nodiscard]] const char* to_string(StreamState state) noexcept;
+
+/// Configuration of the streaming screener.
+struct OnlineScreenerConfig {
+    MultiTestConfig test{};
+    std::size_t patience = 2;  ///< consecutive failing evaluations to flag
+    std::size_t recovery = 2;  ///< consecutive passing evaluations to clear
+};
+
+/// Incremental multi-testing over a live outcome stream.
+class OnlineScreener {
+public:
+    explicit OnlineScreener(OnlineScreenerConfig config = {},
+                            std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    /// Feed the next transaction outcome.  O(1) unless a window completes,
+    /// in which case the suffix ladder is re-evaluated (O(windows)).
+    void observe(bool good);
+
+    /// Feed a feedback (its rating's goodness is observed).
+    void observe(const repsys::Feedback& feedback) { observe(feedback.good()); }
+
+    [[nodiscard]] StreamState state() const noexcept { return state_; }
+
+    /// Total outcomes observed.
+    [[nodiscard]] std::size_t transactions() const noexcept { return transactions_; }
+
+    /// Complete windows so far.
+    [[nodiscard]] std::size_t windows() const noexcept {
+        return window_good_counts_.size();
+    }
+
+    /// Evaluations performed (one per completed window once testable).
+    [[nodiscard]] std::size_t evaluations() const noexcept { return evaluations_; }
+
+    /// Did the most recent evaluation pass?  (true before any evaluation.)
+    [[nodiscard]] bool last_evaluation_passed() const noexcept {
+        return last_evaluation_passed_;
+    }
+
+    /// Current failing / passing streak lengths.
+    [[nodiscard]] std::size_t failing_streak() const noexcept { return failing_streak_; }
+    [[nodiscard]] std::size_t passing_streak() const noexcept { return passing_streak_; }
+
+    /// p̂ over all complete windows.
+    [[nodiscard]] double p_hat() const noexcept;
+
+    [[nodiscard]] const OnlineScreenerConfig& config() const noexcept { return config_; }
+
+private:
+    void evaluate();
+
+    OnlineScreenerConfig config_;
+    BehaviorTest single_;
+    std::size_t step_windows_;  ///< suffix step in windows
+
+    std::vector<std::uint32_t> window_good_counts_;  ///< oldest first
+    std::uint32_t current_window_good_ = 0;
+    std::uint32_t current_window_fill_ = 0;
+    std::size_t transactions_ = 0;
+
+    StreamState state_ = StreamState::kInsufficient;
+    bool last_evaluation_passed_ = true;
+    std::size_t evaluations_ = 0;
+    std::size_t failing_streak_ = 0;
+    std::size_t passing_streak_ = 0;
+};
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_ONLINE_H

@@ -1,0 +1,91 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace hpr::core {
+namespace {
+
+std::ostream& fixed4(std::ostream& out) { return out << std::fixed << std::setprecision(4); }
+
+}  // namespace
+
+std::string describe(const BehaviorTestResult& result) {
+    std::ostringstream out;
+    if (!result.sufficient) {
+        out << "INSUFFICIENT  only " << result.windows
+            << " complete window(s); cannot screen";
+        return out.str();
+    }
+    out << (result.passed ? "PASS" : "FAIL") << "  d=";
+    fixed4(out) << result.distance << (result.passed ? " <= " : " > ")
+                << "eps=" << result.threshold << " (p^=" << result.p_hat << ", "
+                << result.windows << " windows)";
+    return out.str();
+}
+
+std::string describe(const MultiTestResult& result) {
+    std::ostringstream out;
+    if (!result.sufficient) {
+        out << "INSUFFICIENT  history too short for any suffix test\n";
+        return out.str();
+    }
+    out << (result.passed ? "PASS" : "FAIL") << "  " << result.stages_run
+        << " suffix stage(s), min margin ";
+    fixed4(out) << result.min_margin << "\n";
+    if (result.failed_suffix_length) {
+        out << "  shortest failing suffix: " << *result.failed_suffix_length
+            << " transactions\n";
+    }
+    for (std::size_t i = 0; i < result.details.size(); ++i) {
+        out << "  stage " << i << ": " << describe(result.details[i]) << "\n";
+    }
+    return out.str();
+}
+
+std::string describe(const Assessment& assessment) {
+    std::ostringstream out;
+    out << "verdict: " << to_string(assessment.verdict) << "\n";
+    switch (assessment.verdict) {
+        case Verdict::kSuspicious:
+            out << "trust: withheld - the transaction history is inconsistent "
+                   "with the honest-player model\n";
+            if (assessment.screening.failure) {
+                out << "  " << describe(*assessment.screening.failure) << "\n";
+            }
+            break;
+        case Verdict::kAssessed:
+            out << "trust: ";
+            fixed4(out) << assessment.trust.value_or(0.0) << " (screened over "
+                        << assessment.screening.stages_run << " stage(s))\n";
+            break;
+        case Verdict::kInsufficientHistory:
+            out << "trust: ";
+            fixed4(out) << assessment.trust.value_or(0.0)
+                        << " (UNSCREENED - history too short; treat as high "
+                           "risk)\n";
+            break;
+    }
+    return out.str();
+}
+
+std::string describe(const AdaptiveTestResult& result) {
+    std::ostringstream out;
+    if (!result.sufficient) {
+        out << "INSUFFICIENT  history too short to segment\n";
+        return out.str();
+    }
+    out << (result.passed ? "PASS" : "FAIL") << "  " << result.segments.size()
+        << " regime(s)\n";
+    for (std::size_t i = 0; i < result.segments.size(); ++i) {
+        const Segment& segment = result.segments[i];
+        out << "  regime " << i << ": windows [" << segment.begin_window << ", "
+            << segment.end_window << ") p=";
+        fixed4(out) << segment.p << " -> "
+                    << (result.per_segment[i].passed ? "consistent" : "suspicious")
+                    << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace hpr::core

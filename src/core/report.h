@@ -1,0 +1,37 @@
+#ifndef HPR_CORE_REPORT_H
+#define HPR_CORE_REPORT_H
+
+/// \file report.h
+/// Human-readable rendering of assessment results.
+///
+/// The two-phase framework's outputs are structured (verdicts, margins,
+/// per-suffix diagnostics); operators reading logs or CLI output want
+/// prose.  These helpers produce stable, line-oriented text so the same
+/// rendering serves the CLI tool, the examples and log pipelines.
+
+#include <string>
+
+#include "core/changepoint.h"
+#include "core/multi_test.h"
+#include "core/two_phase.h"
+
+namespace hpr::core {
+
+/// One-line summary of a single behavior test.
+/// e.g. "PASS  d=0.1023 <= eps=0.2411 (p^=0.932, 40 windows)".
+[[nodiscard]] std::string describe(const BehaviorTestResult& result);
+
+/// Multi-line summary of a multi-test: overall verdict plus, when
+/// details were collected, one line per suffix stage.
+[[nodiscard]] std::string describe(const MultiTestResult& result);
+
+/// Multi-line summary of a full assessment: screening verdict, trust
+/// value (or why it is withheld), and the first failing suffix if any.
+[[nodiscard]] std::string describe(const Assessment& assessment);
+
+/// One line per detected regime of an adaptive test.
+[[nodiscard]] std::string describe(const AdaptiveTestResult& result);
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_REPORT_H

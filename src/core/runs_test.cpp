@@ -1,0 +1,76 @@
+#include "core/runs_test.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/normal.h"
+
+namespace hpr::core {
+namespace {
+
+template <typename Sequence, typename IsGood>
+RunsTestResult runs_test_impl(const Sequence& seq, IsGood is_good,
+                              const RunsTestConfig& config, double z_threshold) {
+    RunsTestResult result;
+    result.z_threshold = z_threshold;
+    std::size_t runs = 0;
+    bool last = false;
+    bool first = true;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const bool good = is_good(seq[i]);
+        if (good) {
+            ++result.good;
+        } else {
+            ++result.bad;
+        }
+        if (first || good != last) ++runs;
+        last = good;
+        first = false;
+    }
+    result.runs = runs;
+    if (result.good < config.min_each || result.bad < config.min_each) {
+        // Not enough of both kinds: the normal approximation (and the
+        // test's discriminating power) is void.  Cannot reject honesty.
+        result.sufficient = false;
+        result.passed = true;
+        return result;
+    }
+    result.sufficient = true;
+    const auto n1 = static_cast<double>(result.good);
+    const auto n0 = static_cast<double>(result.bad);
+    const double n = n1 + n0;
+    result.expected_runs = 1.0 + 2.0 * n1 * n0 / n;
+    const double variance =
+        2.0 * n1 * n0 * (2.0 * n1 * n0 - n) / (n * n * (n - 1.0));
+    result.z = (static_cast<double>(runs) - result.expected_runs) /
+               std::sqrt(variance);
+    result.passed = std::fabs(result.z) <= z_threshold;
+    return result;
+}
+
+}  // namespace
+
+RunsTest::RunsTest(RunsTestConfig config) : config_(config) {
+    if (!(config_.confidence > 0.0 && config_.confidence < 1.0)) {
+        throw std::invalid_argument("RunsTest: confidence must be in (0, 1)");
+    }
+    if (config_.min_each < 2) {
+        throw std::invalid_argument("RunsTest: min_each must be >= 2");
+    }
+    // Two-sided: reject beyond the (1 - alpha/2) normal quantile.
+    z_threshold_ = stats::normal_quantile(0.5 + config_.confidence / 2.0);
+}
+
+RunsTestResult RunsTest::test(std::span<const std::uint8_t> outcomes) const {
+    return runs_test_impl(outcomes, [](std::uint8_t o) { return o != 0; }, config_,
+                          z_threshold_);
+}
+
+RunsTestResult RunsTest::test(std::span<const repsys::Feedback> feedbacks) const {
+    return runs_test_impl(feedbacks,
+                          [](const repsys::Feedback& f) { return f.good(); },
+                          config_, z_threshold_);
+}
+
+}  // namespace hpr::core

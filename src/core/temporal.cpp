@@ -1,0 +1,55 @@
+#include "core/temporal.h"
+
+#include <stdexcept>
+
+namespace hpr::core {
+namespace {
+
+/// Non-negative remainder (timestamps may precede the epoch).
+constexpr std::int64_t positive_mod(std::int64_t value, std::int64_t modulus) noexcept {
+    const std::int64_t r = value % modulus;
+    return r < 0 ? r + modulus : r;
+}
+
+}  // namespace
+
+int hour_of_day(repsys::Timestamp time) noexcept {
+    return static_cast<int>(positive_mod(time, kSecondsPerDay) / kSecondsPerHour);
+}
+
+int day_of_week(repsys::Timestamp time) noexcept {
+    return static_cast<int>(positive_mod(time, kSecondsPerWeek) / kSecondsPerDay);
+}
+
+Categorizer weekday_weekend_categorizer() {
+    return [](const repsys::Feedback& f) -> std::string {
+        return day_of_week(f.time) < 5 ? "weekday" : "weekend";
+    };
+}
+
+Categorizer business_hours_categorizer(int open_hour, int close_hour) {
+    if (!(open_hour >= 0 && open_hour < close_hour && close_hour <= 24)) {
+        throw std::invalid_argument(
+            "business_hours_categorizer: need 0 <= open < close <= 24");
+    }
+    return [open_hour, close_hour](const repsys::Feedback& f) -> std::string {
+        const bool weekday = day_of_week(f.time) < 5;
+        const int hour = hour_of_day(f.time);
+        return weekday && hour >= open_hour && hour < close_hour ? "business"
+                                                                 : "off-hours";
+    };
+}
+
+Categorizer time_slice_categorizer(std::int64_t slice_seconds) {
+    if (slice_seconds <= 0) {
+        throw std::invalid_argument("time_slice_categorizer: slice must be positive");
+    }
+    return [slice_seconds](const repsys::Feedback& f) -> std::string {
+        const std::int64_t slice =
+            f.time >= 0 ? f.time / slice_seconds
+                        : (f.time - slice_seconds + 1) / slice_seconds;
+        return "epoch-" + std::to_string(slice);
+    };
+}
+
+}  // namespace hpr::core

@@ -1,0 +1,53 @@
+#ifndef HPR_CORE_TEMPORAL_H
+#define HPR_CORE_TEMPORAL_H
+
+/// \file temporal.h
+/// Temporal categorizers for category-partitioned testing.
+///
+/// Paper §3.1: "The statistical model can also be temporal.  We may have
+/// different models for weekdays and weekends, or for the time 9am to 5pm
+/// and for other time intervals."  These helpers build Categorizer
+/// functions (core/category.h) from a timestamp interpretation, so a
+/// deployment can screen, say, business-hours service separately from
+/// night-shift service without writing the bucketing by hand.
+///
+/// Timestamps are interpreted as seconds since an epoch that starts at
+/// 00:00 on a Monday (the library never assumes wall-clock time anywhere
+/// else, so the deployment chooses the epoch).
+
+#include <cstdint>
+#include <string>
+
+#include "core/category.h"
+#include "repsys/types.h"
+
+namespace hpr::core {
+
+/// Seconds per day / week under the library's timestamp convention.
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 24 * kSecondsPerHour;
+inline constexpr std::int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Hour-of-day (0..23) of a timestamp.
+[[nodiscard]] int hour_of_day(repsys::Timestamp time) noexcept;
+
+/// Day-of-week (0 = Monday .. 6 = Sunday) of a timestamp.
+[[nodiscard]] int day_of_week(repsys::Timestamp time) noexcept;
+
+/// Categorizer: "weekday" vs "weekend".
+[[nodiscard]] Categorizer weekday_weekend_categorizer();
+
+/// Categorizer: "business" for [open_hour, close_hour) on weekdays,
+/// "off-hours" otherwise.
+/// \throws std::invalid_argument unless 0 <= open < close <= 24.
+[[nodiscard]] Categorizer business_hours_categorizer(int open_hour = 9,
+                                                     int close_hour = 17);
+
+/// Categorizer: fixed-length time slices ("epoch-0", "epoch-1", ...), for
+/// screening service quality per deployment period.
+/// \throws std::invalid_argument if slice_seconds is not positive.
+[[nodiscard]] Categorizer time_slice_categorizer(std::int64_t slice_seconds);
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_TEMPORAL_H

@@ -1,0 +1,110 @@
+#include "core/two_phase.h"
+
+#include <stdexcept>
+
+namespace hpr::core {
+
+const char* to_string(ScreeningMode mode) noexcept {
+    switch (mode) {
+        case ScreeningMode::kNone: return "none";
+        case ScreeningMode::kSingle: return "single";
+        case ScreeningMode::kMulti: return "multi";
+    }
+    return "unknown";
+}
+
+const char* to_string(Verdict verdict) noexcept {
+    switch (verdict) {
+        case Verdict::kSuspicious: return "suspicious";
+        case Verdict::kAssessed: return "assessed";
+        case Verdict::kInsufficientHistory: return "insufficient-history";
+    }
+    return "unknown";
+}
+
+TwoPhaseAssessor::TwoPhaseAssessor(TwoPhaseConfig config,
+                                   std::shared_ptr<const repsys::TrustFunction> trust,
+                                   std::shared_ptr<stats::Calibrator> calibrator)
+    : config_(config),
+      trust_(std::move(trust)),
+      multi_(config.test, calibrator ? calibrator : make_calibrator(config.test.base)),
+      collusion_(config.test, multi_.single().calibrator()),
+      runs_(config.runs) {
+    if (!trust_) {
+        throw std::invalid_argument("TwoPhaseAssessor: trust function must not be null");
+    }
+}
+
+const std::shared_ptr<stats::Calibrator>& TwoPhaseAssessor::calibrator() const noexcept {
+    return multi_.single().calibrator();
+}
+
+MultiTestResult TwoPhaseAssessor::screen(
+    std::span<const repsys::Feedback> feedbacks) const {
+    switch (config_.mode) {
+        case ScreeningMode::kNone: {
+            MultiTestResult trivial;
+            trivial.passed = true;
+            trivial.sufficient = false;
+            return trivial;
+        }
+        case ScreeningMode::kSingle: {
+            const BehaviorTestResult single =
+                config_.collusion_resilient
+                    ? collusion_.test_single(feedbacks)
+                    : multi_.single().test(feedbacks);
+            MultiTestResult wrapped;
+            wrapped.passed = single.passed;
+            wrapped.sufficient = single.sufficient;
+            wrapped.stages_run = single.sufficient ? 1 : 0;
+            wrapped.min_margin = single.sufficient ? single.margin() : 0.0;
+            if (!single.passed) {
+                wrapped.failed_suffix_length = single.transactions_used;
+                wrapped.failure = single;
+            }
+            if (config_.test.collect_details && single.sufficient) {
+                wrapped.details.push_back(single);
+            }
+            return wrapped;
+        }
+        case ScreeningMode::kMulti:
+            return config_.collusion_resilient ? collusion_.test_multi(feedbacks)
+                                               : multi_.test(feedbacks);
+    }
+    throw std::logic_error("TwoPhaseAssessor::screen: unknown screening mode");
+}
+
+Assessment TwoPhaseAssessor::assess(std::span<const repsys::Feedback> feedbacks) const {
+    Assessment assessment;
+    assessment.screening = screen(feedbacks);
+    if (!assessment.screening.passed) {
+        // Fig. 2: "Alert ('Destination peer is suspicious'); Abort".
+        assessment.verdict = Verdict::kSuspicious;
+        return assessment;
+    }
+    if (config_.require_runs_test && config_.mode != ScreeningMode::kNone) {
+        if (config_.collusion_resilient) {
+            const auto reordered = reorder_by_issuer(feedbacks);
+            assessment.runs = runs_.test(std::span<const repsys::Feedback>{reordered});
+        } else {
+            assessment.runs = runs_.test(feedbacks);
+        }
+        if (!assessment.runs->passed) {
+            assessment.verdict = Verdict::kSuspicious;
+            return assessment;
+        }
+    }
+    assessment.trust = trust_->evaluate(feedbacks);
+    if (config_.mode == ScreeningMode::kNone || assessment.screening.sufficient) {
+        assessment.verdict = Verdict::kAssessed;
+    } else {
+        assessment.verdict = Verdict::kInsufficientHistory;
+    }
+    return assessment;
+}
+
+Assessment TwoPhaseAssessor::assess(const repsys::TransactionHistory& history) const {
+    return assess(history.view());
+}
+
+}  // namespace hpr::core

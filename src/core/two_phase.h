@@ -1,0 +1,127 @@
+#ifndef HPR_CORE_TWO_PHASE_H
+#define HPR_CORE_TWO_PHASE_H
+
+/// \file two_phase.h
+/// The two-phase trust assessment framework (paper Fig. 1 and Fig. 2):
+///
+///   phase 1  — screen the server's transaction history against the
+///              honest-player model (single test, multi-test, optionally
+///              on the collusion-resilient re-ordering);
+///   phase 2  — only if phase 1 passes, apply a conventional trust
+///              function and return the trust value.
+///
+/// Histories that fail phase 1 are reported suspicious and get no trust
+/// value — the "Alert; Abort" branch of the Fig. 2 pseudocode.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/collusion.h"
+#include "core/config.h"
+#include "core/multi_test.h"
+#include "core/runs_test.h"
+#include "repsys/history.h"
+#include "repsys/trust.h"
+
+namespace hpr::core {
+
+/// Which phase-1 screening to run.
+enum class ScreeningMode : std::uint8_t {
+    kNone,    ///< phase 2 only — the "traditional approach" baseline
+    kSingle,  ///< single behavior test (paper "Scheme 1")
+    kMulti,   ///< multi-testing (paper "Scheme 2")
+};
+
+[[nodiscard]] const char* to_string(ScreeningMode mode) noexcept;
+
+/// Full configuration of a two-phase assessor.
+struct TwoPhaseConfig {
+    MultiTestConfig test{};
+    ScreeningMode mode = ScreeningMode::kMulti;
+
+    /// Run the screening on the issuer-reordered sequence (paper §4).
+    bool collusion_resilient = false;
+
+    /// Additionally require the Wald-Wolfowitz runs test to pass
+    /// (core/runs_test.h): a calibration-free spacing screen that catches
+    /// adjacency anomalies (bursts, rigid alternation) the window
+    /// statistics can dilute.  Applied to the same sequence the window
+    /// screening sees (issuer-reordered when collusion_resilient is set).
+    bool require_runs_test = false;
+
+    /// Parameters of the supplementary runs test.
+    RunsTestConfig runs{};
+};
+
+/// What the assessor concluded about a server.
+enum class Verdict : std::uint8_t {
+    kSuspicious,           ///< phase-1 screening failed: alert, no trust value
+    kAssessed,             ///< screening passed; trust value available
+    kInsufficientHistory,  ///< too short to screen; trust value available,
+                           ///< but the caller should treat it as high risk
+};
+
+[[nodiscard]] const char* to_string(Verdict verdict) noexcept;
+
+/// Result of assessing one server.
+struct Assessment {
+    Verdict verdict = Verdict::kInsufficientHistory;
+
+    /// Trust value from phase 2; absent when the server is suspicious.
+    std::optional<double> trust;
+
+    /// Phase-1 detail (meaningful unless mode is kNone).
+    MultiTestResult screening;
+
+    /// Supplementary runs-test detail (present iff require_runs_test).
+    std::optional<RunsTestResult> runs;
+
+    /// True when the server may be transacted with at the given
+    /// threshold: not suspicious and trust >= threshold.
+    [[nodiscard]] bool acceptable(double threshold) const noexcept {
+        return verdict != Verdict::kSuspicious && trust.has_value() &&
+               *trust >= threshold;
+    }
+};
+
+/// The two-phase assessor.  Thread-compatible; the calibration cache it
+/// shares is thread-safe, so distinct assessors may share one calibrator.
+class TwoPhaseAssessor {
+public:
+    /// \param trust  phase-2 trust function (must not be null)
+    /// \throws std::invalid_argument if trust is null.
+    TwoPhaseAssessor(TwoPhaseConfig config,
+                     std::shared_ptr<const repsys::TrustFunction> trust,
+                     std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    /// Assess a server's history.
+    [[nodiscard]] Assessment assess(const repsys::TransactionHistory& history) const;
+    [[nodiscard]] Assessment assess(std::span<const repsys::Feedback> feedbacks) const;
+
+    /// Phase 1 only: does this history conform to the honest-player model?
+    [[nodiscard]] MultiTestResult screen(std::span<const repsys::Feedback> feedbacks) const;
+
+    /// Convenience: screening passed and trust value >= threshold.
+    [[nodiscard]] bool accept(const repsys::TransactionHistory& history,
+                              double threshold) const {
+        return assess(history).acceptable(threshold);
+    }
+
+    [[nodiscard]] const TwoPhaseConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const repsys::TrustFunction& trust_function() const noexcept {
+        return *trust_;
+    }
+    [[nodiscard]] const std::shared_ptr<stats::Calibrator>& calibrator() const noexcept;
+
+private:
+    TwoPhaseConfig config_;
+    std::shared_ptr<const repsys::TrustFunction> trust_;
+    MultiTest multi_;
+    CollusionResilientTest collusion_;
+    RunsTest runs_;
+};
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_TWO_PHASE_H

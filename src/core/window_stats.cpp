@@ -1,0 +1,56 @@
+#include "core/window_stats.h"
+
+#include <stdexcept>
+
+namespace hpr::core {
+namespace {
+
+template <typename Sequence, typename IsGood>
+WindowStats window_stats_impl(const Sequence& seq, std::uint32_t window_size,
+                              IsGood is_good) {
+    if (window_size == 0) {
+        throw std::invalid_argument("compute_window_stats: window size must be > 0");
+    }
+    WindowStats stats;
+    stats.window_size = window_size;
+    const std::size_t n = seq.size();
+    const std::size_t k = n / window_size;
+    stats.good_counts.reserve(k);
+    stats.transactions_used = k * window_size;
+    // Windows anchored at the newest end: the oldest n - k*m transactions
+    // are skipped.
+    const std::size_t offset = n - stats.transactions_used;
+    for (std::size_t w = 0; w < k; ++w) {
+        // good_counts is ordered newest window first.
+        const std::size_t begin = offset + (k - 1 - w) * window_size;
+        std::uint32_t good = 0;
+        for (std::size_t i = begin; i < begin + window_size; ++i) {
+            if (is_good(seq[i])) ++good;
+        }
+        stats.good_counts.push_back(good);
+        stats.good_total += good;
+    }
+    return stats;
+}
+
+}  // namespace
+
+stats::EmpiricalDistribution WindowStats::distribution() const {
+    stats::EmpiricalDistribution dist{window_size};
+    for (const std::uint32_t g : good_counts) dist.add(g);
+    return dist;
+}
+
+WindowStats compute_window_stats(std::span<const repsys::Feedback> feedbacks,
+                                 std::uint32_t window_size) {
+    return window_stats_impl(feedbacks, window_size,
+                             [](const repsys::Feedback& f) { return f.good(); });
+}
+
+WindowStats compute_window_stats(std::span<const std::uint8_t> outcomes,
+                                 std::uint32_t window_size) {
+    return window_stats_impl(outcomes, window_size,
+                             [](std::uint8_t o) { return o != 0; });
+}
+
+}  // namespace hpr::core

@@ -1,0 +1,58 @@
+#ifndef HPR_CORE_WINDOW_STATS_H
+#define HPR_CORE_WINDOW_STATS_H
+
+/// \file window_stats.h
+/// Reduction of a feedback sequence to per-window good-transaction counts
+/// {G_1..G_k} (paper §3.2).
+///
+/// Windows are anchored at the *newest* end of the sequence: window 0
+/// covers the most recent m transactions, window 1 the m before those,
+/// and so on; the oldest (n mod m) transactions are ignored.  Anchoring
+/// at the newest end means every suffix of the sequence shares the same
+/// window boundaries, which is what lets multi-testing reuse window
+/// statistics across suffixes (§5.5).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "repsys/types.h"
+#include "stats/empirical.h"
+
+namespace hpr::core {
+
+/// Per-window good counts of a feedback sequence.
+struct WindowStats {
+    std::uint32_t window_size = 0;          ///< m
+    std::vector<std::uint32_t> good_counts; ///< G_i, newest window first
+    std::uint64_t good_total = 0;           ///< sum of G_i
+    std::size_t transactions_used = 0;      ///< windows() * m
+
+    [[nodiscard]] std::size_t windows() const noexcept { return good_counts.size(); }
+
+    /// p̂ = ΣG_i / (k m); 0 when there are no complete windows.
+    [[nodiscard]] double p_hat() const noexcept {
+        return transactions_used == 0
+                   ? 0.0
+                   : static_cast<double>(good_total) /
+                         static_cast<double>(transactions_used);
+    }
+
+    /// Empirical distribution of the good counts over support {0..m}.
+    [[nodiscard]] stats::EmpiricalDistribution distribution() const;
+};
+
+/// Compute window stats for a feedback sequence (oldest first).
+/// \throws std::invalid_argument if window_size is 0.
+[[nodiscard]] WindowStats compute_window_stats(std::span<const repsys::Feedback> feedbacks,
+                                               std::uint32_t window_size);
+
+/// Same reduction for a plain outcome sequence (nonzero = good).  Used by
+/// the collusion-resilient path after re-ordering and by simulators that
+/// do not need full feedback tuples.
+[[nodiscard]] WindowStats compute_window_stats(std::span<const std::uint8_t> outcomes,
+                                               std::uint32_t window_size);
+
+}  // namespace hpr::core
+
+#endif  // HPR_CORE_WINDOW_STATS_H

@@ -1,0 +1,58 @@
+#ifndef HPR_HPR_H
+#define HPR_HPR_H
+
+/// \file hpr.h
+/// Umbrella header for the Honest-Player Reputation library.
+///
+/// The library reproduces Zhang, Wei & Yu, "On the Modeling of Honest
+/// Players in Reputation Systems" (ICDCS 2008 / JCST 2009):
+///  * hpr::stats   — distributions, distances, Monte-Carlo calibration;
+///  * hpr::repsys  — feedbacks, histories, trust functions;
+///  * hpr::core    — behavior testing and the two-phase assessor;
+///  * hpr::sim     — workload generators and the paper's experiments.
+
+#include "core/behavior_test.h"
+#include "core/category.h"
+#include "core/changepoint.h"
+#include "core/collusion.h"
+#include "core/config.h"
+#include "core/multi_test.h"
+#include "core/multidim.h"
+#include "core/multinomial_test.h"
+#include "core/online.h"
+#include "core/report.h"
+#include "core/runs_test.h"
+#include "core/temporal.h"
+#include "core/two_phase.h"
+#include "core/window_stats.h"
+#include "repsys/credibility.h"
+#include "repsys/eigentrust.h"
+#include "repsys/evidential.h"
+#include "repsys/history.h"
+#include "repsys/htrust.h"
+#include "repsys/io.h"
+#include "repsys/store.h"
+#include "repsys/trust.h"
+#include "repsys/types.h"
+#include "sim/attack_cost.h"
+#include "sim/clients.h"
+#include "sim/collusion_cost.h"
+#include "sim/detection.h"
+#include "sim/economics.h"
+#include "sim/generators.h"
+#include "sim/gossip.h"
+#include "sim/market.h"
+#include "sim/overlay.h"
+#include "sim/p2p.h"
+#include "stats/beta.h"
+#include "stats/binomial.h"
+#include "stats/bounds.h"
+#include "stats/calibrate.h"
+#include "stats/distance.h"
+#include "stats/empirical.h"
+#include "stats/moments.h"
+#include "stats/multinomial.h"
+#include "stats/normal.h"
+#include "stats/rng.h"
+
+#endif  // HPR_HPR_H

@@ -1,0 +1,52 @@
+#ifndef HPR_REPSYS_CREDIBILITY_H
+#define HPR_REPSYS_CREDIBILITY_H
+
+/// \file credibility.h
+/// Credibility-weighted trust, in the spirit of PeerTrust (Xiong & Liu —
+/// paper reference [7]): a feedback counts proportionally to the
+/// credibility of its issuer, where an issuer's credibility is its own
+/// trust value in the system.  The fixed point is computed by iterating
+/// over a FeedbackStore: start every entity at a default credibility,
+/// recompute every server's weighted trust, use those values as the next
+/// round's credibilities.
+///
+/// This is the classic *feedback-filtering* answer to collusion and a
+/// useful baseline next to the paper's §4 *behavior-testing* answer: it
+/// discounts raters the system distrusts, whereas the paper's scheme
+/// keeps all feedback but demands the aggregate stays statistically
+/// consistent.
+
+#include <map>
+#include <span>
+
+#include "repsys/store.h"
+#include "repsys/types.h"
+
+namespace hpr::repsys {
+
+/// Parameters of the credibility fixed-point computation.
+struct CredibilityConfig {
+    std::size_t iterations = 3;        ///< fixed-point rounds
+    double default_credibility = 0.5;  ///< credibility of never-rated issuers
+    double prior = 0.5;                ///< trust of servers with zero weight
+};
+
+/// Credibility-weighted trust evaluation.
+class CredibilityWeightedTrust {
+public:
+    /// Weighted trust of one feedback sequence under a given credibility
+    /// assignment: sum(cred(c_i) * good_i) / sum(cred(c_i)); the prior
+    /// when total weight is zero.
+    [[nodiscard]] static double evaluate(
+        std::span<const Feedback> feedbacks,
+        const std::map<EntityId, double>& credibility, const CredibilityConfig& config);
+
+    /// Fixed-point trust for every server in the store.
+    /// \throws std::invalid_argument on a degenerate config.
+    [[nodiscard]] static std::map<EntityId, double> compute(
+        const FeedbackStore& store, CredibilityConfig config = {});
+};
+
+}  // namespace hpr::repsys
+
+#endif  // HPR_REPSYS_CREDIBILITY_H

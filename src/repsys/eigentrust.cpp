@@ -1,0 +1,139 @@
+#include "repsys/eigentrust.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hpr::repsys {
+
+EigenTrust EigenTrust::compute(std::span<const Feedback> feedbacks,
+                               EigenTrustConfig config,
+                               std::span<const EntityId> pre_trusted) {
+    if (!(config.teleport > 0.0 && config.teleport <= 1.0)) {
+        throw std::invalid_argument("EigenTrust: teleport must be in (0, 1]");
+    }
+    if (config.max_iterations == 0) {
+        throw std::invalid_argument("EigenTrust: need at least one iteration");
+    }
+    if (feedbacks.empty()) {
+        throw std::invalid_argument("EigenTrust: no feedbacks");
+    }
+
+    // Dense node indexing over every entity seen.
+    std::unordered_map<EntityId, std::size_t> index;
+    std::vector<EntityId> ids;
+    const auto node_of = [&](EntityId id) {
+        const auto [it, inserted] = index.try_emplace(id, ids.size());
+        if (inserted) ids.push_back(id);
+        return it->second;
+    };
+    for (const Feedback& f : feedbacks) {
+        node_of(f.client);
+        node_of(f.server);
+    }
+    const std::size_t n = ids.size();
+
+    // Local trust s_ij = max(0, satisfied - unsatisfied).
+    std::unordered_map<std::uint64_t, double> local;
+    local.reserve(feedbacks.size());
+    for (const Feedback& f : feedbacks) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(node_of(f.client)) << 32) |
+            static_cast<std::uint64_t>(node_of(f.server));
+        local[key] += f.good() ? 1.0 : -1.0;
+    }
+
+    // Row-normalized sparse matrix in CSR-ish triplet form.
+    struct Edge {
+        std::size_t from;
+        std::size_t to;
+        double weight;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(local.size());
+    std::vector<double> row_sum(n, 0.0);
+    for (const auto& [key, value] : local) {
+        if (value <= 0.0) continue;
+        const auto from = static_cast<std::size_t>(key >> 32);
+        row_sum[from] += value;
+    }
+    for (const auto& [key, value] : local) {
+        if (value <= 0.0) continue;
+        const auto from = static_cast<std::size_t>(key >> 32);
+        const auto to = static_cast<std::size_t>(key & 0xffffffffULL);
+        edges.push_back(Edge{from, to, value / row_sum[from]});
+    }
+
+    // Teleport prior: uniform over the pre-trusted set, else over all.
+    std::vector<double> prior(n, 0.0);
+    std::size_t anchors = 0;
+    for (const EntityId id : pre_trusted) {
+        const auto it = index.find(id);
+        if (it != index.end()) {
+            prior[it->second] += 1.0;
+            ++anchors;
+        }
+    }
+    if (anchors == 0) {
+        std::fill(prior.begin(), prior.end(), 1.0 / static_cast<double>(n));
+    } else {
+        for (double& v : prior) v /= static_cast<double>(anchors);
+    }
+
+    // Power iteration on t = (1 - a) C^T t + a p.  Mass from nodes with no
+    // outgoing trust (dangling) is redistributed to the prior, keeping t a
+    // distribution.
+    std::vector<bool> dangling(n, true);
+    for (const Edge& e : edges) dangling[e.from] = false;
+
+    std::vector<double> t = prior;
+    if (anchors == 0) {
+        // prior was already uniform; keep t = prior.
+    }
+    std::vector<double> next(n, 0.0);
+    EigenTrust result;
+    for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+        std::fill(next.begin(), next.end(), 0.0);
+        double dangling_mass = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dangling[i]) dangling_mass += t[i];
+        }
+        for (const Edge& e : edges) next[e.to] += (1.0 - config.teleport) * t[e.from] * e.weight;
+        for (std::size_t i = 0; i < n; ++i) {
+            next[i] += (config.teleport + (1.0 - config.teleport) * dangling_mass) *
+                       prior[i];
+        }
+        double delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - t[i]);
+        t.swap(next);
+        result.iterations_ = iter + 1;
+        if (delta < config.tolerance) {
+            result.converged_ = true;
+            break;
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) result.scores_.emplace(ids[i], t[i]);
+    return result;
+}
+
+double EigenTrust::score(EntityId entity) const {
+    const auto it = scores_.find(entity);
+    return it == scores_.end() ? 0.0 : it->second;
+}
+
+std::vector<EntityId> EigenTrust::ranking() const {
+    std::vector<EntityId> ids;
+    ids.reserve(scores_.size());
+    for (const auto& [id, score] : scores_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end(), [this](EntityId a, EntityId b) {
+        const double sa = scores_.at(a);
+        const double sb = scores_.at(b);
+        if (sa != sb) return sa > sb;
+        return a < b;
+    });
+    return ids;
+}
+
+}  // namespace hpr::repsys

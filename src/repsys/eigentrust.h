@@ -1,0 +1,75 @@
+#ifndef HPR_REPSYS_EIGENTRUST_H
+#define HPR_REPSYS_EIGENTRUST_H
+
+/// \file eigentrust.h
+/// EigenTrust global reputation (Kamvar, Schlosser & Garcia-Molina,
+/// "EigenRep/EigenTrust", WWW 2003 — paper reference [3]), implemented as
+/// a related-work baseline.
+///
+/// Each client i keeps a local trust value s_ij for server j (satisfied
+/// minus unsatisfied transactions, clamped at 0).  Rows are normalized to
+/// c_ij, and the global trust vector is the stationary distribution of
+/// the walk  t = (1 - a) C^T t + a p,  where p is uniform over a
+/// pre-trusted set and `a` the teleport weight that guarantees
+/// convergence and collusion damping.
+///
+/// Like every pure trust *function*, EigenTrust is still phase-2 material:
+/// it ranks peers but cannot tell an honest 90%-good server from an
+/// attacker engineering a 90% history — which is exactly the gap the
+/// paper's phase-1 screening fills.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "repsys/types.h"
+
+namespace hpr::repsys {
+
+/// EigenTrust parameters.
+struct EigenTrustConfig {
+    double teleport = 0.15;     ///< weight `a` of the pre-trusted prior
+    std::size_t max_iterations = 200;
+    double tolerance = 1e-12;   ///< L1 convergence threshold
+};
+
+/// Global trust scores computed from a feedback set.
+class EigenTrust {
+public:
+    /// Build from feedbacks.  Every entity that appears (as server or
+    /// client) becomes a node; each feedback contributes +1 (positive) or
+    /// -1 (negative/neutral) to the issuing client's local trust in the
+    /// server.  `pre_trusted` entities anchor the teleport prior; when
+    /// empty, the prior is uniform over all nodes.
+    /// \throws std::invalid_argument on bad config or empty input.
+    static EigenTrust compute(std::span<const Feedback> feedbacks,
+                              EigenTrustConfig config = {},
+                              std::span<const EntityId> pre_trusted = {});
+
+    /// Global trust of an entity; 0 for unknown ids.
+    [[nodiscard]] double score(EntityId entity) const;
+
+    /// All scores (sum to 1), keyed by entity id.
+    [[nodiscard]] const std::map<EntityId, double>& scores() const noexcept {
+        return scores_;
+    }
+
+    /// Entity ids sorted by descending global trust.
+    [[nodiscard]] std::vector<EntityId> ranking() const;
+
+    /// Iterations the power method used.
+    [[nodiscard]] std::size_t iterations() const noexcept { return iterations_; }
+
+    /// Whether the iteration met the tolerance before max_iterations.
+    [[nodiscard]] bool converged() const noexcept { return converged_; }
+
+private:
+    std::map<EntityId, double> scores_;
+    std::size_t iterations_ = 0;
+    bool converged_ = false;
+};
+
+}  // namespace hpr::repsys
+
+#endif  // HPR_REPSYS_EIGENTRUST_H

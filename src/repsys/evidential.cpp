@@ -1,0 +1,56 @@
+#include "repsys/evidential.h"
+
+#include <stdexcept>
+
+namespace hpr::repsys {
+
+BeliefMass belief_from_counts(std::uint64_t positives, std::uint64_t negatives,
+                              std::uint64_t neutrals, double discount) {
+    if (!(discount >= 0.0 && discount <= 1.0)) {
+        throw std::invalid_argument("belief_from_counts: discount must be in [0, 1]");
+    }
+    const std::uint64_t total = positives + negatives + neutrals;
+    BeliefMass mass;
+    if (total == 0) return mass;  // vacuous belief: all uncertainty
+    const double n = static_cast<double>(total);
+    const double reliability = 1.0 - discount;
+    mass.trust = reliability * static_cast<double>(positives) / n;
+    mass.distrust = reliability * static_cast<double>(negatives) / n;
+    mass.uncertainty = 1.0 - mass.trust - mass.distrust;
+    return mass;
+}
+
+BeliefMass belief_from_feedbacks(std::span<const Feedback> feedbacks,
+                                 double discount) {
+    std::uint64_t positives = 0;
+    std::uint64_t negatives = 0;
+    std::uint64_t neutrals = 0;
+    for (const Feedback& f : feedbacks) {
+        switch (f.rating) {
+            case Rating::kPositive: ++positives; break;
+            case Rating::kNegative: ++negatives; break;
+            case Rating::kNeutral: ++neutrals; break;
+        }
+    }
+    return belief_from_counts(positives, negatives, neutrals, discount);
+}
+
+BeliefMass combine(const BeliefMass& a, const BeliefMass& b) {
+    // Conflict: mass assigned to contradictory intersections.
+    const double conflict = a.trust * b.distrust + a.distrust * b.trust;
+    const double normalizer = 1.0 - conflict;
+    if (normalizer <= 0.0) {
+        throw std::invalid_argument("combine: sources are in total conflict");
+    }
+    BeliefMass out;
+    out.trust = (a.trust * b.trust + a.trust * b.uncertainty +
+                 a.uncertainty * b.trust) /
+                normalizer;
+    out.distrust = (a.distrust * b.distrust + a.distrust * b.uncertainty +
+                    a.uncertainty * b.distrust) /
+                   normalizer;
+    out.uncertainty = (a.uncertainty * b.uncertainty) / normalizer;
+    return out;
+}
+
+}  // namespace hpr::repsys

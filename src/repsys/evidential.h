@@ -1,0 +1,56 @@
+#ifndef HPR_REPSYS_EVIDENTIAL_H
+#define HPR_REPSYS_EVIDENTIAL_H
+
+/// \file evidential.h
+/// Evidential (Dempster-Shafer) trust, after Yu & Singh's "An evidential
+/// model of distributed reputation management" (AAMAS 2002 — paper
+/// reference [9]).
+///
+/// Ratings from {positive, neutral, negative} are treated as evidence for
+/// the frames T (trustworthy), ¬T, and Θ (uncertainty).  A server's
+/// recent ratings induce a basic probability assignment
+///   m(T) = pos/n,  m(¬T) = neg/n,  m(Θ) = neu/n  (+ discounting),
+/// and independent sources (e.g. different witnesses) combine with
+/// Dempster's rule.  The scalar trust value exposed to the two-phase
+/// framework is the pignistic probability  m(T) + m(Θ)/2.
+
+#include <cstdint>
+#include <span>
+
+#include "repsys/types.h"
+
+namespace hpr::repsys {
+
+/// A basic probability assignment over {T, ¬T, Θ}.
+struct BeliefMass {
+    double trust = 0.0;        ///< m(T)
+    double distrust = 0.0;     ///< m(¬T)
+    double uncertainty = 1.0;  ///< m(Θ); the three sum to 1
+
+    /// Pignistic scalar: the uncertainty mass splits evenly.
+    [[nodiscard]] double expected_trust() const noexcept {
+        return trust + 0.5 * uncertainty;
+    }
+};
+
+/// Build a belief mass from rating counts, with `discount` of every
+/// observation's mass diverted to uncertainty (models unreliable
+/// witnesses; 0 = fully reliable).
+/// \throws std::invalid_argument unless discount is in [0, 1].
+[[nodiscard]] BeliefMass belief_from_counts(std::uint64_t positives,
+                                            std::uint64_t negatives,
+                                            std::uint64_t neutrals,
+                                            double discount = 0.0);
+
+/// Belief mass of a feedback sequence (kNeutral feeds uncertainty).
+[[nodiscard]] BeliefMass belief_from_feedbacks(std::span<const Feedback> feedbacks,
+                                               double discount = 0.0);
+
+/// Dempster's rule of combination for two independent sources.
+/// \throws std::invalid_argument when the sources fully contradict
+/// (normalization mass is zero).
+[[nodiscard]] BeliefMass combine(const BeliefMass& a, const BeliefMass& b);
+
+}  // namespace hpr::repsys
+
+#endif  // HPR_REPSYS_EVIDENTIAL_H

@@ -1,0 +1,81 @@
+#include "repsys/history.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hpr::repsys {
+
+TransactionHistory::TransactionHistory(std::vector<Feedback> feedbacks)
+    : feedbacks_(std::move(feedbacks)) {
+    good_prefix_.reserve(feedbacks_.size());
+    std::size_t running = 0;
+    Timestamp last_time = feedbacks_.empty() ? 0 : feedbacks_.front().time;
+    for (const Feedback& f : feedbacks_) {
+        if (f.time < last_time) {
+            throw std::invalid_argument(
+                "TransactionHistory: feedbacks must be time-ordered");
+        }
+        last_time = f.time;
+        running += f.good() ? 1 : 0;
+        good_prefix_.push_back(running);
+    }
+}
+
+void TransactionHistory::append(const Feedback& feedback) {
+    if (!feedbacks_.empty() && feedback.time < feedbacks_.back().time) {
+        throw std::invalid_argument(
+            "TransactionHistory::append: timestamp precedes the last feedback");
+    }
+    feedbacks_.push_back(feedback);
+    good_prefix_.push_back(good_count() + (feedback.good() ? 1 : 0));
+}
+
+void TransactionHistory::append(EntityId server, EntityId client, Rating rating) {
+    const Timestamp next_time = feedbacks_.empty() ? 1 : feedbacks_.back().time + 1;
+    append(Feedback{next_time, server, client, rating});
+}
+
+void TransactionHistory::pop_back() {
+    if (feedbacks_.empty()) {
+        throw std::logic_error("TransactionHistory::pop_back: history is empty");
+    }
+    feedbacks_.pop_back();
+    good_prefix_.pop_back();
+}
+
+std::span<const Feedback> TransactionHistory::recent(std::size_t count) const noexcept {
+    const std::size_t n = feedbacks_.size();
+    const std::size_t take = count < n ? count : n;
+    return std::span<const Feedback>{feedbacks_.data() + (n - take), take};
+}
+
+std::size_t TransactionHistory::good_count(std::size_t begin, std::size_t end) const {
+    if (begin > end || end > feedbacks_.size()) {
+        throw std::out_of_range("TransactionHistory::good_count: invalid range");
+    }
+    if (begin == end) return 0;
+    const std::size_t upto_end = good_prefix_[end - 1];
+    const std::size_t upto_begin = begin == 0 ? 0 : good_prefix_[begin - 1];
+    return upto_end - upto_begin;
+}
+
+std::size_t TransactionHistory::distinct_clients() const {
+    std::unordered_set<EntityId> clients;
+    clients.reserve(feedbacks_.size());
+    for (const Feedback& f : feedbacks_) clients.insert(f.client);
+    return clients.size();
+}
+
+std::size_t TransactionHistory::supporter_base() const {
+    std::unordered_map<EntityId, bool> latest_good;
+    latest_good.reserve(feedbacks_.size());
+    for (const Feedback& f : feedbacks_) latest_good[f.client] = f.good();
+    std::size_t supporters = 0;
+    for (const auto& [client, good] : latest_good) {
+        if (good) ++supporters;
+    }
+    return supporters;
+}
+
+}  // namespace hpr::repsys

@@ -1,0 +1,89 @@
+#ifndef HPR_REPSYS_HISTORY_H
+#define HPR_REPSYS_HISTORY_H
+
+/// \file history.h
+/// A server's transaction history: the time-ordered sequence of feedbacks
+/// it has received.  This is the object both phases of the paper's
+/// two-phase assessment consume.
+///
+/// The history maintains a prefix-sum of good transactions so that the
+/// good count of any index range — and therefore any window statistic —
+/// is an O(1) query.  That is what makes the O(n) behavior testing of
+/// §5.5 possible without re-walking the feedback list.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "repsys/types.h"
+
+namespace hpr::repsys {
+
+class TransactionHistory {
+public:
+    TransactionHistory() = default;
+
+    /// Build from a feedback sequence.
+    /// \throws std::invalid_argument if timestamps are not non-decreasing.
+    explicit TransactionHistory(std::vector<Feedback> feedbacks);
+
+    /// Append one feedback.
+    /// \throws std::invalid_argument if its timestamp precedes the last one.
+    void append(const Feedback& feedback);
+
+    /// Append a feedback with an auto-assigned timestamp (last + 1).
+    void append(EntityId server, EntityId client, Rating rating);
+
+    /// Remove the most recent feedback (used to roll back hypothetical
+    /// transactions in strategic-attacker simulations).
+    /// \throws std::logic_error when empty.
+    void pop_back();
+
+    [[nodiscard]] std::size_t size() const noexcept { return feedbacks_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return feedbacks_.empty(); }
+
+    [[nodiscard]] const Feedback& operator[](std::size_t i) const noexcept {
+        return feedbacks_[i];
+    }
+
+    [[nodiscard]] const std::vector<Feedback>& feedbacks() const noexcept {
+        return feedbacks_;
+    }
+
+    /// View of the whole history, oldest first.
+    [[nodiscard]] std::span<const Feedback> view() const noexcept { return feedbacks_; }
+
+    /// View of the most recent `count` feedbacks (all of them if fewer).
+    [[nodiscard]] std::span<const Feedback> recent(std::size_t count) const noexcept;
+
+    /// Number of good transactions in the half-open index range [begin, end).
+    /// \throws std::out_of_range on an invalid range.
+    [[nodiscard]] std::size_t good_count(std::size_t begin, std::size_t end) const;
+
+    /// Number of good transactions in the whole history. O(1).
+    [[nodiscard]] std::size_t good_count() const noexcept {
+        return good_prefix_.empty() ? 0 : good_prefix_.back();
+    }
+
+    /// Fraction of good transactions; 0 when empty.
+    [[nodiscard]] double good_ratio() const noexcept {
+        return feedbacks_.empty() ? 0.0
+                                  : static_cast<double>(good_count()) /
+                                        static_cast<double>(feedbacks_.size());
+    }
+
+    /// Number of distinct clients that have ever left feedback.
+    [[nodiscard]] std::size_t distinct_clients() const;
+
+    /// Number of distinct clients whose latest feedback is positive —
+    /// the server's "supporter base" of paper §4.
+    [[nodiscard]] std::size_t supporter_base() const;
+
+private:
+    std::vector<Feedback> feedbacks_;
+    std::vector<std::size_t> good_prefix_;  ///< good_prefix_[i] = goods in [0, i]
+};
+
+}  // namespace hpr::repsys
+
+#endif  // HPR_REPSYS_HISTORY_H

@@ -1,0 +1,38 @@
+#include "repsys/htrust.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace hpr::repsys {
+
+std::size_t h_index(std::vector<std::size_t> scores) {
+    std::sort(scores.begin(), scores.end(), std::greater<>());
+    std::size_t h = 0;
+    while (h < scores.size() && scores[h] >= h + 1) ++h;
+    return h;
+}
+
+HTrustResult h_trust(std::span<const Feedback> feedbacks) {
+    std::unordered_map<EntityId, std::size_t> positives_by_client;
+    HTrustResult result;
+    for (const Feedback& f : feedbacks) {
+        if (f.good()) {
+            ++positives_by_client[f.client];
+            ++result.positives;
+        }
+    }
+    result.supporters = positives_by_client.size();
+    std::vector<std::size_t> scores;
+    scores.reserve(positives_by_client.size());
+    for (const auto& [client, count] : positives_by_client) scores.push_back(count);
+    result.h = h_index(std::move(scores));
+    if (result.positives > 0) {
+        const double ceiling = std::floor(std::sqrt(static_cast<double>(result.positives)));
+        result.normalized = ceiling > 0.0 ? static_cast<double>(result.h) / ceiling : 0.0;
+        result.normalized = std::min(result.normalized, 1.0);
+    }
+    return result;
+}
+
+}  // namespace hpr::repsys

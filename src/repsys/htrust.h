@@ -1,0 +1,46 @@
+#ifndef HPR_REPSYS_HTRUST_H
+#define HPR_REPSYS_HTRUST_H
+
+/// \file htrust.h
+/// H-Trust: h-index-based group reputation, after Zhao & Li's "H-Trust: a
+/// robust and lightweight group reputation system" (ICDCS workshops 2008
+/// — paper reference [21]).
+///
+/// A server's H-score is the largest h such that at least h distinct
+/// clients each contributed at least h positive feedbacks.  Like the
+/// bibliometric h-index it is inherently resistant to single-source
+/// inflation: one colluder filing a thousand fake positives raises the
+/// score by at most one, and k colluders by at most k — the breadth of
+/// the supporter base matters as much as the volume, which is the same
+/// intuition the paper's §4 collusion test exploits from a different
+/// angle.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "repsys/types.h"
+
+namespace hpr::repsys {
+
+/// The h-index of a score multiset: the largest h with at least h entries
+/// >= h.  O(n log n).
+[[nodiscard]] std::size_t h_index(std::vector<std::size_t> scores);
+
+/// H-Trust evaluation of a feedback sequence.
+struct HTrustResult {
+    std::size_t h = 0;             ///< the H-score
+    std::size_t supporters = 0;    ///< distinct clients with >= 1 positive
+    std::size_t positives = 0;     ///< total positive feedbacks
+
+    /// H-score normalized to [0, 1] against its ceiling floor(sqrt(positives)):
+    /// 1 means support is spread as broadly as the volume allows.
+    double normalized = 0.0;
+};
+
+/// Compute the H-score from per-client positive-feedback counts.
+[[nodiscard]] HTrustResult h_trust(std::span<const Feedback> feedbacks);
+
+}  // namespace hpr::repsys
+
+#endif  // HPR_REPSYS_HTRUST_H

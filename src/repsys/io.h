@@ -1,0 +1,40 @@
+#ifndef HPR_REPSYS_IO_H
+#define HPR_REPSYS_IO_H
+
+/// \file io.h
+/// CSV persistence for feedback logs, so the examples and any downstream
+/// tooling can move transaction histories in and out of the library.
+///
+/// Format (one feedback per line, header required):
+///   time,server,client,rating
+///   1,42,7,positive
+///   2,42,9,negative
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "repsys/history.h"
+#include "repsys/types.h"
+
+namespace hpr::repsys {
+
+/// Serialize feedbacks as CSV (with header) to a stream.
+void write_csv(std::ostream& out, const std::vector<Feedback>& feedbacks);
+
+/// Serialize a history's feedbacks as CSV to a file.
+/// \throws std::runtime_error if the file cannot be opened.
+void save_csv(const std::string& path, const TransactionHistory& history);
+
+/// Parse feedbacks from a CSV stream.
+/// \throws std::runtime_error on malformed lines (with line number).
+[[nodiscard]] std::vector<Feedback> read_csv(std::istream& in);
+
+/// Load a history from a CSV file.
+/// \throws std::runtime_error if the file cannot be opened or parsed, or
+/// std::invalid_argument if feedbacks are not time-ordered.
+[[nodiscard]] TransactionHistory load_csv(const std::string& path);
+
+}  // namespace hpr::repsys
+
+#endif  // HPR_REPSYS_IO_H

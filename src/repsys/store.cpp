@@ -1,0 +1,139 @@
+#include "repsys/store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "repsys/io.h"
+
+namespace hpr::repsys {
+
+void FeedbackStore::submit(const Feedback& feedback) {
+    logs_[feedback.server].append(feedback);
+    ++total_;
+}
+
+void FeedbackStore::submit(const std::vector<Feedback>& feedbacks) {
+    for (const Feedback& f : feedbacks) submit(f);
+}
+
+std::vector<EntityId> FeedbackStore::servers() const {
+    std::vector<EntityId> ids;
+    ids.reserve(logs_.size());
+    for (const auto& [server, log] : logs_) ids.push_back(server);
+    return ids;
+}
+
+const TransactionHistory& FeedbackStore::history(EntityId server) const {
+    const auto it = logs_.find(server);
+    if (it == logs_.end()) {
+        throw std::out_of_range("FeedbackStore::history: unknown server " +
+                                std::to_string(server));
+    }
+    return it->second;
+}
+
+std::vector<Feedback> FeedbackStore::between(EntityId server, Timestamp from,
+                                             Timestamp to) const {
+    std::vector<Feedback> result;
+    if (from > to) return result;
+    const auto it = logs_.find(server);
+    if (it == logs_.end()) return result;
+    const auto& feedbacks = it->second.feedbacks();
+    // Per-server logs are time-ordered: binary-search the range bounds.
+    const auto lower = std::lower_bound(
+        feedbacks.begin(), feedbacks.end(), from,
+        [](const Feedback& f, Timestamp t) { return f.time < t; });
+    const auto upper = std::upper_bound(
+        feedbacks.begin(), feedbacks.end(), to,
+        [](Timestamp t, const Feedback& f) { return t < f.time; });
+    result.assign(lower, upper);
+    return result;
+}
+
+std::vector<Feedback> FeedbackStore::issued_by(EntityId client) const {
+    std::vector<Feedback> result;
+    for (const auto& [server, log] : logs_) {
+        for (const Feedback& f : log.feedbacks()) {
+            if (f.client == client) result.push_back(f);
+        }
+    }
+    std::stable_sort(result.begin(), result.end(),
+                     [](const Feedback& a, const Feedback& b) {
+                         if (a.time != b.time) return a.time < b.time;
+                         return a.server < b.server;
+                     });
+    return result;
+}
+
+std::vector<Feedback> FeedbackStore::sample_history(EntityId server, double fraction,
+                                                    std::uint64_t seed) const {
+    if (!(fraction >= 0.0 && fraction <= 1.0)) {
+        throw std::invalid_argument(
+            "FeedbackStore::sample_history: fraction must be in [0, 1]");
+    }
+    std::vector<Feedback> result;
+    const auto it = logs_.find(server);
+    if (it == logs_.end()) return result;
+    stats::Rng rng{seed ^ (static_cast<std::uint64_t>(server) * 0x9e3779b9ULL)};
+    for (const Feedback& f : it->second.feedbacks()) {
+        if (rng.bernoulli(fraction)) result.push_back(f);
+    }
+    return result;
+}
+
+std::size_t FeedbackStore::evict_before(Timestamp cutoff) {
+    std::size_t removed = 0;
+    for (auto it = logs_.begin(); it != logs_.end();) {
+        const auto& feedbacks = it->second.feedbacks();
+        const auto keep_from = std::lower_bound(
+            feedbacks.begin(), feedbacks.end(), cutoff,
+            [](const Feedback& f, Timestamp t) { return f.time < t; });
+        const auto dropped = static_cast<std::size_t>(keep_from - feedbacks.begin());
+        if (dropped > 0) {
+            removed += dropped;
+            std::vector<Feedback> kept{keep_from, feedbacks.end()};
+            if (kept.empty()) {
+                it = logs_.erase(it);
+                continue;
+            }
+            it->second = TransactionHistory{std::move(kept)};
+        }
+        ++it;
+    }
+    total_ -= removed;
+    return removed;
+}
+
+void FeedbackStore::save(const std::string& directory) const {
+    std::error_code ec;
+    std::filesystem::create_directories(directory, ec);
+    if (ec) {
+        throw std::runtime_error("FeedbackStore::save: cannot create '" + directory +
+                                 "': " + ec.message());
+    }
+    for (const auto& [server, log] : logs_) {
+        const auto path =
+            (std::filesystem::path{directory} / (std::to_string(server) + ".csv"))
+                .string();
+        save_csv(path, log);
+    }
+}
+
+FeedbackStore FeedbackStore::load(const std::string& directory) {
+    FeedbackStore store;
+    if (!std::filesystem::is_directory(directory)) {
+        throw std::runtime_error("FeedbackStore::load: '" + directory +
+                                 "' is not a directory");
+    }
+    for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+        if (!entry.is_regular_file() || entry.path().extension() != ".csv") continue;
+        TransactionHistory log = load_csv(entry.path().string());
+        store.total_ += log.size();
+        if (log.empty()) continue;
+        store.logs_.emplace(log[0].server, std::move(log));
+    }
+    return store;
+}
+
+}  // namespace hpr::repsys

@@ -1,0 +1,97 @@
+#ifndef HPR_REPSYS_STORE_H
+#define HPR_REPSYS_STORE_H
+
+/// \file store.h
+/// Feedback storage substrate.
+///
+/// The paper (§2) assumes "all the transaction feedbacks are available for
+/// trust assessment (e.g., through a central server as in online auction
+/// communities, or through special data organization schemes in P2P
+/// systems)".  FeedbackStore is that component: a registry that ingests
+/// feedbacks for many servers, serves per-server histories for assessment,
+/// answers time-range and client queries, and persists to / restores from
+/// a directory of CSV logs.
+///
+/// It also supports the paper's practical note that "our scheme can be
+/// equally applied to systems where only portions of feedbacks can be
+/// retrieved": `sample_history` returns a deterministic subsample of a
+/// server's history for bandwidth-limited deployments.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "repsys/history.h"
+#include "repsys/types.h"
+#include "stats/rng.h"
+
+namespace hpr::repsys {
+
+/// In-memory feedback registry for a population of servers.
+class FeedbackStore {
+public:
+    /// Ingest one feedback (routed to the feedback's server).
+    /// \throws std::invalid_argument if it is older than the server's
+    /// latest recorded feedback (per-server logs are time-ordered).
+    void submit(const Feedback& feedback);
+
+    /// Ingest a batch (each routed independently).
+    void submit(const std::vector<Feedback>& feedbacks);
+
+    /// Number of servers with at least one feedback.
+    [[nodiscard]] std::size_t server_count() const noexcept { return logs_.size(); }
+
+    /// Total feedbacks across all servers.
+    [[nodiscard]] std::size_t size() const noexcept { return total_; }
+
+    /// Ids of all known servers, ascending.
+    [[nodiscard]] std::vector<EntityId> servers() const;
+
+    /// Whether any feedback exists for `server`.
+    [[nodiscard]] bool contains(EntityId server) const noexcept {
+        return logs_.find(server) != logs_.end();
+    }
+
+    /// Full history of a server.
+    /// \throws std::out_of_range for unknown servers.
+    [[nodiscard]] const TransactionHistory& history(EntityId server) const;
+
+    /// Feedbacks of a server within [from, to] inclusive, time-ordered.
+    /// Empty for unknown servers.
+    [[nodiscard]] std::vector<Feedback> between(EntityId server, Timestamp from,
+                                                Timestamp to) const;
+
+    /// All feedbacks a given client ever issued (across servers),
+    /// time-ordered (ties broken by server id).
+    [[nodiscard]] std::vector<Feedback> issued_by(EntityId client) const;
+
+    /// Deterministic subsample of a server's history: every feedback kept
+    /// independently with probability `fraction` under the given seed,
+    /// order preserved.  Models partial feedback retrieval.
+    /// \throws std::invalid_argument unless fraction is in [0, 1].
+    [[nodiscard]] std::vector<Feedback> sample_history(EntityId server,
+                                                       double fraction,
+                                                       std::uint64_t seed) const;
+
+    /// Drop every feedback strictly older than `cutoff` (retention).
+    /// Returns the number of feedbacks removed.  Servers left empty are
+    /// forgotten entirely.
+    std::size_t evict_before(Timestamp cutoff);
+
+    /// Persist one `<server>.csv` per server into `directory` (created if
+    /// missing). \throws std::runtime_error on I/O failure.
+    void save(const std::string& directory) const;
+
+    /// Load a store persisted with save().
+    /// \throws std::runtime_error on I/O or parse failure.
+    [[nodiscard]] static FeedbackStore load(const std::string& directory);
+
+private:
+    std::map<EntityId, TransactionHistory> logs_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace hpr::repsys
+
+#endif  // HPR_REPSYS_STORE_H

@@ -1,0 +1,14 @@
+#include "repsys/types.h"
+
+#include <stdexcept>
+
+namespace hpr::repsys {
+
+Rating rating_from_string(const std::string& name) {
+    if (name == "positive") return Rating::kPositive;
+    if (name == "negative") return Rating::kNegative;
+    if (name == "neutral") return Rating::kNeutral;
+    throw std::invalid_argument("rating_from_string: unknown rating '" + name + "'");
+}
+
+}  // namespace hpr::repsys

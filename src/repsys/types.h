@@ -1,0 +1,59 @@
+#ifndef HPR_REPSYS_TYPES_H
+#define HPR_REPSYS_TYPES_H
+
+/// \file types.h
+/// Core vocabulary of the reputation system (paper §2): entities,
+/// timestamps, ratings and the feedback tuple (t, s, c, r).
+
+#include <cstdint>
+#include <string>
+
+namespace hpr::repsys {
+
+/// Opaque identifier of an entity (server or client).
+using EntityId = std::uint32_t;
+
+/// Logical transaction time. The library only relies on ordering, so any
+/// monotonically increasing counter works (wall clock, sequence number...).
+using Timestamp = std::int64_t;
+
+/// Client rating of a single transaction.  The paper's core model is
+/// binary {positive, negative}; kNeutral exists for the multinomial
+/// extension of §3.1 and is treated as "not good" by binary code paths.
+enum class Rating : std::uint8_t {
+    kNegative = 0,
+    kPositive = 1,
+    kNeutral = 2,
+};
+
+[[nodiscard]] constexpr bool is_good(Rating r) noexcept { return r == Rating::kPositive; }
+
+[[nodiscard]] constexpr const char* to_string(Rating r) noexcept {
+    switch (r) {
+        case Rating::kNegative: return "negative";
+        case Rating::kPositive: return "positive";
+        case Rating::kNeutral: return "neutral";
+    }
+    return "unknown";
+}
+
+/// Parse a rating from its to_string() form.
+/// \throws std::invalid_argument for unknown names.
+[[nodiscard]] Rating rating_from_string(const std::string& name);
+
+/// A feedback is a statement issued by the client about the quality of a
+/// server in a single transaction: the tuple (t, s, c, r) of paper §2.
+struct Feedback {
+    Timestamp time = 0;
+    EntityId server = 0;
+    EntityId client = 0;
+    Rating rating = Rating::kPositive;
+
+    [[nodiscard]] bool good() const noexcept { return is_good(rating); }
+
+    friend bool operator==(const Feedback&, const Feedback&) = default;
+};
+
+}  // namespace hpr::repsys
+
+#endif  // HPR_REPSYS_TYPES_H

@@ -1,0 +1,84 @@
+#include "sim/attack_cost.h"
+
+#include "sim/generators.h"
+#include "stats/calibrate.h"
+
+namespace hpr::sim {
+
+double AttackCostSeries::median_cost() const {
+    if (cost_samples.empty()) return 0.0;
+    return stats::empirical_quantile(cost_samples, 0.5);
+}
+
+AttackCostResult run_attack_cost(const AttackCostConfig& config,
+                                 const std::shared_ptr<stats::Calibrator>& calibrator) {
+    stats::Rng rng{config.seed};
+    constexpr repsys::EntityId kServer = 1;
+    const ClientIdScheme clients{};
+
+    core::TwoPhaseConfig assessor_config;
+    assessor_config.test = config.test;
+    assessor_config.mode = config.screening;
+    const std::shared_ptr<const repsys::TrustFunction> trust{
+        repsys::make_trust_function(config.trust_spec)};
+    const core::TwoPhaseAssessor assessor{
+        assessor_config, trust,
+        calibrator ? calibrator : core::make_calibrator(config.test.base)};
+
+    // Preparation phase: behave as an honest player with trust prep_trust.
+    repsys::TransactionHistory history =
+        honest_history(config.prep_size, config.prep_trust, rng, kServer, clients);
+    auto trust_acc = trust->make_accumulator();
+    for (const repsys::Feedback& f : history.feedbacks()) trust_acc->update(f.good());
+
+    AttackCostResult result;
+    std::size_t tx_index = history.size();
+    while (result.attacks_completed < config.target_attacks &&
+           result.attack_steps < config.max_attack_steps) {
+        ++result.attack_steps;
+        const repsys::EntityId client = clients.client_for(tx_index++);
+
+        // (a) Would a victim accept the attacker right now?
+        const bool victim_accepts =
+            trust_acc->value() >= config.trust_threshold &&
+            assessor.screen(history.view()).passed;
+
+        bool cheat = false;
+        if (victim_accepts) {
+            // (b) Does the history stay consistent with the honest-player
+            // model once the bad transaction is appended?
+            history.append(kServer, client, repsys::Rating::kNegative);
+            cheat = assessor.screen(history.view()).passed;
+            if (!cheat) history.pop_back();
+        }
+
+        if (cheat) {
+            trust_acc->update(false);
+            ++result.attacks_completed;
+        } else {
+            history.append(kServer, client, repsys::Rating::kPositive);
+            trust_acc->update(true);
+            ++result.good_transactions;
+        }
+    }
+    result.reached_target = result.attacks_completed >= config.target_attacks;
+    result.final_trust = trust_acc->value();
+    return result;
+}
+
+AttackCostSeries run_attack_cost_trials(
+    AttackCostConfig config, std::size_t trials,
+    const std::shared_ptr<stats::Calibrator>& calibrator) {
+    AttackCostSeries series;
+    const std::uint64_t base_seed = config.seed;
+    for (std::size_t t = 0; t < trials; ++t) {
+        config.seed = base_seed + t;
+        const AttackCostResult run = run_attack_cost(config, calibrator);
+        series.cost.add(static_cast<double>(run.good_transactions));
+        series.cost_samples.push_back(static_cast<double>(run.good_transactions));
+        if (!run.reached_target) ++series.unreached_runs;
+    }
+    return series;
+}
+
+}  // namespace hpr::sim

@@ -1,0 +1,84 @@
+#ifndef HPR_SIM_ATTACK_COST_H
+#define HPR_SIM_ATTACK_COST_H
+
+/// \file attack_cost.h
+/// The attack-cost experiment of paper §5.1 (Figs. 3 and 4).
+///
+/// A strategic attacker first builds a preparation history of `prep_size`
+/// transactions behaving like an honest player with trust value
+/// `prep_trust` (0.95 in the paper).  It then tries to land
+/// `target_attacks` bad transactions (20 in the paper) while staying
+/// acceptable to victims whose trust threshold is `trust_threshold` (0.9).
+///
+/// The attacker knows the defense.  Before each transaction it checks:
+///   (a) would a victim accept right now?  — the current history passes
+///       the configured screening and its trust value is >= threshold;
+///   (b) would the history *including* the planned bad transaction remain
+///       consistent with the honest-player model?  — so future victims
+///       keep accepting (the "considers the resulting transaction history
+///       H'" rule of §5.1).
+/// If both hold it cheats; otherwise it provides a good service.  The
+/// experiment's metric is the number of good transactions the attacker is
+/// forced to provide during the attack phase before landing all
+/// `target_attacks` bad ones.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/two_phase.h"
+#include "stats/calibrate.h"
+#include "stats/moments.h"
+
+namespace hpr::sim {
+
+/// Parameters of one attack-cost run.
+struct AttackCostConfig {
+    std::size_t prep_size = 400;       ///< transactions in the preparation phase
+    double prep_trust = 0.95;          ///< honest-like trust value during prep
+    std::size_t target_attacks = 20;   ///< bad transactions the attacker wants
+    double trust_threshold = 0.9;      ///< victims' acceptance threshold
+
+    core::ScreeningMode screening = core::ScreeningMode::kNone;
+    core::MultiTestConfig test{};      ///< behavior-testing parameters
+    std::string trust_spec = "average";  ///< phase-2 trust function
+
+    std::size_t max_attack_steps = 100000;  ///< safety cap on the attack phase
+    std::uint64_t seed = 1;
+};
+
+/// Outcome of one attack-cost run.
+struct AttackCostResult {
+    std::size_t good_transactions = 0;  ///< goods the attacker had to provide
+    std::size_t attacks_completed = 0;  ///< bad transactions landed
+    bool reached_target = false;        ///< all target_attacks landed within the cap
+    std::size_t attack_steps = 0;       ///< total attack-phase transactions
+    double final_trust = 0.0;           ///< trust value when the run ended
+};
+
+/// Run one seeded attack-cost simulation.
+[[nodiscard]] AttackCostResult run_attack_cost(
+    const AttackCostConfig& config,
+    const std::shared_ptr<stats::Calibrator>& calibrator = nullptr);
+
+/// Aggregate of repeated runs with consecutive seeds.
+struct AttackCostSeries {
+    stats::RunningMoments cost;        ///< good transactions per run
+    std::vector<double> cost_samples;  ///< per-run costs (for medians)
+    std::size_t unreached_runs = 0;    ///< runs that hit max_attack_steps
+
+    /// Median cost — the figure statistic.  A small fraction of screened
+    /// runs lock the attacker out entirely (cost ~ max_attack_steps, i.e.
+    /// effectively infinite); the median reports the typical attack cost
+    /// while `unreached_runs` reports the lockouts.
+    [[nodiscard]] double median_cost() const;
+};
+
+/// Run `trials` simulations (seeds seed, seed+1, ...) and aggregate.
+[[nodiscard]] AttackCostSeries run_attack_cost_trials(
+    AttackCostConfig config, std::size_t trials,
+    const std::shared_ptr<stats::Calibrator>& calibrator = nullptr);
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_ATTACK_COST_H

@@ -1,0 +1,56 @@
+#include "sim/clients.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpr::sim {
+
+ClientPool::ClientPool(std::size_t count, repsys::EntityId first_id,
+                       ClientArrivalParams params)
+    : first_id_(first_id), params_(params), states_(count, State::kNew) {
+    if (count == 0) {
+        throw std::invalid_argument("ClientPool: need at least one client");
+    }
+}
+
+double ClientPool::arrival_probability(State s, double reputation) const noexcept {
+    const double p = std::clamp(reputation, 0.0, 1.0);
+    switch (s) {
+        case State::kNew: return params_.a_new * p;
+        case State::kLastGood: return params_.a_good * p;
+        case State::kLastBad: return params_.a_bad * p;
+    }
+    return 0.0;
+}
+
+std::vector<repsys::EntityId> ClientPool::arrivals(double reputation,
+                                                   stats::Rng& rng) const {
+    std::vector<repsys::EntityId> requesting;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (rng.bernoulli(arrival_probability(states_[i], reputation))) {
+            requesting.push_back(first_id_ + static_cast<repsys::EntityId>(i));
+        }
+    }
+    return requesting;
+}
+
+void ClientPool::record(repsys::EntityId client, bool good) {
+    if (!contains(client)) {
+        throw std::out_of_range("ClientPool::record: client not in pool");
+    }
+    states_[client - first_id_] = good ? State::kLastGood : State::kLastBad;
+}
+
+ClientPool::State ClientPool::state(repsys::EntityId client) const {
+    if (!contains(client)) {
+        throw std::out_of_range("ClientPool::state: client not in pool");
+    }
+    return states_[client - first_id_];
+}
+
+std::size_t ClientPool::satisfied_clients() const noexcept {
+    return static_cast<std::size_t>(
+        std::count(states_.begin(), states_.end(), State::kLastGood));
+}
+
+}  // namespace hpr::sim

@@ -1,0 +1,74 @@
+#ifndef HPR_SIM_CLIENTS_H
+#define HPR_SIM_CLIENTS_H
+
+/// \file clients.h
+/// Probabilistic client-arrival model of paper §5.2.
+///
+/// At each simulation step, a client requests service from server s with
+/// probability a_i * p where p is the server's current reputation and a_i
+/// depends on the client's relationship to s:
+///   a1 — the client has never transacted with s
+///   a2 — the client's most recent transaction with s was good
+///   a3 — the client's most recent transaction with s was bad
+/// The paper's experiments use a1 = 0.5, a2 = 0.9, a3 = 0.2.
+
+#include <cstddef>
+#include <vector>
+
+#include "repsys/types.h"
+#include "stats/rng.h"
+
+namespace hpr::sim {
+
+/// Arrival-probability multipliers.
+struct ClientArrivalParams {
+    double a_new = 0.5;   ///< a1: never transacted
+    double a_good = 0.9;  ///< a2: last transaction was good
+    double a_bad = 0.2;   ///< a3: last transaction was bad
+};
+
+/// A population of potential clients with per-client interaction memory.
+class ClientPool {
+public:
+    /// Clients get ids first_id .. first_id + count - 1.
+    /// \throws std::invalid_argument if count is 0.
+    ClientPool(std::size_t count, repsys::EntityId first_id,
+               ClientArrivalParams params = {});
+
+    [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+    [[nodiscard]] repsys::EntityId first_id() const noexcept { return first_id_; }
+    [[nodiscard]] repsys::EntityId last_id() const noexcept {
+        return first_id_ + static_cast<repsys::EntityId>(states_.size()) - 1;
+    }
+    [[nodiscard]] bool contains(repsys::EntityId client) const noexcept {
+        return client >= first_id_ && client <= last_id();
+    }
+
+    /// Clients requesting service this round, given the server's current
+    /// reputation (clamped to [0, 1]).
+    [[nodiscard]] std::vector<repsys::EntityId> arrivals(double reputation,
+                                                         stats::Rng& rng) const;
+
+    /// Record the outcome of a transaction with `client`.
+    /// \throws std::out_of_range for ids outside the pool.
+    void record(repsys::EntityId client, bool good);
+
+    /// Last-interaction state used by the arrival model.
+    enum class State : std::uint8_t { kNew, kLastGood, kLastBad };
+
+    [[nodiscard]] State state(repsys::EntityId client) const;
+
+    /// Number of clients whose last transaction was good.
+    [[nodiscard]] std::size_t satisfied_clients() const noexcept;
+
+private:
+    [[nodiscard]] double arrival_probability(State s, double reputation) const noexcept;
+
+    repsys::EntityId first_id_;
+    ClientArrivalParams params_;
+    std::vector<State> states_;
+};
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_CLIENTS_H

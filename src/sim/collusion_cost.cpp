@@ -1,0 +1,128 @@
+#include "sim/collusion_cost.h"
+
+#include <stdexcept>
+
+#include "stats/calibrate.h"
+
+namespace hpr::sim {
+
+double CollusionCostSeries::median_cost() const {
+    if (cost_samples.empty()) return 0.0;
+    return stats::empirical_quantile(cost_samples, 0.5);
+}
+
+CollusionCostResult run_collusion_cost(
+    const CollusionCostConfig& config,
+    const std::shared_ptr<stats::Calibrator>& calibrator) {
+    if (config.n_colluders == 0 || config.n_colluders >= config.n_clients) {
+        throw std::invalid_argument(
+            "run_collusion_cost: need 0 < n_colluders < n_clients");
+    }
+    stats::Rng rng{config.seed};
+    constexpr repsys::EntityId kServer = 1;
+    // Colluders get ids 2 .. 1+n_colluders; honest clients follow.
+    const repsys::EntityId first_colluder = 2;
+    const auto first_honest =
+        static_cast<repsys::EntityId>(first_colluder + config.n_colluders);
+    ClientPool honest_pool{config.n_clients - config.n_colluders, first_honest,
+                           config.arrivals};
+
+    core::TwoPhaseConfig assessor_config;
+    assessor_config.test = config.test;
+    assessor_config.mode = config.screening;
+    // §4: with collusion in the threat model, screening runs on the
+    // issuer-reordered sequence.
+    assessor_config.collusion_resilient = config.screening != core::ScreeningMode::kNone;
+    const std::shared_ptr<const repsys::TrustFunction> trust{
+        repsys::make_trust_function(config.trust_spec)};
+    const core::TwoPhaseAssessor assessor{
+        assessor_config, trust,
+        calibrator ? calibrator : core::make_calibrator(config.test.base)};
+
+    // Preparation phase: only colluder feedback, mimicking an honest
+    // player with trust value prep_trust.
+    repsys::TransactionHistory history;
+    for (std::size_t i = 0; i < config.prep_size; ++i) {
+        const auto colluder = static_cast<repsys::EntityId>(
+            first_colluder + (i % config.n_colluders));
+        history.append(kServer, colluder,
+                       rng.bernoulli(config.prep_trust) ? repsys::Rating::kPositive
+                                                        : repsys::Rating::kNegative);
+    }
+    auto trust_acc = trust->make_accumulator();
+    for (const repsys::Feedback& f : history.feedbacks()) trust_acc->update(f.good());
+
+    CollusionCostResult result;
+    while (result.attacks_completed < config.target_attacks &&
+           result.attack_steps < config.max_attack_steps) {
+        ++result.attack_steps;
+        const double reputation = trust_acc->value();
+        const auto arriving = honest_pool.arrivals(reputation, rng);
+
+        // Action 1: cheat an arriving non-colluder, if the victim would
+        // accept and the resulting history stays consistent.
+        if (!arriving.empty()) {
+            const bool victim_accepts = reputation >= config.trust_threshold &&
+                                        assessor.screen(history.view()).passed;
+            if (victim_accepts) {
+                const repsys::EntityId victim =
+                    arriving[rng.uniform_int(arriving.size())];
+                history.append(kServer, victim, repsys::Rating::kNegative);
+                if (assessor.screen(history.view()).passed) {
+                    trust_acc->update(false);
+                    honest_pool.record(victim, false);
+                    ++result.attacks_completed;
+                    continue;
+                }
+                history.pop_back();
+            }
+        }
+
+        // Action 2: a colluder's fake positive feedback, if it keeps the
+        // history consistent (it always does without screening).
+        {
+            const auto colluder = static_cast<repsys::EntityId>(
+                first_colluder + rng.uniform_int(config.n_colluders));
+            history.append(kServer, colluder, repsys::Rating::kPositive);
+            if (assessor.screen(history.view()).passed) {
+                trust_acc->update(true);
+                ++result.fake_positives;
+                continue;
+            }
+            history.pop_back();
+        }
+
+        // Action 3: forced to provide a genuine good service.
+        if (!arriving.empty()) {
+            const repsys::EntityId client = arriving[rng.uniform_int(arriving.size())];
+            history.append(kServer, client, repsys::Rating::kPositive);
+            trust_acc->update(true);
+            honest_pool.record(client, true);
+            ++result.genuine_goods;
+        }
+        // No arrivals and no safe fake: the step passes without a
+        // transaction (the attacker waits for clients).
+    }
+    result.reached_target = result.attacks_completed >= config.target_attacks;
+    result.final_trust = trust_acc->value();
+    result.supporter_base = history.supporter_base();
+    return result;
+}
+
+CollusionCostSeries run_collusion_cost_trials(
+    CollusionCostConfig config, std::size_t trials,
+    const std::shared_ptr<stats::Calibrator>& calibrator) {
+    CollusionCostSeries series;
+    const std::uint64_t base_seed = config.seed;
+    for (std::size_t t = 0; t < trials; ++t) {
+        config.seed = base_seed + t;
+        const CollusionCostResult run = run_collusion_cost(config, calibrator);
+        series.cost.add(static_cast<double>(run.genuine_goods));
+        series.cost_samples.push_back(static_cast<double>(run.genuine_goods));
+        series.fakes.add(static_cast<double>(run.fake_positives));
+        if (!run.reached_target) ++series.unreached_runs;
+    }
+    return series;
+}
+
+}  // namespace hpr::sim

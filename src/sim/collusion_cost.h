@@ -1,0 +1,84 @@
+#ifndef HPR_SIM_COLLUSION_COST_H
+#define HPR_SIM_COLLUSION_COST_H
+
+/// \file collusion_cost.h
+/// The collusion attack-cost experiment of paper §5.2 (Figs. 5 and 6).
+///
+/// Among `n_clients` potential clients, `n_colluders` collude with the
+/// attacker.  During the preparation phase the attacker transacts only
+/// with its colluders, who file feedback that mimics an honest player
+/// with trust value `prep_trust`.  During the attack phase the attacker
+/// chooses, each step, among three actions:
+///   1. cheat an arriving non-colluder client,
+///   2. ask a colluder for a fake positive feedback (almost free), or
+///   3. provide a genuine good service to an arriving client.
+/// It consults the defense (trust function + collusion-resilient behavior
+/// testing) before acting, exactly like the strategic attacker of §5.1.
+/// The cost metric is the number of *genuine* good services provided to
+/// non-colluders before `target_attacks` bad transactions land.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/two_phase.h"
+#include "sim/clients.h"
+#include "stats/calibrate.h"
+#include "stats/moments.h"
+
+namespace hpr::sim {
+
+/// Parameters of one collusion-cost run.
+struct CollusionCostConfig {
+    std::size_t prep_size = 400;
+    double prep_trust = 0.95;
+    std::size_t target_attacks = 20;
+    double trust_threshold = 0.9;
+
+    std::size_t n_clients = 100;   ///< total potential clients (incl. colluders)
+    std::size_t n_colluders = 5;
+    ClientArrivalParams arrivals{};  ///< a1 = 0.5, a2 = 0.9, a3 = 0.2 in the paper
+
+    core::ScreeningMode screening = core::ScreeningMode::kNone;
+    core::MultiTestConfig test{};
+    std::string trust_spec = "average";
+
+    std::size_t max_attack_steps = 100000;
+    std::uint64_t seed = 1;
+};
+
+/// Outcome of one collusion-cost run.
+struct CollusionCostResult {
+    std::size_t genuine_goods = 0;    ///< good services to non-colluders (the cost)
+    std::size_t fake_positives = 0;   ///< colluder-issued fake feedbacks used
+    std::size_t attacks_completed = 0;
+    bool reached_target = false;
+    std::size_t attack_steps = 0;
+    double final_trust = 0.0;
+    std::size_t supporter_base = 0;   ///< distinct clients with positive last feedback
+};
+
+/// Run one seeded collusion-cost simulation.
+[[nodiscard]] CollusionCostResult run_collusion_cost(
+    const CollusionCostConfig& config,
+    const std::shared_ptr<stats::Calibrator>& calibrator = nullptr);
+
+/// Aggregate of repeated runs with consecutive seeds.
+struct CollusionCostSeries {
+    stats::RunningMoments cost;        ///< genuine good services per run
+    stats::RunningMoments fakes;       ///< fake positives per run
+    std::vector<double> cost_samples;  ///< per-run costs (for medians)
+    std::size_t unreached_runs = 0;
+
+    /// Median genuine-goods cost (robust to attacker-lockout runs; see
+    /// AttackCostSeries::median_cost).
+    [[nodiscard]] double median_cost() const;
+};
+
+[[nodiscard]] CollusionCostSeries run_collusion_cost_trials(
+    CollusionCostConfig config, std::size_t trials,
+    const std::shared_ptr<stats::Calibrator>& calibrator = nullptr);
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_COLLUSION_COST_H

@@ -1,0 +1,47 @@
+#include "sim/detection.h"
+
+#include "sim/generators.h"
+
+namespace hpr::sim {
+namespace {
+
+template <typename MakeOutcomes>
+double flagged_fraction(const DetectionConfig& config,
+                        const std::shared_ptr<stats::Calibrator>& calibrator,
+                        MakeOutcomes make_outcomes) {
+    const core::MultiTest tester{
+        config.test,
+        calibrator ? calibrator : core::make_calibrator(config.test.base)};
+    stats::Rng rng{config.seed};
+    std::size_t flagged = 0;
+    for (std::size_t t = 0; t < config.trials; ++t) {
+        const std::vector<std::uint8_t> outcomes = make_outcomes(rng);
+        const std::span<const std::uint8_t> view{outcomes};
+        const bool passed = config.use_multi
+                                ? tester.test(view).passed
+                                : tester.single().test(view).passed;
+        if (!passed) ++flagged;
+    }
+    return config.trials == 0
+               ? 0.0
+               : static_cast<double>(flagged) / static_cast<double>(config.trials);
+}
+
+}  // namespace
+
+double detection_rate(const DetectionConfig& config,
+                      const std::shared_ptr<stats::Calibrator>& calibrator) {
+    return flagged_fraction(config, calibrator, [&](stats::Rng& rng) {
+        return periodic_outcomes(config.history_size, config.attack_window,
+                                 config.attack_fraction, rng);
+    });
+}
+
+double false_positive_rate(double p, const DetectionConfig& config,
+                           const std::shared_ptr<stats::Calibrator>& calibrator) {
+    return flagged_fraction(config, calibrator, [&](stats::Rng& rng) {
+        return honest_outcomes(config.history_size, p, rng);
+    });
+}
+
+}  // namespace hpr::sim

@@ -1,0 +1,41 @@
+#ifndef HPR_SIM_DETECTION_H
+#define HPR_SIM_DETECTION_H
+
+/// \file detection.h
+/// Detection-rate experiment of paper §5.3 (Fig. 7) and the matching
+/// false-positive measurement on honest players.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/multi_test.h"
+#include "stats/calibrate.h"
+
+namespace hpr::sim {
+
+/// Parameters of the detection-rate experiment.
+struct DetectionConfig {
+    std::size_t attack_window = 10;  ///< N: 0.1*N attacks per N transactions
+    double attack_fraction = 0.1;    ///< keeps reputation ~0.9 as in the paper
+    std::size_t history_size = 800;  ///< transactions per trial
+    std::size_t trials = 200;
+    std::uint64_t seed = 7;
+
+    core::MultiTestConfig test{};
+    bool use_multi = true;  ///< multi-testing (Scheme 2) vs single test
+};
+
+/// Fraction of periodic-attack histories flagged suspicious.
+[[nodiscard]] double detection_rate(
+    const DetectionConfig& config,
+    const std::shared_ptr<stats::Calibrator>& calibrator = nullptr);
+
+/// Fraction of honest Bernoulli(p) histories flagged suspicious
+/// (should stay near 1 - confidence for the single test).
+[[nodiscard]] double false_positive_rate(
+    double p, const DetectionConfig& config,
+    const std::shared_ptr<stats::Calibrator>& calibrator = nullptr);
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_DETECTION_H

@@ -1,0 +1,43 @@
+#include "sim/economics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace hpr::sim {
+
+double campaign_profit(const AttackEconomics& economics, std::size_t attacks,
+                       std::size_t goods, std::size_t fakes) {
+    return static_cast<double>(attacks) * economics.attack_gain -
+           static_cast<double>(goods) * economics.good_service_cost -
+           static_cast<double>(fakes) * economics.fake_feedback_cost -
+           economics.join_cost;
+}
+
+double cheat_and_run_profit(const AttackEconomics& economics,
+                            std::size_t prep_goods) {
+    return campaign_profit(economics, 1, prep_goods, 0);
+}
+
+double deterrent_join_cost(const AttackEconomics& economics,
+                           std::size_t prep_goods) {
+    // profit = gain - prep*good_cost - join <= 0  <=>  join >= gain - prep*cost.
+    AttackEconomics zero_join = economics;
+    zero_join.join_cost = 0.0;
+    const double profit_without_join = cheat_and_run_profit(zero_join, prep_goods);
+    return profit_without_join <= 0.0 ? 0.0 : profit_without_join;
+}
+
+std::size_t break_even_attacks(const AttackEconomics& economics, std::size_t goods,
+                               std::size_t fakes) {
+    if (!(economics.attack_gain > 0.0)) {
+        return std::numeric_limits<std::size_t>::max();
+    }
+    const double expenses =
+        static_cast<double>(goods) * economics.good_service_cost +
+        static_cast<double>(fakes) * economics.fake_feedback_cost +
+        economics.join_cost;
+    if (expenses <= 0.0) return 0;
+    return static_cast<std::size_t>(std::ceil(expenses / economics.attack_gain));
+}
+
+}  // namespace hpr::sim

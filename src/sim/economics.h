@@ -1,0 +1,55 @@
+#ifndef HPR_SIM_ECONOMICS_H
+#define HPR_SIM_ECONOMICS_H
+
+/// \file economics.h
+/// Attack economics.
+///
+/// The paper's threat model (§3.1) excludes cheat-and-run attacks and
+/// points at the standard countermeasure: "increase the cost of joining a
+/// system in the first place (e.g., requiring certified IDs or membership
+/// fees) so that short affiliations with a system are not cost-effective."
+/// This module makes that argument quantitative: given per-action costs
+/// and gains, it prices an attack campaign under a given defense and
+/// computes the minimum join cost that makes cheat-and-run unprofitable —
+/// the number a deployment actually needs to pick its membership fee.
+
+#include <cstddef>
+
+namespace hpr::sim {
+
+/// Unit costs and gains of the attacker's actions (arbitrary currency).
+struct AttackEconomics {
+    double join_cost = 0.0;        ///< one-time cost of a new identity
+    double good_service_cost = 1.0;  ///< cost of providing one genuine good service
+    double fake_feedback_cost = 0.1; ///< cost of one colluder-issued fake positive
+    double attack_gain = 10.0;     ///< profit of one successful bad transaction
+};
+
+/// Profit of a campaign: `attacks` successful bad transactions funded by
+/// `goods` genuine good services and `fakes` fake feedbacks, on one
+/// identity.  Negative means the defense priced the attack out.
+[[nodiscard]] double campaign_profit(const AttackEconomics& economics,
+                                     std::size_t attacks, std::size_t goods,
+                                     std::size_t fakes = 0);
+
+/// Profit of one cheat-and-run cycle: join, provide `prep_goods` genuine
+/// goods to build a usable reputation, land one bad transaction, abandon
+/// the identity.
+[[nodiscard]] double cheat_and_run_profit(const AttackEconomics& economics,
+                                          std::size_t prep_goods);
+
+/// Smallest join cost that makes a cheat-and-run cycle with `prep_goods`
+/// preparation unprofitable (<= 0 profit), holding other costs fixed.
+[[nodiscard]] double deterrent_join_cost(const AttackEconomics& economics,
+                                         std::size_t prep_goods);
+
+/// Break-even number of attacks: how many successful bad transactions a
+/// campaign must land before it turns profitable, given its good/fake
+/// expenditure.  Returns SIZE_MAX when even infinitely many attacks never
+/// break even (attack_gain <= 0).
+[[nodiscard]] std::size_t break_even_attacks(const AttackEconomics& economics,
+                                             std::size_t goods, std::size_t fakes = 0);
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_ECONOMICS_H

@@ -1,0 +1,106 @@
+#include "sim/generators.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpr::sim {
+namespace {
+
+repsys::TransactionHistory from_outcomes(const std::vector<std::uint8_t>& outcomes,
+                                         repsys::EntityId server,
+                                         ClientIdScheme clients) {
+    std::vector<repsys::Feedback> feedbacks;
+    feedbacks.reserve(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        feedbacks.push_back(repsys::Feedback{
+            static_cast<repsys::Timestamp>(i + 1), server, clients.client_for(i),
+            outcomes[i] != 0 ? repsys::Rating::kPositive : repsys::Rating::kNegative});
+    }
+    return repsys::TransactionHistory{std::move(feedbacks)};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> honest_outcomes(std::size_t n, double p, stats::Rng& rng) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+        throw std::invalid_argument("honest_outcomes: p must be in [0, 1]");
+    }
+    std::vector<std::uint8_t> outcomes(n);
+    for (auto& o : outcomes) o = rng.bernoulli(p) ? 1 : 0;
+    return outcomes;
+}
+
+std::vector<std::uint8_t> periodic_outcomes(std::size_t n, std::size_t attack_window,
+                                            double attack_fraction, stats::Rng& rng) {
+    if (attack_window == 0) {
+        throw std::invalid_argument("periodic_outcomes: attack window must be > 0");
+    }
+    if (!(attack_fraction >= 0.0 && attack_fraction <= 1.0)) {
+        throw std::invalid_argument("periodic_outcomes: fraction must be in [0, 1]");
+    }
+    std::vector<std::uint8_t> outcomes(n, 1);
+    const auto attacks_per_block = static_cast<std::size_t>(
+        attack_fraction * static_cast<double>(attack_window));
+    std::vector<std::size_t> positions(attack_window);
+    for (std::size_t block = 0; block < n; block += attack_window) {
+        const std::size_t block_len = std::min(attack_window, n - block);
+        if (block_len < attack_window) break;  // leave a trailing partial block good
+        positions.resize(attack_window);
+        for (std::size_t i = 0; i < attack_window; ++i) positions[i] = i;
+        rng.shuffle(positions);
+        for (std::size_t a = 0; a < attacks_per_block; ++a) {
+            outcomes[block + positions[a]] = 0;
+        }
+    }
+    return outcomes;
+}
+
+std::vector<std::uint8_t> drifting_outcomes(std::size_t n, double p_start,
+                                            double p_end, stats::Rng& rng) {
+    if (!(p_start >= 0.0 && p_start <= 1.0) || !(p_end >= 0.0 && p_end <= 1.0)) {
+        throw std::invalid_argument("drifting_outcomes: probabilities in [0, 1]");
+    }
+    std::vector<std::uint8_t> outcomes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t =
+            n <= 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+        outcomes[i] = rng.bernoulli(p_start + (p_end - p_start) * t) ? 1 : 0;
+    }
+    return outcomes;
+}
+
+repsys::TransactionHistory honest_history(std::size_t n, double p, stats::Rng& rng,
+                                          repsys::EntityId server,
+                                          ClientIdScheme clients) {
+    return from_outcomes(honest_outcomes(n, p, rng), server, clients);
+}
+
+repsys::TransactionHistory periodic_attack_history(std::size_t n,
+                                                   std::size_t attack_window,
+                                                   double attack_fraction,
+                                                   stats::Rng& rng,
+                                                   repsys::EntityId server,
+                                                   ClientIdScheme clients) {
+    return from_outcomes(periodic_outcomes(n, attack_window, attack_fraction, rng),
+                         server, clients);
+}
+
+repsys::TransactionHistory hibernating_history(std::size_t prep, std::size_t attack,
+                                               double prep_trust, stats::Rng& rng,
+                                               repsys::EntityId server,
+                                               ClientIdScheme clients) {
+    std::vector<std::uint8_t> outcomes = honest_outcomes(prep, prep_trust, rng);
+    outcomes.insert(outcomes.end(), attack, std::uint8_t{0});
+    return from_outcomes(outcomes, server, clients);
+}
+
+repsys::TransactionHistory cheat_and_run_history(std::size_t honest_n,
+                                                 double prep_trust, stats::Rng& rng,
+                                                 repsys::EntityId server,
+                                                 ClientIdScheme clients) {
+    std::vector<std::uint8_t> outcomes = honest_outcomes(honest_n, prep_trust, rng);
+    outcomes.push_back(0);
+    return from_outcomes(outcomes, server, clients);
+}
+
+}  // namespace hpr::sim

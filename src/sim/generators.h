@@ -1,0 +1,81 @@
+#ifndef HPR_SIM_GENERATORS_H
+#define HPR_SIM_GENERATORS_H
+
+/// \file generators.h
+/// Synthetic transaction-history generators for the behavior patterns the
+/// paper discusses: honest players (§3.1), hibernating and periodic
+/// attackers (§3), and cheat-and-run attackers (§3.1).  Used by the test
+/// suite, the benchmark harness and the examples.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "repsys/history.h"
+#include "repsys/types.h"
+#include "stats/rng.h"
+
+namespace hpr::sim {
+
+/// Client-id assignment for generated feedback: ids cycle through
+/// [first_client, first_client + pool). One client per transaction.
+struct ClientIdScheme {
+    repsys::EntityId first_client = 100;
+    std::uint32_t pool = 50;
+
+    [[nodiscard]] repsys::EntityId client_for(std::size_t index) const noexcept {
+        return first_client + static_cast<repsys::EntityId>(index % pool);
+    }
+};
+
+/// History of an honest player with trust value p: outcomes are iid
+/// Bernoulli(p) (paper §3.1).
+[[nodiscard]] repsys::TransactionHistory honest_history(std::size_t n, double p,
+                                                        stats::Rng& rng,
+                                                        repsys::EntityId server = 1,
+                                                        ClientIdScheme clients = {});
+
+/// Periodic attack pattern (paper §5.3): within every block of
+/// `attack_window` transactions, `attack_fraction * attack_window` bad
+/// transactions are placed at uniformly random positions; the rest are
+/// good.  With attack_window = 10, fraction 0.1 this is "one attack every
+/// ten transactions" — rigid and detectable; larger windows randomize the
+/// pattern toward honest-looking behavior.
+[[nodiscard]] repsys::TransactionHistory periodic_attack_history(
+    std::size_t n, std::size_t attack_window, double attack_fraction,
+    stats::Rng& rng, repsys::EntityId server = 1, ClientIdScheme clients = {});
+
+/// Hibernating attack (paper §3): `prep` honest-like transactions with
+/// trust value prep_trust, followed by `attack` consecutive bad ones.
+[[nodiscard]] repsys::TransactionHistory hibernating_history(
+    std::size_t prep, std::size_t attack, double prep_trust, stats::Rng& rng,
+    repsys::EntityId server = 1, ClientIdScheme clients = {});
+
+/// Cheat-and-run (paper §3.1): a short honest-looking affiliation of
+/// `honest_n` transactions ending in a single bad transaction.
+[[nodiscard]] repsys::TransactionHistory cheat_and_run_history(
+    std::size_t honest_n, double prep_trust, stats::Rng& rng,
+    repsys::EntityId server = 1, ClientIdScheme clients = {});
+
+/// Raw outcome sequence (1 = good) of an honest player; cheaper than a
+/// full feedback history for statistics-only code paths.
+[[nodiscard]] std::vector<std::uint8_t> honest_outcomes(std::size_t n, double p,
+                                                        stats::Rng& rng);
+
+/// Raw outcome sequence of a periodic attack (see periodic_attack_history).
+[[nodiscard]] std::vector<std::uint8_t> periodic_outcomes(std::size_t n,
+                                                          std::size_t attack_window,
+                                                          double attack_fraction,
+                                                          stats::Rng& rng);
+
+/// Honest player whose uncontrollable quality drifts linearly from
+/// p_start to p_end across the sequence (the "dynamic cases" of §3.1 —
+/// the workload AdaptiveBehaviorTest exists for).
+[[nodiscard]] std::vector<std::uint8_t> drifting_outcomes(std::size_t n,
+                                                          double p_start,
+                                                          double p_end,
+                                                          stats::Rng& rng);
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_GENERATORS_H

@@ -1,0 +1,125 @@
+#include "sim/gossip.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hpr::sim {
+
+GossipNetwork::GossipNetwork(std::vector<double> values, GossipConfig config,
+                             std::uint64_t seed)
+    : GossipNetwork(std::move(values),
+                    std::vector<double>{},  // filled with 1s below
+                    config, seed) {}
+
+GossipNetwork::GossipNetwork(std::vector<double> sums, std::vector<double> weights,
+                             GossipConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      sum_(std::move(sums)),
+      weight_(std::move(weights)),
+      alive_(sum_.size(), true),
+      live_count_(sum_.size()) {
+    if (sum_.empty()) {
+        throw std::invalid_argument("GossipNetwork: need at least one node");
+    }
+    if (weight_.empty()) {
+        weight_.assign(sum_.size(), 1.0);
+    }
+    if (weight_.size() != sum_.size()) {
+        throw std::invalid_argument("GossipNetwork: sums/weights size mismatch");
+    }
+    if (!(config_.tolerance > 0.0)) {
+        throw std::invalid_argument("GossipNetwork: tolerance must be positive");
+    }
+    double total_sum = 0.0;
+    double total_weight = 0.0;
+    for (const double w : weight_) {
+        if (w < 0.0) {
+            throw std::invalid_argument("GossipNetwork: weights must be >= 0");
+        }
+        total_weight += w;
+    }
+    if (total_weight <= 0.0) {
+        throw std::invalid_argument("GossipNetwork: total weight must be positive");
+    }
+    for (const double s : sum_) total_sum += s;
+    true_average_ = total_sum / total_weight;
+}
+
+double GossipNetwork::estimate(std::size_t node) const {
+    if (node >= sum_.size()) {
+        throw std::out_of_range("GossipNetwork::estimate: bad node index");
+    }
+    return weight_[node] > 0.0 ? sum_[node] / weight_[node] : 0.0;
+}
+
+double GossipNetwork::max_error() const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sum_.size(); ++i) {
+        if (!alive_[i]) continue;
+        worst = std::max(worst, std::abs(estimate(i) - true_average_));
+    }
+    return worst;
+}
+
+double GossipNetwork::spread() const {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < sum_.size(); ++i) {
+        if (!alive_[i]) continue;
+        const double e = estimate(i);
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+    }
+    return live_count_ == 0 ? 0.0 : hi - lo;
+}
+
+void GossipNetwork::step() {
+    if (live_count_ <= 1) {
+        ++rounds_;
+        return;
+    }
+    // Buffer incoming mass so the round is synchronous (classic push-sum).
+    std::vector<double> incoming_sum(sum_.size(), 0.0);
+    std::vector<double> incoming_weight(sum_.size(), 0.0);
+    for (std::size_t i = 0; i < sum_.size(); ++i) {
+        if (!alive_[i]) continue;
+        // Pick a uniformly random live peer other than i.
+        std::size_t target = i;
+        do {
+            target = static_cast<std::size_t>(rng_.uniform_int(sum_.size()));
+        } while (target == i || !alive_[target]);
+        sum_[i] *= 0.5;
+        weight_[i] *= 0.5;
+        incoming_sum[target] += sum_[i];
+        incoming_weight[target] += weight_[i];
+    }
+    for (std::size_t i = 0; i < sum_.size(); ++i) {
+        sum_[i] += incoming_sum[i];
+        weight_[i] += incoming_weight[i];
+    }
+    ++rounds_;
+}
+
+std::size_t GossipNetwork::run() {
+    const std::size_t start = rounds_;
+    converged_ = spread() <= config_.tolerance;
+    while (!converged_ && rounds_ - start < config_.max_rounds) {
+        step();
+        converged_ = spread() <= config_.tolerance;
+    }
+    return rounds_ - start;
+}
+
+void GossipNetwork::fail_node(std::size_t node) {
+    if (node >= alive_.size()) {
+        throw std::out_of_range("GossipNetwork::fail_node: bad node index");
+    }
+    if (alive_[node]) {
+        alive_[node] = false;
+        --live_count_;
+    }
+}
+
+}  // namespace hpr::sim

@@ -1,0 +1,104 @@
+#ifndef HPR_SIM_GOSSIP_H
+#define HPR_SIM_GOSSIP_H
+
+/// \file gossip.h
+/// Push-sum gossip aggregation for decentralized reputation.
+///
+/// The paper assumes feedback is globally available (§2) and cites
+/// gossip-based reputation aggregation in unstructured P2P networks
+/// (Zhou & Hwang — reference [17]) as the decentralized way to get
+/// there.  This module provides that substrate: every node starts with
+/// its local estimate of a server's trust (e.g. the good-ratio of the
+/// feedback shard it stores), and push-sum rounds (Kempe, Dobra &
+/// Gehrke) converge every node's estimate to the global average with no
+/// coordinator — each node keeps a (sum, weight) pair, halves it every
+/// round, and ships one half to a uniformly random peer.  Mass
+/// conservation makes the ratio sum/weight converge exponentially fast.
+///
+/// Crash-stop failures are modeled: a failed node freezes (neither sends
+/// nor receives); the mass it holds is lost to the average, bounding the
+/// residual error the tests and bench measure.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace hpr::sim {
+
+/// Gossip protocol parameters.
+struct GossipConfig {
+    double tolerance = 1e-9;      ///< convergence: max spread of estimates
+    std::size_t max_rounds = 10000;  ///< safety cap
+};
+
+/// A push-sum gossip network over `values.size()` nodes.
+class GossipNetwork {
+public:
+    /// \param values  each node's initial local value
+    /// \throws std::invalid_argument if values is empty or config is bad.
+    GossipNetwork(std::vector<double> values, GossipConfig config = {},
+                  std::uint64_t seed = 99);
+
+    /// Weighted variant: node i contributes (sums[i], weights[i]) and the
+    /// network converges to Σ sums / Σ weights at every node.  This is
+    /// how peers holding differently-sized feedback shards agree on a
+    /// global good-ratio: sums = local good counts, weights = local
+    /// transaction counts.
+    /// \throws std::invalid_argument on size mismatch, empty input,
+    /// negative weights or all-zero total weight.
+    GossipNetwork(std::vector<double> sums, std::vector<double> weights,
+                  GossipConfig config = {}, std::uint64_t seed = 99);
+
+    [[nodiscard]] std::size_t size() const noexcept { return sum_.size(); }
+
+    /// Average of the initial values over *live* nodes' initial shares —
+    /// the fixed point with no failures.
+    [[nodiscard]] double true_average() const noexcept { return true_average_; }
+
+    /// A node's current estimate sum/weight.
+    /// \throws std::out_of_range for bad node indices.
+    [[nodiscard]] double estimate(std::size_t node) const;
+
+    /// Largest |estimate - true average| over live nodes.
+    [[nodiscard]] double max_error() const;
+
+    /// Largest estimate spread (max - min) over live nodes.
+    [[nodiscard]] double spread() const;
+
+    /// Execute one gossip round (every live node ships half its mass to a
+    /// uniformly random live peer).
+    void step();
+
+    /// Run rounds until the live-node spread drops below the tolerance or
+    /// max_rounds is hit; returns rounds executed.
+    std::size_t run();
+
+    /// Rounds executed so far.
+    [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+
+    /// Whether the last run() met the tolerance.
+    [[nodiscard]] bool converged() const noexcept { return converged_; }
+
+    /// Crash-stop a node: it freezes with whatever mass it holds.
+    /// \throws std::out_of_range for bad node indices.
+    void fail_node(std::size_t node);
+
+    [[nodiscard]] std::size_t live_nodes() const noexcept { return live_count_; }
+
+private:
+    GossipConfig config_;
+    stats::Rng rng_;
+    std::vector<double> sum_;
+    std::vector<double> weight_;
+    std::vector<bool> alive_;
+    std::size_t live_count_;
+    double true_average_ = 0.0;
+    std::size_t rounds_ = 0;
+    bool converged_ = false;
+};
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_GOSSIP_H

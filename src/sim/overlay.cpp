@@ -1,0 +1,165 @@
+#include "sim/overlay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace hpr::sim {
+namespace {
+
+/// Clockwise ring distance from a to b in the full 64-bit key space
+/// (unsigned wrap-around does exactly the right thing).
+constexpr std::uint64_t ring_distance(std::uint64_t a, std::uint64_t b) noexcept {
+    return b - a;
+}
+
+}  // namespace
+
+FeedbackOverlay::FeedbackOverlay(OverlayConfig config)
+    : config_(config), live_count_(config.nodes) {
+    if (config_.nodes == 0) {
+        throw std::invalid_argument("FeedbackOverlay: need at least one node");
+    }
+    if (config_.replication == 0 || config_.replication > config_.nodes) {
+        throw std::invalid_argument(
+            "FeedbackOverlay: need 1 <= replication <= nodes");
+    }
+    // Random ring placement; re-draw collisions so ids are unique.
+    stats::Rng rng{config_.seed};
+    std::vector<std::uint64_t> ids;
+    ids.reserve(config_.nodes);
+    while (ids.size() < config_.nodes) {
+        const std::uint64_t candidate = rng();
+        if (std::find(ids.begin(), ids.end(), candidate) == ids.end()) {
+            ids.push_back(candidate);
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    ring_.resize(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) ring_[i].id = ids[i];
+
+    // Chord-style fingers: for each node, the successor of id + 2^j.
+    fingers_.resize(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        std::vector<std::size_t> unique;
+        for (int j = 0; j < 64; ++j) {
+            const std::uint64_t point = ring_[i].id + (std::uint64_t{1} << j);
+            const std::size_t target = successor_index(point);
+            if (target != i &&
+                std::find(unique.begin(), unique.end(), target) == unique.end()) {
+                unique.push_back(target);
+            }
+        }
+        fingers_[i] = std::move(unique);
+    }
+}
+
+std::size_t FeedbackOverlay::successor_index(std::uint64_t point) const {
+    // ring_ is sorted by id; the successor wraps past the largest id.
+    std::size_t lo = 0;
+    std::size_t hi = ring_.size();
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (ring_[mid].id < point) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo == ring_.size() ? 0 : lo;
+}
+
+std::size_t FeedbackOverlay::route(std::size_t from, std::uint64_t point) const {
+    const std::size_t target = successor_index(point);
+    std::size_t current = from;
+    std::size_t hops = 0;
+    while (current != target) {
+        const std::uint64_t remaining = ring_distance(ring_[current].id,
+                                                      ring_[target].id);
+        // Greedy: the finger that covers the most ring distance without
+        // overshooting the target; fall back to the immediate successor.
+        std::size_t next = (current + 1) % ring_.size();
+        std::uint64_t best = ring_distance(ring_[current].id, ring_[next].id);
+        if (best > remaining) best = 0;  // successor overshoots; fingers must decide
+        for (const std::size_t f : fingers_[current]) {
+            const std::uint64_t advance = ring_distance(ring_[current].id,
+                                                        ring_[f].id);
+            if (advance <= remaining && advance > best) {
+                best = advance;
+                next = f;
+            }
+        }
+        if (next == current) break;  // defensive: cannot make progress
+        current = next;
+        ++hops;
+    }
+    last_hops_ = hops;
+    return target;
+}
+
+std::vector<std::size_t> FeedbackOverlay::replica_set(std::uint64_t point) const {
+    std::vector<std::size_t> replicas;
+    std::size_t index = successor_index(point);
+    for (std::size_t scanned = 0;
+         scanned < ring_.size() && replicas.size() < config_.replication;
+         ++scanned, index = (index + 1) % ring_.size()) {
+        if (ring_[index].alive) replicas.push_back(index);
+    }
+    return replicas;
+}
+
+std::uint64_t FeedbackOverlay::anchor_of(repsys::EntityId server) const {
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL ^ server;
+    return stats::splitmix64(state);
+}
+
+std::size_t FeedbackOverlay::publish(const repsys::Feedback& feedback) {
+    const std::uint64_t point = anchor_of(feedback.server);
+    (void)route(0, point);
+    const auto replicas = replica_set(point);
+    for (const std::size_t index : replicas) {
+        // Per-server shards stay time-ordered because publishes arrive in
+        // time order; enforce the invariant defensively.
+        auto& shard = ring_[index].shards[feedback.server];
+        if (!shard.empty() && shard.back().time > feedback.time) {
+            throw std::invalid_argument(
+                "FeedbackOverlay::publish: feedbacks must arrive time-ordered");
+        }
+        shard.push_back(feedback);
+    }
+    return replicas.size();
+}
+
+std::vector<repsys::Feedback> FeedbackOverlay::lookup(repsys::EntityId server) const {
+    const std::uint64_t point = anchor_of(server);
+    (void)route(0, point);
+    for (const std::size_t index : replica_set(point)) {
+        const auto it = ring_[index].shards.find(server);
+        if (it != ring_[index].shards.end()) return it->second;
+    }
+    return {};
+}
+
+void FeedbackOverlay::fail_node(std::size_t index) {
+    if (index >= ring_.size()) {
+        throw std::out_of_range("FeedbackOverlay::fail_node: bad index");
+    }
+    if (ring_[index].alive) {
+        ring_[index].alive = false;
+        ring_[index].shards.clear();  // crash-stop: its replicas are gone
+        --live_count_;
+    }
+}
+
+std::vector<std::size_t> FeedbackOverlay::load() const {
+    std::vector<std::size_t> result(ring_.size(), 0);
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        for (const auto& [server, shard] : ring_[i].shards) {
+            result[i] += shard.size();
+        }
+    }
+    return result;
+}
+
+}  // namespace hpr::sim

@@ -1,0 +1,96 @@
+#ifndef HPR_SIM_OVERLAY_H
+#define HPR_SIM_OVERLAY_H
+
+/// \file overlay.h
+/// A structured-overlay feedback directory.
+///
+/// In P2P deployments the paper's feedback-availability assumption (§2)
+/// is met by "special data organization schemes" such as P-Grid
+/// (reference [11]).  This module implements the equivalent substrate as
+/// a consistent-hashing ring with finger-table routing (Chord-style):
+/// the feedback log of server s lives on the `replication` ring
+/// successors of hash(s); lookups route greedily halving the remaining
+/// ring distance, so hop counts are O(log nodes); crash-stop failures
+/// lose one replica while lookups keep working off the survivors.
+///
+/// The simplification versus a real deployment: membership is fixed at
+/// construction plus explicit fail_node calls (no churn-time data
+/// migration) — enough to measure availability and routing cost, which
+/// is what the evaluation substrate needs.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "repsys/types.h"
+
+namespace hpr::sim {
+
+/// Overlay parameters.
+struct OverlayConfig {
+    std::size_t nodes = 64;
+    std::size_t replication = 3;  ///< replicas per server log
+    std::uint64_t seed = 7;       ///< node-id placement seed
+};
+
+/// Consistent-hashing feedback directory with finger routing.
+class FeedbackOverlay {
+public:
+    /// \throws std::invalid_argument on a degenerate config.
+    explicit FeedbackOverlay(OverlayConfig config = {});
+
+    [[nodiscard]] std::size_t nodes() const noexcept { return ring_.size(); }
+    [[nodiscard]] std::size_t live_nodes() const noexcept { return live_count_; }
+
+    /// Store a feedback on the `replication` live successors of
+    /// hash(feedback.server).
+    /// \returns the number of replicas actually written (may be less than
+    /// `replication` when too few nodes survive).
+    std::size_t publish(const repsys::Feedback& feedback);
+
+    /// Collect a server's feedbacks from the first reachable replica,
+    /// time-ordered.  Empty when no replica survives.
+    [[nodiscard]] std::vector<repsys::Feedback> lookup(repsys::EntityId server) const;
+
+    /// Routing hops of the most recent lookup()/publish() (greedy finger
+    /// routing from a deterministic entry node).
+    [[nodiscard]] std::size_t last_hops() const noexcept { return last_hops_; }
+
+    /// Crash-stop the node at ring position `index` (0-based, by ring
+    /// order). Its stored feedbacks are lost.
+    /// \throws std::out_of_range for bad indices.
+    void fail_node(std::size_t index);
+
+    /// Feedbacks stored per ring position (load-balance visibility).
+    [[nodiscard]] std::vector<std::size_t> load() const;
+
+    /// The ring point a server's log is anchored at (exposed for tests).
+    [[nodiscard]] std::uint64_t anchor_of(repsys::EntityId server) const;
+
+private:
+    struct Node {
+        std::uint64_t id;   ///< ring position
+        bool alive = true;
+        std::map<repsys::EntityId, std::vector<repsys::Feedback>> shards;
+    };
+
+    /// Index of the first node (by ring order) whose id >= point (wraps).
+    [[nodiscard]] std::size_t successor_index(std::uint64_t point) const;
+
+    /// Greedy finger routing from `from` toward the successor of `point`;
+    /// counts hops in last_hops_.
+    [[nodiscard]] std::size_t route(std::size_t from, std::uint64_t point) const;
+
+    /// Indices of the first `replication` live nodes at/after point.
+    [[nodiscard]] std::vector<std::size_t> replica_set(std::uint64_t point) const;
+
+    OverlayConfig config_;
+    std::vector<Node> ring_;  ///< sorted by id
+    std::vector<std::vector<std::size_t>> fingers_;  ///< per node: 2^j jumps
+    std::size_t live_count_;
+    mutable std::size_t last_hops_ = 0;
+};
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_OVERLAY_H

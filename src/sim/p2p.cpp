@@ -1,0 +1,73 @@
+#include "sim/p2p.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace hpr::sim {
+
+DecentralizedReputationSystem::DecentralizedReputationSystem(
+    P2PConfig config, std::shared_ptr<stats::Calibrator> calibrator)
+    : config_(config), overlay_(config.overlay), rng_(config.seed) {
+    if (!(config_.retrieval_fraction > 0.0 && config_.retrieval_fraction <= 1.0)) {
+        throw std::invalid_argument(
+            "DecentralizedReputationSystem: retrieval_fraction must be in (0, 1]");
+    }
+    assessor_ = std::make_unique<const core::TwoPhaseAssessor>(
+        config_.assessment,
+        std::shared_ptr<const repsys::TrustFunction>{
+            repsys::make_trust_function(config_.trust_spec)},
+        calibrator ? std::move(calibrator)
+                   : core::make_calibrator(config_.assessment.test.base));
+}
+
+std::size_t DecentralizedReputationSystem::record(const repsys::Feedback& feedback) {
+    return overlay_.publish(feedback);
+}
+
+core::Assessment DecentralizedReputationSystem::assess(repsys::EntityId server) {
+    const std::vector<repsys::Feedback> log = overlay_.lookup(server);
+    if (config_.retrieval_fraction >= 1.0) {
+        return assessor_->assess(std::span<const repsys::Feedback>{log});
+    }
+    std::vector<repsys::Feedback> sampled;
+    sampled.reserve(log.size());
+    for (const repsys::Feedback& f : log) {
+        if (rng_.bernoulli(config_.retrieval_fraction)) sampled.push_back(f);
+    }
+    return assessor_->assess(std::span<const repsys::Feedback>{sampled});
+}
+
+ConsensusResult DecentralizedReputationSystem::gossip_trust(repsys::EntityId server,
+                                                            std::size_t peers) {
+    if (peers == 0) {
+        throw std::invalid_argument("gossip_trust: need at least one peer");
+    }
+    const std::vector<repsys::Feedback> log = overlay_.lookup(server);
+    if (log.empty()) {
+        throw std::invalid_argument("gossip_trust: no feedback for server");
+    }
+    // Each peer holds a random local view; sums = its good count, weights
+    // = its view size.  Weighted push-sum then agrees on the global ratio.
+    std::vector<double> sums(peers, 0.0);
+    std::vector<double> weights(peers, 0.0);
+    std::size_t total_good = 0;
+    for (const repsys::Feedback& f : log) {
+        const auto peer = static_cast<std::size_t>(rng_.uniform_int(peers));
+        weights[peer] += 1.0;
+        if (f.good()) {
+            sums[peer] += 1.0;
+            ++total_good;
+        }
+    }
+    GossipNetwork network{std::move(sums), std::move(weights), GossipConfig{},
+                          config_.seed ^ (static_cast<std::uint64_t>(server) << 17)};
+    ConsensusResult result;
+    result.rounds = network.run();
+    result.converged = network.converged();
+    result.value = network.estimate(0);
+    result.exact =
+        static_cast<double>(total_good) / static_cast<double>(log.size());
+    return result;
+}
+
+}  // namespace hpr::sim

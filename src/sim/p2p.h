@@ -1,0 +1,88 @@
+#ifndef HPR_SIM_P2P_H
+#define HPR_SIM_P2P_H
+
+/// \file p2p.h
+/// The fully decentralized deployment of the two-phase framework — the
+/// composition the paper's §2 sketches for P2P systems: feedback lives in
+/// a structured overlay ([11]-style, sim/overlay.h), assessments are made
+/// from overlay-retrieved (possibly partial) logs, and peers agree on
+/// global trust values by push-sum gossip ([17], sim/gossip.h) without
+/// any central server.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/two_phase.h"
+#include "repsys/types.h"
+#include "sim/gossip.h"
+#include "sim/overlay.h"
+#include "stats/calibrate.h"
+
+namespace hpr::sim {
+
+/// Configuration of the decentralized reputation system.
+struct P2PConfig {
+    OverlayConfig overlay{};
+    core::TwoPhaseConfig assessment{};
+    std::string trust_spec = "average";
+
+    /// Fraction of a server's log a client actually retrieves before
+    /// assessing (bandwidth-limited retrieval; §2 "systems where only
+    /// portions of feedbacks can be retrieved").
+    double retrieval_fraction = 1.0;
+
+    std::uint64_t seed = 1;
+};
+
+/// Outcome of a gossip consensus round on one server's trust.
+struct ConsensusResult {
+    double value = 0.0;     ///< agreed global good-ratio
+    double exact = 0.0;     ///< the centrally computed ratio (ground truth)
+    std::size_t rounds = 0;
+    bool converged = false;
+};
+
+/// A reputation system with no central component.
+class DecentralizedReputationSystem {
+public:
+    /// \throws std::invalid_argument on bad retrieval_fraction or trust spec.
+    explicit DecentralizedReputationSystem(
+        P2PConfig config = {}, std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    /// Publish one feedback into the overlay (replicated).
+    /// \returns replicas written.
+    std::size_t record(const repsys::Feedback& feedback);
+
+    /// Assess a server from its overlay-retrieved log: lookup, subsample
+    /// to the configured retrieval fraction, run the two-phase assessor.
+    [[nodiscard]] core::Assessment assess(repsys::EntityId server);
+
+    /// Routing hops of the most recent record()/assess().
+    [[nodiscard]] std::size_t last_hops() const noexcept { return overlay_.last_hops(); }
+
+    /// Decentralized agreement on a server's good-ratio: the retrieved
+    /// log is partitioned across `peers` local views and weighted
+    /// push-sum runs to consensus.
+    /// \throws std::invalid_argument if peers == 0 or the log is empty.
+    [[nodiscard]] ConsensusResult gossip_trust(repsys::EntityId server,
+                                               std::size_t peers);
+
+    /// Crash-stop an overlay node.
+    void fail_node(std::size_t index) { overlay_.fail_node(index); }
+
+    [[nodiscard]] const FeedbackOverlay& overlay() const noexcept { return overlay_; }
+    [[nodiscard]] const core::TwoPhaseAssessor& assessor() const noexcept {
+        return *assessor_;
+    }
+
+private:
+    P2PConfig config_;
+    FeedbackOverlay overlay_;
+    std::unique_ptr<const core::TwoPhaseAssessor> assessor_;
+    stats::Rng rng_;
+};
+
+}  // namespace hpr::sim
+
+#endif  // HPR_SIM_P2P_H

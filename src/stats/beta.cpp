@@ -1,0 +1,131 @@
+#include "stats/beta.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpr::stats {
+namespace {
+
+/// Continued-fraction evaluation for the regularized incomplete beta
+/// function (Numerical-Recipes-style modified Lentz algorithm).
+double beta_continued_fraction(double a, double b, double x) {
+    constexpr int kMaxIterations = 300;
+    constexpr double kEpsilon = 1e-15;
+    constexpr double kTiny = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIterations; ++m) {
+        const auto dm = static_cast<double>(m);
+        const double m2 = 2.0 * dm;
+        double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny) d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny) c = kTiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEpsilon) break;
+    }
+    return h;
+}
+
+}  // namespace
+
+double log_beta(double a, double b) {
+    return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double reg_incomplete_beta(double a, double b, double x) {
+    if (x <= 0.0) return 0.0;
+    if (x >= 1.0) return 1.0;
+    const double log_front = a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
+    const double front = std::exp(log_front);
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if (x < (a + 1.0) / (a + b + 2.0)) {
+        return front * beta_continued_fraction(a, b, x) / a;
+    }
+    return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+Beta::Beta(double a, double b) : a_(a), b_(b) {
+    if (!(a > 0.0) || !(b > 0.0)) {
+        throw std::invalid_argument("Beta: shape parameters must be positive");
+    }
+}
+
+double Beta::pdf(double x) const {
+    if (x < 0.0 || x > 1.0) return 0.0;
+    if (x == 0.0) {
+        if (a_ < 1.0) return 0.0;  // density diverges; define boundary as 0
+        if (a_ == 1.0) return b_;
+        return 0.0;
+    }
+    if (x == 1.0) {
+        if (b_ < 1.0) return 0.0;
+        if (b_ == 1.0) return a_;
+        return 0.0;
+    }
+    return std::exp((a_ - 1.0) * std::log(x) + (b_ - 1.0) * std::log1p(-x) -
+                    log_beta(a_, b_));
+}
+
+double Beta::cdf(double x) const { return reg_incomplete_beta(a_, b_, x); }
+
+double Beta::quantile(double q) const {
+    if (!(q >= 0.0 && q <= 1.0)) {
+        throw std::invalid_argument("Beta::quantile: q must be in [0, 1]");
+    }
+    if (q == 0.0) return 0.0;
+    if (q == 1.0) return 1.0;
+    double lo = 0.0;
+    double hi = 1.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (cdf(mid) < q) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo < 1e-14) break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+Interval clopper_pearson(std::uint64_t successes, std::uint64_t trials,
+                         double confidence) {
+    if (trials == 0) {
+        throw std::invalid_argument("clopper_pearson: need at least one trial");
+    }
+    if (successes > trials) {
+        throw std::invalid_argument("clopper_pearson: successes exceed trials");
+    }
+    if (!(confidence > 0.0 && confidence < 1.0)) {
+        throw std::invalid_argument("clopper_pearson: confidence must be in (0, 1)");
+    }
+    const double alpha = 1.0 - confidence;
+    const auto s = static_cast<double>(successes);
+    const auto n = static_cast<double>(trials);
+    Interval interval;
+    interval.lower =
+        successes == 0 ? 0.0 : Beta{s, n - s + 1.0}.quantile(alpha / 2.0);
+    interval.upper =
+        successes == trials ? 1.0 : Beta{s + 1.0, n - s}.quantile(1.0 - alpha / 2.0);
+    return interval;
+}
+
+}  // namespace hpr::stats

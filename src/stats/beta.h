@@ -1,0 +1,75 @@
+#ifndef HPR_STATS_BETA_H
+#define HPR_STATS_BETA_H
+
+/// \file beta.h
+/// The Beta distribution, used by the Beta reputation baseline
+/// (Ismail & Josang, "The beta reputation system", Bled 2002 — paper
+/// reference [16]).  A server with g positive and b negative feedbacks has
+/// posterior Beta(g + 1, b + 1) over its trust value; the reputation score
+/// is the posterior mean.
+
+#include <cstdint>
+
+namespace hpr::stats {
+
+/// Natural log of the Beta function B(a, b).
+[[nodiscard]] double log_beta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction of Lentz's method.  Accurate to ~1e-12 over (0,1).
+[[nodiscard]] double reg_incomplete_beta(double a, double b, double x);
+
+/// Beta(a, b) distribution with a, b > 0.
+class Beta {
+public:
+    /// \throws std::invalid_argument unless a > 0 and b > 0.
+    Beta(double a, double b);
+
+    [[nodiscard]] double a() const noexcept { return a_; }
+    [[nodiscard]] double b() const noexcept { return b_; }
+
+    [[nodiscard]] double mean() const noexcept { return a_ / (a_ + b_); }
+    [[nodiscard]] double variance() const noexcept {
+        const double s = a_ + b_;
+        return a_ * b_ / (s * s * (s + 1.0));
+    }
+
+    /// Probability density at x in [0, 1].
+    [[nodiscard]] double pdf(double x) const;
+
+    /// P(X <= x).
+    [[nodiscard]] double cdf(double x) const;
+
+    /// Inverse cdf by bisection (monotone, so exact to tolerance).
+    [[nodiscard]] double quantile(double q) const;
+
+private:
+    double a_;
+    double b_;
+};
+
+/// Two-sided confidence interval for a Bernoulli success probability.
+struct Interval {
+    double lower = 0.0;
+    double upper = 1.0;
+
+    [[nodiscard]] double width() const noexcept { return upper - lower; }
+    [[nodiscard]] bool contains(double p) const noexcept {
+        return p >= lower && p <= upper;
+    }
+};
+
+/// Clopper-Pearson (exact) confidence interval for p from `successes` out
+/// of `trials`, at the given confidence level.  Uses the Beta-quantile
+/// formulation:  lower = Beta(s, n-s+1).quantile(alpha/2),
+///               upper = Beta(s+1, n-s).quantile(1-alpha/2).
+/// Guaranteed coverage >= confidence (conservative), which suits trust
+/// values: the interval never overstates certainty about a server.
+/// \throws std::invalid_argument if successes > trials, trials == 0, or
+/// confidence is outside (0, 1).
+[[nodiscard]] Interval clopper_pearson(std::uint64_t successes, std::uint64_t trials,
+                                       double confidence = 0.95);
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_BETA_H

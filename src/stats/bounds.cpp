@@ -1,0 +1,31 @@
+#include "stats/bounds.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpr::stats {
+
+double hoeffding_bound(std::uint64_t n, double epsilon) {
+    if (n == 0) {
+        throw std::invalid_argument("hoeffding_bound: need at least one trial");
+    }
+    if (!(epsilon > 0.0)) {
+        throw std::invalid_argument("hoeffding_bound: epsilon must be positive");
+    }
+    const double bound =
+        2.0 * std::exp(-2.0 * static_cast<double>(n) * epsilon * epsilon);
+    return bound > 1.0 ? 1.0 : bound;
+}
+
+std::uint64_t lemma31_min_history(double epsilon, double delta) {
+    if (!(epsilon > 0.0)) {
+        throw std::invalid_argument("lemma31_min_history: epsilon must be positive");
+    }
+    if (!(delta > 0.0 && delta < 1.0)) {
+        throw std::invalid_argument("lemma31_min_history: delta must be in (0, 1)");
+    }
+    const double n = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+    return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+}  // namespace hpr::stats

@@ -1,0 +1,30 @@
+#ifndef HPR_STATS_BOUNDS_H
+#define HPR_STATS_BOUNDS_H
+
+/// \file bounds.h
+/// Concentration bounds behind the paper's Lemma 3.1.
+///
+/// Lemma 3.1 states that for any ε, δ there is an N such that a history
+/// longer than N has P(p̂ - p >= ε) < δ, by Bernoulli's law of large
+/// numbers.  Hoeffding's inequality makes the N explicit:
+///     P(|p̂ - p| >= ε) <= 2 exp(-2 n ε²),
+/// so n >= ln(2/δ) / (2 ε²) suffices.  Deployments use this to size the
+/// minimum screenable history for a target estimation accuracy.
+
+#include <cstdint>
+
+namespace hpr::stats {
+
+/// Hoeffding two-sided tail bound on the mean of n Bernoulli trials:
+/// an upper bound on P(|p̂ - p| >= epsilon).
+/// \throws std::invalid_argument unless epsilon > 0 and n > 0.
+[[nodiscard]] double hoeffding_bound(std::uint64_t n, double epsilon);
+
+/// The explicit N of Lemma 3.1: the smallest n with
+/// hoeffding_bound(n, epsilon) <= delta.
+/// \throws std::invalid_argument unless epsilon > 0 and delta in (0, 1).
+[[nodiscard]] std::uint64_t lemma31_min_history(double epsilon, double delta);
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_BOUNDS_H

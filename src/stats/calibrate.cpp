@@ -1,0 +1,228 @@
+#include "stats/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpr::stats {
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) {
+        throw std::invalid_argument("sorted_quantile: empty sample");
+    }
+    if (!(q >= 0.0 && q <= 1.0)) {
+        throw std::invalid_argument("sorted_quantile: q must be in [0, 1]");
+    }
+    if (sorted.size() == 1) return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double empirical_quantile(std::vector<double> values, double q) {
+    if (values.empty()) {
+        throw std::invalid_argument("empirical_quantile: empty sample");
+    }
+    std::sort(values.begin(), values.end());
+    return sorted_quantile(values, q);
+}
+
+Calibrator::Calibrator(CalibrationConfig config) : config_(config) {
+    if (!(config_.confidence > 0.0 && config_.confidence < 1.0)) {
+        throw std::invalid_argument("Calibrator: confidence must be in (0, 1)");
+    }
+    if (config_.replications == 0) {
+        throw std::invalid_argument("Calibrator: need at least one replication");
+    }
+    if (config_.p_grid == 0) {
+        throw std::invalid_argument("Calibrator: p_grid must be positive");
+    }
+    if (config_.windows_cap == 0) {
+        throw std::invalid_argument("Calibrator: windows_cap must be positive");
+    }
+    if (!(config_.windows_grid_ratio >= 1.0)) {
+        throw std::invalid_argument("Calibrator: windows_grid_ratio must be >= 1");
+    }
+}
+
+std::size_t Calibrator::effective_windows(std::size_t windows) const {
+    std::size_t k = std::min(windows, config_.windows_cap);
+    if (config_.windows_grid_ratio > 1.0) {
+        // Walk the deterministic integer grid 1, 2, 3, ... with ~ratio
+        // spacing and keep the largest point <= k (conservative: smaller
+        // k means a larger calibrated threshold).
+        std::size_t point = 1;
+        std::size_t best = 1;
+        while (point <= k) {
+            best = point;
+            const auto next = static_cast<std::size_t>(
+                std::floor(static_cast<double>(point) * config_.windows_grid_ratio));
+            point = std::max(point + 1, next);
+        }
+        k = best;
+    }
+    return k;
+}
+
+Calibrator::Key Calibrator::make_key(std::size_t windows, std::uint32_t m,
+                                     double p_hat) const {
+    if (windows == 0) {
+        throw std::invalid_argument("Calibrator: need at least one window");
+    }
+    if (m == 0) {
+        throw std::invalid_argument("Calibrator: window size must be positive");
+    }
+    if (!(p_hat >= 0.0 && p_hat <= 1.0)) {
+        throw std::invalid_argument("Calibrator: p_hat must be in [0, 1]");
+    }
+    auto bucket = static_cast<std::uint32_t>(
+        std::lround(p_hat * static_cast<double>(config_.p_grid)));
+    // Never round a non-degenerate p̂ onto the degenerate endpoints: the
+    // null distance at p = 1 (or 0) is exactly zero, which would condemn
+    // any history containing a single opposite outcome to fail forever.
+    if (bucket == 0 && p_hat > 0.0) bucket = 1;
+    if (bucket == config_.p_grid && p_hat < 1.0) bucket = config_.p_grid - 1;
+    return Key{effective_windows(windows), m, bucket};
+}
+
+std::vector<double> Calibrator::compute_null(const Key& key) const {
+    const double p = static_cast<double>(key.p_bucket) / static_cast<double>(config_.p_grid);
+    const Binomial reference{key.m, p};
+    const auto& ref_pmf = reference.pmf_table();
+
+    // Derive a per-key seed so null samples are independent of call order.
+    std::uint64_t seed_state = config_.seed ^ (key.windows * 0x9e3779b97f4a7c15ULL) ^
+                               (static_cast<std::uint64_t>(key.m) << 32) ^ key.p_bucket;
+    Rng rng{splitmix64(seed_state)};
+
+    std::vector<double> distances;
+    distances.reserve(config_.replications);
+    EmpiricalDistribution sample{key.m};
+    for (std::size_t r = 0; r < config_.replications; ++r) {
+        sample.clear();
+        for (std::uint64_t i = 0; i < key.windows; ++i) {
+            sample.add(reference.sample(rng));
+        }
+        distances.push_back(distance(sample, ref_pmf, config_.kind));
+    }
+    std::sort(distances.begin(), distances.end());
+    return distances;
+}
+
+const std::vector<double>& Calibrator::null_for(const Key& key) {
+    {
+        const std::scoped_lock lock{mutex_};
+        if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+    }
+    std::vector<double> null = compute_null(key);
+    const std::scoped_lock lock{mutex_};
+    return cache_.emplace(key, std::move(null)).first->second;
+}
+
+double Calibrator::threshold(std::size_t windows, std::uint32_t m, double p_hat) {
+    return threshold(windows, m, p_hat, config_.confidence);
+}
+
+double Calibrator::threshold(std::size_t windows, std::uint32_t m, double p_hat,
+                             double confidence) {
+    if (!(confidence > 0.0 && confidence < 1.0)) {
+        throw std::invalid_argument("Calibrator::threshold: confidence in (0, 1)");
+    }
+    return sorted_quantile(null_for(make_key(windows, m, p_hat)), confidence);
+}
+
+const std::vector<double>& Calibrator::null_distances(std::size_t windows,
+                                                      std::uint32_t m, double p_hat) {
+    return null_for(make_key(windows, m, p_hat));
+}
+
+std::size_t Calibrator::cache_size() const {
+    const std::scoped_lock lock{mutex_};
+    return cache_.size();
+}
+
+void Calibrator::clear_cache() {
+    const std::scoped_lock lock{mutex_};
+    cache_.clear();
+}
+
+void Calibrator::save_cache(const std::string& path) const {
+    std::ofstream out{path};
+    if (!out) {
+        throw std::runtime_error("Calibrator::save_cache: cannot open '" + path + "'");
+    }
+    out << "hpr-calibration-cache v1 kind=" << to_string(config_.kind)
+        << " replications=" << config_.replications << " p_grid=" << config_.p_grid
+        << " seed=" << config_.seed << '\n';
+    out.precision(17);
+    const std::scoped_lock lock{mutex_};
+    for (const auto& [key, null_sample] : cache_) {
+        out << key.windows << ' ' << key.m << ' ' << key.p_bucket << ':';
+        for (const double v : null_sample) out << ' ' << v;
+        out << '\n';
+    }
+    if (!out) {
+        throw std::runtime_error("Calibrator::save_cache: write to '" + path +
+                                 "' failed");
+    }
+}
+
+void Calibrator::load_cache(const std::string& path) {
+    std::ifstream in{path};
+    if (!in) {
+        throw std::runtime_error("Calibrator::load_cache: cannot open '" + path + "'");
+    }
+    std::string header;
+    std::getline(in, header);
+    std::ostringstream expected;
+    expected << "hpr-calibration-cache v1 kind=" << to_string(config_.kind)
+             << " replications=" << config_.replications
+             << " p_grid=" << config_.p_grid << " seed=" << config_.seed;
+    if (header != expected.str()) {
+        throw std::runtime_error(
+            "Calibrator::load_cache: calibration parameters in '" + path +
+            "' do not match this calibrator");
+    }
+    std::string line;
+    std::size_t line_no = 1;
+    std::map<Key, std::vector<double>> loaded;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos) {
+            throw std::runtime_error("Calibrator::load_cache: malformed line " +
+                                     std::to_string(line_no));
+        }
+        Key key{};
+        {
+            std::istringstream key_in{line.substr(0, colon)};
+            if (!(key_in >> key.windows >> key.m >> key.p_bucket)) {
+                throw std::runtime_error("Calibrator::load_cache: bad key at line " +
+                                         std::to_string(line_no));
+            }
+        }
+        std::vector<double> values;
+        values.reserve(config_.replications);
+        std::istringstream value_in{line.substr(colon + 1)};
+        double v = 0.0;
+        while (value_in >> v) values.push_back(v);
+        if (values.size() != config_.replications ||
+            !std::is_sorted(values.begin(), values.end())) {
+            throw std::runtime_error(
+                "Calibrator::load_cache: corrupt null sample at line " +
+                std::to_string(line_no));
+        }
+        loaded.emplace(key, std::move(values));
+    }
+    const std::scoped_lock lock{mutex_};
+    for (auto& [key, values] : loaded) {
+        cache_.insert_or_assign(key, std::move(values));
+    }
+}
+
+}  // namespace hpr::stats

@@ -1,0 +1,132 @@
+#ifndef HPR_STATS_CALIBRATE_H
+#define HPR_STATS_CALIBRATE_H
+
+/// \file calibrate.h
+/// Monte-Carlo calibration of distribution-distance thresholds.
+///
+/// The behavior test (paper §3.2) accepts a history iff the L1 distance
+/// between the empirical window-count distribution and B(m, p̂) is below a
+/// threshold ε chosen for a target confidence (95% by default).  Deriving
+/// the exact distribution of the distance is intractable, so — exactly as
+/// the paper does — ε is estimated empirically: generate many sets of k
+/// iid samples from B(m, p̂), measure their distances to B(m, p̂), and take
+/// the confidence-quantile of those distances.
+///
+/// Calibration cost dominates screening, so the Calibrator memoizes the
+/// full sorted null-distance sample per key (k-bucket, m, p̂-bucket).
+/// Storing the whole sample instead of a single quantile lets callers ask
+/// for any confidence level against one cached simulation — multi-testing
+/// uses this for its family-wise (Bonferroni) correction.
+///
+/// Two quantizations keep the key space small; both err on the
+/// conservative side (a slightly *larger* ε, hence fewer false alarms):
+///  * p̂ is rounded to a 1/p_grid grid;
+///  * the window count k is capped at windows_cap and rounded *down* onto
+///    a geometric grid (ratio windows_grid_ratio).  The null distance
+///    shrinks as k grows, so evaluating at a smaller k over-estimates ε.
+/// This is what makes repeated screening of growing histories O(1)
+/// amortized — the enabler of the O(n) multi-test timing of §5.5 / Fig. 9.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/binomial.h"
+#include "stats/distance.h"
+#include "stats/rng.h"
+
+namespace hpr::stats {
+
+/// Tuning knobs for threshold calibration.
+struct CalibrationConfig {
+    double confidence = 0.95;          ///< default quantile of the null distances
+    std::size_t replications = 1000;   ///< Monte-Carlo sample sets per key
+    DistanceKind kind = DistanceKind::kL1;
+    std::uint32_t p_grid = 256;        ///< p̂ is quantized to multiples of 1/p_grid
+    std::uint64_t seed = 0x5ca1ab1eULL;  ///< base seed; each key derives its own stream
+
+    /// Window counts above this cap reuse the cap's null sample.
+    std::size_t windows_cap = 2048;
+
+    /// Geometric grid ratio for window-count bucketing (k is rounded DOWN
+    /// to the nearest grid point, conservatively inflating ε).  Set to 1.0
+    /// for exact per-k calibration.
+    double windows_grid_ratio = 1.15;
+};
+
+/// Memoizing Monte-Carlo calibrator. Thread-safe.
+class Calibrator {
+public:
+    explicit Calibrator(CalibrationConfig config = {});
+
+    /// Threshold ε at the calibrator's default confidence.
+    ///
+    /// \param windows  number of window samples k (must be >= 1)
+    /// \param m        window size (transactions per window)
+    /// \param p_hat    estimated trust value in [0, 1]
+    /// \throws std::invalid_argument on out-of-range arguments.
+    [[nodiscard]] double threshold(std::size_t windows, std::uint32_t m, double p_hat);
+
+    /// Threshold ε at an explicit confidence in (0, 1).  Uses the same
+    /// cached null sample as any other confidence for the key.
+    [[nodiscard]] double threshold(std::size_t windows, std::uint32_t m, double p_hat,
+                                   double confidence);
+
+    /// The full sorted null-distance sample for a key (useful for plotting
+    /// Fig. 8-style curves and for tests).
+    [[nodiscard]] const std::vector<double>& null_distances(std::size_t windows,
+                                                            std::uint32_t m,
+                                                            double p_hat);
+
+    [[nodiscard]] const CalibrationConfig& config() const noexcept { return config_; }
+
+    /// The bucketed window count actually used for a requested k.
+    [[nodiscard]] std::size_t effective_windows(std::size_t windows) const;
+
+    /// Number of distinct keys calibrated so far.
+    [[nodiscard]] std::size_t cache_size() const;
+
+    /// Drop all memoized null samples.
+    void clear_cache();
+
+    /// Persist the memoized null samples so a later process can skip the
+    /// Monte-Carlo warm-up (useful for deployments screening at startup).
+    /// \throws std::runtime_error on I/O failure.
+    void save_cache(const std::string& path) const;
+
+    /// Merge null samples persisted by save_cache() into this cache.
+    /// The file's calibration parameters (distance kind, replications,
+    /// p-grid, seed) must match this calibrator's, otherwise the stored
+    /// samples would answer a different question.
+    /// \throws std::runtime_error on I/O/parse failure or config mismatch.
+    void load_cache(const std::string& path);
+
+private:
+    struct Key {
+        std::uint64_t windows;
+        std::uint32_t m;
+        std::uint32_t p_bucket;
+        auto operator<=>(const Key&) const = default;
+    };
+
+    [[nodiscard]] Key make_key(std::size_t windows, std::uint32_t m, double p_hat) const;
+    [[nodiscard]] std::vector<double> compute_null(const Key& key) const;
+    [[nodiscard]] const std::vector<double>& null_for(const Key& key);
+
+    CalibrationConfig config_;
+    mutable std::mutex mutex_;
+    std::map<Key, std::vector<double>> cache_;
+};
+
+/// Empirical quantile (linear interpolation between order statistics) of an
+/// unsorted sample. \throws std::invalid_argument if values is empty.
+[[nodiscard]] double empirical_quantile(std::vector<double> values, double q);
+
+/// Quantile of an already-sorted sample (no copy).
+[[nodiscard]] double sorted_quantile(const std::vector<double>& sorted, double q);
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_CALIBRATE_H

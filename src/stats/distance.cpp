@@ -1,0 +1,102 @@
+#include "stats/distance.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpr::stats {
+
+const char* to_string(DistanceKind kind) noexcept {
+    switch (kind) {
+        case DistanceKind::kL1: return "L1";
+        case DistanceKind::kL2: return "L2";
+        case DistanceKind::kTotalVariation: return "TV";
+        case DistanceKind::kChiSquare: return "ChiSquare";
+        case DistanceKind::kKolmogorovSmirnov: return "KS";
+    }
+    return "unknown";
+}
+
+double distance(const std::vector<double>& lhs, const std::vector<double>& rhs,
+                DistanceKind kind) {
+    if (lhs.size() != rhs.size()) {
+        throw std::invalid_argument("distance: pmf tables differ in length");
+    }
+    switch (kind) {
+        case DistanceKind::kL1: {
+            double d = 0.0;
+            for (std::size_t i = 0; i < lhs.size(); ++i) d += std::fabs(lhs[i] - rhs[i]);
+            return d;
+        }
+        case DistanceKind::kL2: {
+            double d = 0.0;
+            for (std::size_t i = 0; i < lhs.size(); ++i) {
+                const double diff = lhs[i] - rhs[i];
+                d += diff * diff;
+            }
+            return std::sqrt(d);
+        }
+        case DistanceKind::kTotalVariation: {
+            double d = 0.0;
+            for (std::size_t i = 0; i < lhs.size(); ++i) d += std::fabs(lhs[i] - rhs[i]);
+            return 0.5 * d;
+        }
+        case DistanceKind::kChiSquare: {
+            double d = 0.0;
+            for (std::size_t i = 0; i < lhs.size(); ++i) {
+                if (rhs[i] > 0.0) {
+                    const double diff = lhs[i] - rhs[i];
+                    d += diff * diff / rhs[i];
+                } else if (lhs[i] > 0.0) {
+                    // Mass on an impossible outcome: infinite discrepancy in
+                    // theory; report a large finite penalty to stay orderable.
+                    d += 1e9 * lhs[i];
+                }
+            }
+            return d;
+        }
+        case DistanceKind::kKolmogorovSmirnov: {
+            double d = 0.0;
+            double cum_l = 0.0;
+            double cum_r = 0.0;
+            for (std::size_t i = 0; i < lhs.size(); ++i) {
+                cum_l += lhs[i];
+                cum_r += rhs[i];
+                d = std::max(d, std::fabs(cum_l - cum_r));
+            }
+            return d;
+        }
+    }
+    throw std::invalid_argument("distance: unknown DistanceKind");
+}
+
+double l1_distance(const EmpiricalDistribution& empirical,
+                   const std::vector<double>& reference_pmf) {
+    const auto& counts = empirical.count_table();
+    if (counts.size() != reference_pmf.size()) {
+        throw std::invalid_argument("l1_distance: support mismatch");
+    }
+    if (empirical.empty()) {
+        // An empty sample carries no evidence; define its distance to any
+        // reference as the maximum possible L1 value.
+        return 2.0;
+    }
+    const double n = static_cast<double>(empirical.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        d += std::fabs(static_cast<double>(counts[i]) / n - reference_pmf[i]);
+    }
+    return d;
+}
+
+double distance(const EmpiricalDistribution& empirical,
+                const std::vector<double>& reference_pmf, DistanceKind kind) {
+    if (kind == DistanceKind::kL1) return l1_distance(empirical, reference_pmf);
+    return distance(empirical.pmf_table(), reference_pmf, kind);
+}
+
+double distance(const EmpiricalDistribution& empirical, const Binomial& reference,
+                DistanceKind kind) {
+    return distance(empirical, reference.pmf_table(), kind);
+}
+
+}  // namespace hpr::stats

@@ -1,0 +1,54 @@
+#ifndef HPR_STATS_DISTANCE_H
+#define HPR_STATS_DISTANCE_H
+
+/// \file distance.h
+/// Distances between a discrete empirical distribution and a reference
+/// distribution over the same integer support.
+///
+/// The paper's behavior test uses the L1 norm (§3.2).  L2, total
+/// variation, chi-square and Kolmogorov-Smirnov are provided as
+/// alternatives for sensitivity studies; all share the same calibration
+/// machinery (stats/calibrate.h).
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/binomial.h"
+#include "stats/empirical.h"
+
+namespace hpr::stats {
+
+/// Which distance functional a behavior test uses.
+enum class DistanceKind : std::uint8_t {
+    kL1,              ///< sum |f - g|                 (the paper's choice)
+    kL2,              ///< sqrt(sum (f - g)^2)
+    kTotalVariation,  ///< (1/2) sum |f - g|
+    kChiSquare,       ///< sum (f - g)^2 / g over g > 0
+    kKolmogorovSmirnov,  ///< max_k |F(k) - G(k)|
+};
+
+[[nodiscard]] const char* to_string(DistanceKind kind) noexcept;
+
+/// Distance between two pmf tables of equal length.
+/// \throws std::invalid_argument on length mismatch.
+[[nodiscard]] double distance(const std::vector<double>& lhs,
+                              const std::vector<double>& rhs, DistanceKind kind);
+
+/// L1 distance between an empirical distribution and a reference pmf table
+/// without materializing the empirical pmf (hot path of behavior testing).
+/// \throws std::invalid_argument on support mismatch.
+[[nodiscard]] double l1_distance(const EmpiricalDistribution& empirical,
+                                 const std::vector<double>& reference_pmf);
+
+/// Generic distance between an empirical distribution and a reference pmf.
+[[nodiscard]] double distance(const EmpiricalDistribution& empirical,
+                              const std::vector<double>& reference_pmf,
+                              DistanceKind kind);
+
+/// Convenience overload against a Binomial reference.
+[[nodiscard]] double distance(const EmpiricalDistribution& empirical,
+                              const Binomial& reference, DistanceKind kind);
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_DISTANCE_H

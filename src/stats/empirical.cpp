@@ -1,0 +1,72 @@
+#include "stats/empirical.h"
+
+#include <stdexcept>
+
+namespace hpr::stats {
+
+EmpiricalDistribution::EmpiricalDistribution(std::uint32_t max_value)
+    : counts_(static_cast<std::size_t>(max_value) + 1, 0) {}
+
+EmpiricalDistribution::EmpiricalDistribution(std::uint32_t max_value,
+                                             const std::vector<std::uint32_t>& samples)
+    : EmpiricalDistribution(max_value) {
+    for (const std::uint32_t s : samples) add(s);
+}
+
+void EmpiricalDistribution::add(std::uint32_t value) {
+    if (value >= counts_.size()) {
+        throw std::invalid_argument("EmpiricalDistribution::add: value beyond support");
+    }
+    ++counts_[value];
+    ++total_;
+    value_sum_ += value;
+    value_sq_sum_ += static_cast<std::uint64_t>(value) * value;
+}
+
+void EmpiricalDistribution::remove(std::uint32_t value) {
+    if (value >= counts_.size() || counts_[value] == 0) {
+        throw std::logic_error("EmpiricalDistribution::remove: value not recorded");
+    }
+    --counts_[value];
+    --total_;
+    value_sum_ -= value;
+    value_sq_sum_ -= static_cast<std::uint64_t>(value) * value;
+}
+
+double EmpiricalDistribution::variance() const noexcept {
+    if (total_ < 2) return 0.0;
+    const double n = static_cast<double>(total_);
+    const double mean_v = mean();
+    const double ex2 = static_cast<double>(value_sq_sum_) / n;
+    const double biased = ex2 - mean_v * mean_v;
+    return biased * n / (n - 1.0);
+}
+
+std::vector<double> EmpiricalDistribution::pmf_table() const {
+    std::vector<double> table(counts_.size(), 0.0);
+    if (total_ == 0) return table;
+    const double n = static_cast<double>(total_);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        table[i] = static_cast<double>(counts_[i]) / n;
+    }
+    return table;
+}
+
+void EmpiricalDistribution::merge(const EmpiricalDistribution& other) {
+    if (other.counts_.size() != counts_.size()) {
+        throw std::invalid_argument("EmpiricalDistribution::merge: support mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    value_sum_ += other.value_sum_;
+    value_sq_sum_ += other.value_sq_sum_;
+}
+
+void EmpiricalDistribution::clear() noexcept {
+    for (auto& c : counts_) c = 0;
+    total_ = 0;
+    value_sum_ = 0;
+    value_sq_sum_ = 0;
+}
+
+}  // namespace hpr::stats

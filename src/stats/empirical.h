@@ -1,0 +1,93 @@
+#ifndef HPR_STATS_EMPIRICAL_H
+#define HPR_STATS_EMPIRICAL_H
+
+/// \file empirical.h
+/// Empirical distributions over a small integer support {0..max_value}.
+///
+/// Behavior testing (paper §3.2) reduces a transaction history to the
+/// multiset of per-window good-transaction counts {G_1..G_k}, each in
+/// {0..m}.  This class holds that multiset as a count histogram and
+/// supports O(1) incremental insertion/removal — the key operation behind
+/// the O(n) optimized multi-testing of §5.5.
+
+#include <cstdint>
+#include <vector>
+
+namespace hpr::stats {
+
+/// Count histogram over {0..max_value} with lazily computed pmf views.
+class EmpiricalDistribution {
+public:
+    /// Empty distribution with support {0..max_value}.
+    explicit EmpiricalDistribution(std::uint32_t max_value);
+
+    /// Build directly from samples.
+    /// \throws std::invalid_argument if any sample exceeds max_value.
+    EmpiricalDistribution(std::uint32_t max_value,
+                          const std::vector<std::uint32_t>& samples);
+
+    /// Largest representable value (window size m in behavior testing).
+    [[nodiscard]] std::uint32_t max_value() const noexcept {
+        return static_cast<std::uint32_t>(counts_.size() - 1);
+    }
+
+    /// Number of samples currently recorded.
+    [[nodiscard]] std::uint64_t size() const noexcept { return total_; }
+    [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+    /// Record one observation of `value`.
+    /// \throws std::invalid_argument if value exceeds max_value.
+    void add(std::uint32_t value);
+
+    /// Remove one previously recorded observation of `value`.
+    /// \throws std::logic_error if no such observation is recorded.
+    void remove(std::uint32_t value);
+
+    /// Raw count of observations equal to `value` (0 beyond support).
+    [[nodiscard]] std::uint64_t count(std::uint32_t value) const noexcept {
+        return value < counts_.size() ? counts_[value] : 0;
+    }
+
+    /// Empirical probability of `value`; 0 when the distribution is empty.
+    [[nodiscard]] double pmf(std::uint32_t value) const noexcept {
+        if (total_ == 0 || value >= counts_.size()) return 0.0;
+        return static_cast<double>(counts_[value]) / static_cast<double>(total_);
+    }
+
+    /// Sum of all recorded sample values (e.g. total good transactions).
+    [[nodiscard]] std::uint64_t value_sum() const noexcept { return value_sum_; }
+
+    /// Sample mean; 0 when empty.
+    [[nodiscard]] double mean() const noexcept {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(value_sum_) / static_cast<double>(total_);
+    }
+
+    /// Unbiased sample variance; 0 when fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+
+    /// Normalized pmf over the full support (size max_value + 1).
+    [[nodiscard]] std::vector<double> pmf_table() const;
+
+    /// Raw counts over the full support (size max_value + 1).
+    [[nodiscard]] const std::vector<std::uint64_t>& count_table() const noexcept {
+        return counts_;
+    }
+
+    /// Merge another distribution over the same support into this one.
+    /// \throws std::invalid_argument on support mismatch.
+    void merge(const EmpiricalDistribution& other);
+
+    /// Drop all recorded samples (support is preserved).
+    void clear() noexcept;
+
+private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t value_sum_ = 0;
+    std::uint64_t value_sq_sum_ = 0;
+};
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_EMPIRICAL_H

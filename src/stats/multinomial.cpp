@@ -1,0 +1,74 @@
+#include "stats/multinomial.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hpr::stats {
+
+Multinomial::Multinomial(std::uint32_t n, std::vector<double> probabilities)
+    : n_(n), p_(std::move(probabilities)) {
+    if (p_.empty()) {
+        throw std::invalid_argument("Multinomial: need at least one category");
+    }
+    double total = 0.0;
+    for (double v : p_) {
+        if (v < 0.0) {
+            throw std::invalid_argument("Multinomial: probabilities must be >= 0");
+        }
+        total += v;
+    }
+    if (std::fabs(total - 1.0) > 1e-9) {
+        throw std::invalid_argument("Multinomial: probabilities must sum to 1");
+    }
+    for (double& v : p_) v /= total;
+}
+
+double Multinomial::log_pmf(const std::vector<std::uint32_t>& counts) const {
+    if (counts.size() != p_.size()) {
+        throw std::invalid_argument("Multinomial::log_pmf: category count mismatch");
+    }
+    const std::uint64_t sum = std::accumulate(counts.begin(), counts.end(), 0ULL);
+    if (sum != n_) return -std::numeric_limits<double>::infinity();
+    double logp = std::lgamma(static_cast<double>(n_) + 1.0);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+        if (counts[j] > 0 && p_[j] == 0.0) {
+            return -std::numeric_limits<double>::infinity();
+        }
+        logp -= std::lgamma(static_cast<double>(counts[j]) + 1.0);
+        if (counts[j] > 0) {
+            logp += static_cast<double>(counts[j]) * std::log(p_[j]);
+        }
+    }
+    return logp;
+}
+
+double Multinomial::pmf(const std::vector<std::uint32_t>& counts) const {
+    return std::exp(log_pmf(counts));
+}
+
+Binomial Multinomial::marginal(std::size_t j) const {
+    if (j >= p_.size()) {
+        throw std::invalid_argument("Multinomial::marginal: category out of range");
+    }
+    return Binomial{n_, p_[j]};
+}
+
+std::vector<std::uint32_t> Multinomial::sample(Rng& rng) const {
+    std::vector<std::uint32_t> counts(p_.size(), 0);
+    std::uint32_t remaining = n_;
+    double prob_left = 1.0;
+    for (std::size_t j = 0; j + 1 < p_.size() && remaining > 0; ++j) {
+        const double cond = prob_left > 0.0 ? std::min(1.0, p_[j] / prob_left) : 0.0;
+        const Binomial marginal_given_rest{remaining, cond};
+        const std::uint32_t draw = marginal_given_rest.sample(rng);
+        counts[j] = draw;
+        remaining -= draw;
+        prob_left -= p_[j];
+    }
+    counts.back() += remaining;
+    return counts;
+}
+
+}  // namespace hpr::stats

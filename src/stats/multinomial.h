@@ -1,0 +1,50 @@
+#ifndef HPR_STATS_MULTINOMIAL_H
+#define HPR_STATS_MULTINOMIAL_H
+
+/// \file multinomial.h
+/// Multinomial model for multi-valued feedback (paper §3.1 extension):
+/// when feedback is not binary (e.g. {positive, neutral, negative}), the
+/// per-window category counts of an honest player follow a multinomial
+/// Mult(m, p_1..p_c).  Behavior testing then compares, per category, the
+/// empirical distribution of per-window counts against the marginal
+/// Binomial(m, p_j) — the exact analogue of the binary test.
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/binomial.h"
+#include "stats/rng.h"
+
+namespace hpr::stats {
+
+/// Multinomial distribution Mult(n, p) over c categories.
+class Multinomial {
+public:
+    /// \throws std::invalid_argument if probabilities are negative or do
+    /// not sum to 1 within 1e-9 (they are renormalized afterwards).
+    Multinomial(std::uint32_t n, std::vector<double> probabilities);
+
+    [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+    [[nodiscard]] std::size_t categories() const noexcept { return p_.size(); }
+    [[nodiscard]] const std::vector<double>& probabilities() const noexcept { return p_; }
+
+    /// log P(X = counts); counts must sum to n and have size categories().
+    [[nodiscard]] double log_pmf(const std::vector<std::uint32_t>& counts) const;
+
+    /// P(X = counts).
+    [[nodiscard]] double pmf(const std::vector<std::uint32_t>& counts) const;
+
+    /// The marginal distribution of category j is Binomial(n, p_j).
+    [[nodiscard]] Binomial marginal(std::size_t j) const;
+
+    /// Draw one vector of category counts (conditional binomial method).
+    [[nodiscard]] std::vector<std::uint32_t> sample(Rng& rng) const;
+
+private:
+    std::uint32_t n_;
+    std::vector<double> p_;
+};
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_MULTINOMIAL_H

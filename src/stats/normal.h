@@ -1,0 +1,20 @@
+#ifndef HPR_STATS_NORMAL_H
+#define HPR_STATS_NORMAL_H
+
+/// \file normal.h
+/// Standard normal cdf and quantile, for normal-approximation tests
+/// (the runs test of core/runs_test.h) and confidence machinery.
+
+namespace hpr::stats {
+
+/// Φ(x): standard normal cdf.
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Φ⁻¹(p) for p in (0, 1): Acklam's rational approximation refined by one
+/// Halley step; absolute error below 1e-9 across the domain.
+/// \throws std::invalid_argument outside (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_NORMAL_H

@@ -1,0 +1,43 @@
+#include "stats/rng.h"
+
+#include <cmath>
+
+namespace hpr::stats {
+
+std::uint64_t Rng::uniform_int(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = operator()();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (low < threshold) {
+            x = operator()();
+            m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::normal() noexcept {
+    if (has_spare_normal_) {
+        has_spare_normal_ = false;
+        return spare_normal_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_normal_ = v * factor;
+    has_spare_normal_ = true;
+    return u * factor;
+}
+
+}  // namespace hpr::stats

@@ -1,0 +1,116 @@
+// Unit tests for category-partitioned behavior testing (core/category.h) —
+// paper §4 closing discussion (the North-America/Africa example).
+
+#include "core/category.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace hpr::core {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = make_calibrator(BehaviorTestConfig{});
+    return cal;
+}
+
+// Clients below 50 are "NA", the rest "AF".
+std::string region_of(const repsys::Feedback& f) {
+    return f.client < 50 ? "NA" : "AF";
+}
+
+repsys::Feedback fb(repsys::Timestamp t, repsys::EntityId client, bool good) {
+    return repsys::Feedback{t, 1, client,
+                            good ? repsys::Rating::kPositive
+                                 : repsys::Rating::kNegative};
+}
+
+// Regions arrive in alternating blocks of 20 transactions (think
+// time-of-day traffic patterns), so the pooled window statistics really
+// mix two binomials instead of collapsing to one Bernoulli stream.
+std::vector<repsys::Feedback> two_region_history(std::size_t n, double p_na,
+                                                 double p_af, stats::Rng& rng) {
+    std::vector<repsys::Feedback> feedbacks;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool na = (i / 20) % 2 == 0;
+        const auto client = static_cast<repsys::EntityId>(
+            na ? rng.uniform_int(std::uint64_t{50})
+               : 50 + rng.uniform_int(std::uint64_t{50}));
+        feedbacks.push_back(fb(static_cast<repsys::Timestamp>(i + 1), client,
+                               rng.bernoulli(na ? p_na : p_af)));
+    }
+    return feedbacks;
+}
+
+TEST(PartitionByCategory, SplitsAndPreservesOrder) {
+    const std::vector<repsys::Feedback> feedbacks{
+        fb(1, 10, true), fb(2, 60, false), fb(3, 11, true), fb(4, 61, true)};
+    const auto partitions = partition_by_category(feedbacks, region_of);
+    ASSERT_EQ(partitions.size(), 2u);
+    ASSERT_EQ(partitions.at("NA").size(), 2u);
+    ASSERT_EQ(partitions.at("AF").size(), 2u);
+    EXPECT_EQ(partitions.at("NA")[0].time, 1);
+    EXPECT_EQ(partitions.at("NA")[1].time, 3);
+    EXPECT_EQ(partitions.at("AF")[0].time, 2);
+}
+
+TEST(PartitionByCategory, NullCategorizerThrows) {
+    EXPECT_THROW((void)partition_by_category({}, Categorizer{}),
+                 std::invalid_argument);
+}
+
+TEST(CategoryTest, NullCategorizerThrows) {
+    EXPECT_THROW(CategoryTest(MultiTestConfig{}, Categorizer{}),
+                 std::invalid_argument);
+}
+
+TEST(CategoryTest, MixedQualityFailsPooledButPassesPerCategory) {
+    // The paper's motivating case: uniform 0.95 quality to NA, 0.55 to AF.
+    // Pooled, the bimodal mixture is far from one binomial; per category,
+    // each region is honestly consistent.
+    stats::Rng rng{61};
+    const auto feedbacks = two_region_history(1200, 0.95, 0.55, rng);
+
+    const MultiTest pooled{{}, shared_cal()};
+    EXPECT_FALSE(pooled.test(std::span<const repsys::Feedback>{feedbacks}).passed);
+
+    const CategoryTest per_region{MultiTestConfig{}, region_of, shared_cal()};
+    const auto result = per_region.test(feedbacks);
+    ASSERT_EQ(result.per_category.size(), 2u);
+    EXPECT_TRUE(result.all_passed())
+        << "failed: " << ::testing::PrintToString(result.failed_categories());
+}
+
+TEST(CategoryTest, DetectsAttackWithinOneCategory) {
+    // Honest toward AF, hibernating-attack tail toward NA.
+    stats::Rng rng{62};
+    std::vector<repsys::Feedback> feedbacks = two_region_history(800, 0.95, 0.95, rng);
+    for (int i = 0; i < 30; ++i) {
+        feedbacks.push_back(fb(static_cast<repsys::Timestamp>(2000 + i),
+                               static_cast<repsys::EntityId>(i % 50), false));
+    }
+    const CategoryTest per_region{MultiTestConfig{}, region_of, shared_cal()};
+    const auto result = per_region.test(feedbacks);
+    EXPECT_FALSE(result.all_passed());
+    const auto failed = result.failed_categories();
+    ASSERT_EQ(failed.size(), 1u);
+    EXPECT_EQ(failed[0], "NA");
+}
+
+TEST(CategoryTest, TestCategoryFiltersCorrectly) {
+    stats::Rng rng{63};
+    const auto feedbacks = two_region_history(1000, 0.95, 0.55, rng);
+    const CategoryTest per_region{MultiTestConfig{}, region_of, shared_cal()};
+    const auto na = per_region.test_category(feedbacks, "NA");
+    const auto af = per_region.test_category(feedbacks, "AF");
+    EXPECT_TRUE(na.passed);
+    EXPECT_TRUE(af.passed);
+    // A label with no feedbacks is insufficient, not failing.
+    const auto none = per_region.test_category(feedbacks, "EU");
+    EXPECT_FALSE(none.sufficient);
+    EXPECT_TRUE(none.passed);
+}
+
+}  // namespace
+}  // namespace hpr::core

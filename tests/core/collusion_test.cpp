@@ -1,0 +1,173 @@
+// Unit tests for collusion-resilient behavior testing (core/collusion.h) —
+// paper §4.
+
+#include "core/collusion.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sim/generators.h"
+
+namespace hpr::core {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = make_calibrator(BehaviorTestConfig{});
+    return cal;
+}
+
+repsys::Feedback fb(repsys::Timestamp t, repsys::EntityId client, bool good) {
+    return repsys::Feedback{t, 1, client,
+                            good ? repsys::Rating::kPositive
+                                 : repsys::Rating::kNegative};
+}
+
+TEST(ReorderByIssuer, EmptyInput) {
+    EXPECT_TRUE(reorder_by_issuer({}).empty());
+}
+
+TEST(ReorderByIssuer, IsAPermutation) {
+    stats::Rng rng{41};
+    std::vector<repsys::Feedback> feedbacks;
+    for (int i = 0; i < 300; ++i) {
+        feedbacks.push_back(fb(i + 1,
+                               static_cast<repsys::EntityId>(rng.uniform_int(std::uint64_t{12})),
+                               rng.bernoulli(0.8)));
+    }
+    auto reordered = reorder_by_issuer(feedbacks);
+    ASSERT_EQ(reordered.size(), feedbacks.size());
+    auto key = [](const repsys::Feedback& f) {
+        return std::make_tuple(f.time, f.server, f.client, f.rating);
+    };
+    std::vector<std::tuple<repsys::Timestamp, repsys::EntityId, repsys::EntityId,
+                           repsys::Rating>>
+        a, b;
+    for (const auto& f : feedbacks) a.push_back(key(f));
+    for (const auto& f : reordered) b.push_back(key(f));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(ReorderByIssuer, GroupsAreContiguousAndSortedBySize) {
+    // Clients: 7 has 3 feedbacks, 8 has 2, 9 has 1.
+    const std::vector<repsys::Feedback> feedbacks{
+        fb(1, 9, true),  fb(2, 7, true), fb(3, 8, false),
+        fb(4, 7, false), fb(5, 8, true), fb(6, 7, true)};
+    const auto reordered = reorder_by_issuer(feedbacks);
+    std::vector<repsys::EntityId> clients;
+    for (const auto& f : reordered) clients.push_back(f.client);
+    EXPECT_EQ(clients, (std::vector<repsys::EntityId>{7, 7, 7, 8, 8, 9}));
+}
+
+TEST(ReorderByIssuer, WithinGroupTimeOrderPreserved) {
+    const std::vector<repsys::Feedback> feedbacks{
+        fb(1, 5, true), fb(2, 6, false), fb(3, 5, false), fb(4, 5, true)};
+    const auto reordered = reorder_by_issuer(feedbacks);
+    // Group 5 first (3 feedbacks) in time order 1, 3, 4; then group 6.
+    ASSERT_EQ(reordered.size(), 4u);
+    EXPECT_EQ(reordered[0].time, 1);
+    EXPECT_EQ(reordered[1].time, 3);
+    EXPECT_EQ(reordered[2].time, 4);
+    EXPECT_EQ(reordered[3].client, 6u);
+}
+
+TEST(ReorderByIssuer, TiesBrokenByFirstAppearance) {
+    const std::vector<repsys::Feedback> feedbacks{
+        fb(1, 30, true), fb(2, 20, true), fb(3, 30, true), fb(4, 20, true)};
+    const auto reordered = reorder_by_issuer(feedbacks);
+    // Both groups have size 2; client 30 appeared first.
+    EXPECT_EQ(reordered[0].client, 30u);
+    EXPECT_EQ(reordered[2].client, 20u);
+}
+
+TEST(ReorderByIssuer, ReorderIsIdempotent) {
+    stats::Rng rng{42};
+    std::vector<repsys::Feedback> feedbacks;
+    for (int i = 0; i < 200; ++i) {
+        feedbacks.push_back(fb(i + 1,
+                               static_cast<repsys::EntityId>(rng.uniform_int(std::uint64_t{8})),
+                               rng.bernoulli(0.9)));
+    }
+    const auto once = reorder_by_issuer(feedbacks);
+    // Re-ordering an already-grouped sequence re-sorts groups by the same
+    // size key; sizes are unchanged, and within groups order is kept, so
+    // the client sequence must be identical.
+    const auto twice = reorder_by_issuer(once);
+    std::vector<repsys::EntityId> c_once, c_twice;
+    for (const auto& f : once) c_once.push_back(f.client);
+    for (const auto& f : twice) c_twice.push_back(f.client);
+    EXPECT_EQ(c_once, c_twice);
+}
+
+TEST(CollusionResilientTest, HonestServerWithDiverseClientsPasses) {
+    const CollusionResilientTest tester{{}, shared_cal()};
+    stats::Rng rng{43};
+    int failures = 0;
+    constexpr int kTrials = 60;
+    for (int t = 0; t < kTrials; ++t) {
+        // Honest server, many clients, uniform service quality.
+        std::vector<repsys::Feedback> feedbacks;
+        for (int i = 0; i < 400; ++i) {
+            feedbacks.push_back(fb(i + 1,
+                                   static_cast<repsys::EntityId>(rng.uniform_int(std::uint64_t{60})),
+                                   rng.bernoulli(0.92)));
+        }
+        if (!tester.test_single(feedbacks).passed) ++failures;
+    }
+    EXPECT_LT(failures, kTrials / 6);
+}
+
+TEST(CollusionResilientTest, ColluderBoostedAttackerFails) {
+    // Attacker: 5 colluders file all-positive feedback; victims (many
+    // distinct clients) receive mostly bad service.  Time-ordered the
+    // history looks statistically fine; issuer-reordered it does not.
+    const CollusionResilientTest tester{{}, shared_cal()};
+    stats::Rng rng{44};
+    int detected = 0;
+    constexpr int kTrials = 30;
+    for (int t = 0; t < kTrials; ++t) {
+        std::vector<repsys::Feedback> feedbacks;
+        repsys::Timestamp time = 1;
+        repsys::EntityId next_victim = 100;
+        for (int i = 0; i < 400; ++i) {
+            if (i % 10 == 0) {
+                // One cheat per ten transactions, each on a fresh victim.
+                feedbacks.push_back(fb(time++, next_victim++, false));
+            } else {
+                // Colluders cover with fake positives.
+                feedbacks.push_back(fb(
+                    time++, static_cast<repsys::EntityId>(2 + (i % 5)), true));
+            }
+        }
+        if (!tester.test_multi(feedbacks).passed) ++detected;
+    }
+    EXPECT_GT(detected, kTrials * 3 / 4);
+}
+
+TEST(CollusionResilientTest, SingleAndMultiAgreeOnObviousCases) {
+    const CollusionResilientTest tester{{}, shared_cal()};
+    // All-good from many clients: consistent under any ordering.
+    std::vector<repsys::Feedback> good;
+    for (int i = 0; i < 300; ++i) {
+        good.push_back(fb(i + 1, static_cast<repsys::EntityId>(i % 40), true));
+    }
+    EXPECT_TRUE(tester.test_single(good).passed);
+    EXPECT_TRUE(tester.test_multi(good).passed);
+}
+
+TEST(CollusionResilientTest, ShortHistoryInsufficient) {
+    const CollusionResilientTest tester{{}, shared_cal()};
+    const std::vector<repsys::Feedback> tiny{fb(1, 2, true), fb(2, 3, true)};
+    const auto single = tester.test_single(tiny);
+    EXPECT_FALSE(single.sufficient);
+    EXPECT_TRUE(single.passed);
+    const auto multi = tester.test_multi(tiny);
+    EXPECT_FALSE(multi.sufficient);
+    EXPECT_TRUE(multi.passed);
+}
+
+}  // namespace
+}  // namespace hpr::core

@@ -1,0 +1,143 @@
+// Unit tests for multi-dimensional feedback testing (core/multidim.h).
+
+#include "core/multidim.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace hpr::core {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = make_calibrator(BehaviorTestConfig{});
+    return cal;
+}
+
+constexpr repsys::Rating kGood = repsys::Rating::kPositive;
+constexpr repsys::Rating kBad = repsys::Rating::kNegative;
+
+DimensionalFeedback df(repsys::Timestamp t, std::vector<repsys::Rating> ratings) {
+    return DimensionalFeedback{t, 1, 2, std::move(ratings)};
+}
+
+MultiDimensionalTest marketplace_test() {
+    return MultiDimensionalTest{{"quality", "delivery", "price"},
+                                MultiTestConfig{}, shared_cal()};
+}
+
+TEST(MultiDim, RejectsBadDimensionLists) {
+    EXPECT_THROW(MultiDimensionalTest({}, {}, shared_cal()), std::invalid_argument);
+    EXPECT_THROW(MultiDimensionalTest({"a", "b", "a"}, {}, shared_cal()),
+                 std::invalid_argument);
+}
+
+TEST(MultiDim, RejectsMisalignedRatings) {
+    const auto tester = marketplace_test();
+    const std::vector<DimensionalFeedback> feedbacks{df(1, {kGood, kGood})};
+    EXPECT_THROW((void)tester.test(feedbacks), std::invalid_argument);
+}
+
+TEST(MultiDim, ShortHistoryInsufficient) {
+    const auto tester = marketplace_test();
+    std::vector<DimensionalFeedback> feedbacks;
+    for (int i = 0; i < 20; ++i) feedbacks.push_back(df(i + 1, {kGood, kGood, kGood}));
+    const auto result = tester.test(feedbacks);
+    EXPECT_FALSE(result.sufficient);
+    EXPECT_TRUE(result.passed);
+}
+
+TEST(MultiDim, HonestOnAllDimensionsPasses) {
+    const auto tester = marketplace_test();
+    stats::Rng rng{1101};
+    std::vector<DimensionalFeedback> feedbacks;
+    for (int i = 0; i < 500; ++i) {
+        feedbacks.push_back(df(i + 1, {rng.bernoulli(0.92) ? kGood : kBad,
+                                       rng.bernoulli(0.88) ? kGood : kBad,
+                                       rng.bernoulli(0.95) ? kGood : kBad}));
+    }
+    const auto result = tester.test(feedbacks);
+    ASSERT_TRUE(result.sufficient);
+    EXPECT_TRUE(result.passed)
+        << ::testing::PrintToString(result.failed_dimensions());
+    EXPECT_EQ(result.per_dimension.size(), 3u);
+}
+
+TEST(MultiDim, SingleDimensionManipulationIsLocalized) {
+    // Great delivery/price, but the quality dimension hides a hibernating
+    // attack: only "quality" must fail.
+    const auto tester = marketplace_test();
+    stats::Rng rng{1102};
+    std::vector<DimensionalFeedback> feedbacks;
+    for (int i = 0; i < 500; ++i) {
+        const bool attack_phase = i >= 470;
+        feedbacks.push_back(df(i + 1, {attack_phase ? kBad
+                                                    : (rng.bernoulli(0.95) ? kGood : kBad),
+                                       rng.bernoulli(0.9) ? kGood : kBad,
+                                       rng.bernoulli(0.9) ? kGood : kBad}));
+    }
+    const auto result = tester.test(feedbacks);
+    EXPECT_FALSE(result.passed);
+    const auto failed = result.failed_dimensions();
+    ASSERT_EQ(failed.size(), 1u);
+    EXPECT_EQ(failed[0], "quality");
+}
+
+TEST(MultiDim, TestDimensionByName) {
+    const auto tester = marketplace_test();
+    stats::Rng rng{1103};
+    std::vector<DimensionalFeedback> feedbacks;
+    for (int i = 0; i < 400; ++i) {
+        feedbacks.push_back(df(i + 1, {rng.bernoulli(0.9) ? kGood : kBad,
+                                       kGood, kGood}));
+    }
+    EXPECT_TRUE(tester.test_dimension(feedbacks, "delivery").passed);
+    EXPECT_TRUE(tester.test_dimension(feedbacks, "quality").sufficient);
+    EXPECT_THROW((void)tester.test_dimension(feedbacks, "speed"),
+                 std::invalid_argument);
+}
+
+TEST(MultiDim, NeutralRatingsCountAsNotGood) {
+    MultiTestConfig config;
+    config.collect_details = true;
+    config.stop_on_failure = false;
+    const auto tester = MultiDimensionalTest{{"only"}, config, shared_cal()};
+    stats::Rng rng{1104};
+    std::vector<DimensionalFeedback> feedbacks;
+    for (int i = 0; i < 400; ++i) {
+        const double u = rng.uniform();
+        const repsys::Rating r = u < 0.9 ? kGood
+                                 : u < 0.95 ? repsys::Rating::kNeutral
+                                            : kBad;
+        feedbacks.push_back(df(i + 1, {r}));
+    }
+    const auto result = tester.test(feedbacks);
+    ASSERT_TRUE(result.sufficient);
+    // p̂ over the full history must treat neutral as not-good: ~0.9, not
+    // ~0.95 (which it would be if neutral counted as good).
+    const auto& stages = result.per_dimension.at("only").details;
+    ASSERT_FALSE(stages.empty());
+    EXPECT_NEAR(stages.back().p_hat, 0.9, 0.04);
+}
+
+TEST(MultiDim, AgreesWithScalarMultiTestOnOneDimension) {
+    const MultiDimensionalTest tester{{"d"}, MultiTestConfig{}, shared_cal()};
+    const MultiTest scalar{{}, shared_cal()};
+    stats::Rng rng{1105};
+    std::vector<DimensionalFeedback> feedbacks;
+    std::vector<std::uint8_t> outcomes;
+    for (int i = 0; i < 437; ++i) {
+        const bool good = rng.bernoulli(0.9);
+        feedbacks.push_back(df(i + 1, {good ? kGood : kBad}));
+        outcomes.push_back(good ? 1 : 0);
+    }
+    const auto dimensional = tester.test(feedbacks);
+    const auto direct = scalar.test(std::span<const std::uint8_t>{outcomes});
+    EXPECT_EQ(dimensional.passed, direct.passed);
+    EXPECT_EQ(dimensional.per_dimension.at("d").stages_run, direct.stages_run);
+    EXPECT_DOUBLE_EQ(dimensional.per_dimension.at("d").min_margin,
+                     direct.min_margin);
+}
+
+}  // namespace
+}  // namespace hpr::core

@@ -1,0 +1,127 @@
+// Unit tests for multinomial behavior testing (core/multinomial_test.h) —
+// paper §3.1 multi-value feedback extension.
+
+#include "core/multinomial_test.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/multinomial.h"
+#include "stats/rng.h"
+
+namespace hpr::core {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = make_calibrator(BehaviorTestConfig{});
+    return cal;
+}
+
+repsys::Rating draw_rating(stats::Rng& rng, double p_pos, double p_neu) {
+    const double u = rng.uniform();
+    if (u < p_pos) return repsys::Rating::kPositive;
+    if (u < p_pos + p_neu) return repsys::Rating::kNeutral;
+    return repsys::Rating::kNegative;
+}
+
+std::vector<repsys::Feedback> trinary_history(std::size_t n, double p_pos,
+                                              double p_neu, stats::Rng& rng) {
+    std::vector<repsys::Feedback> feedbacks;
+    for (std::size_t i = 0; i < n; ++i) {
+        feedbacks.push_back(repsys::Feedback{static_cast<repsys::Timestamp>(i + 1), 1,
+                                             static_cast<repsys::EntityId>(2 + i % 30),
+                                             draw_rating(rng, p_pos, p_neu)});
+    }
+    return feedbacks;
+}
+
+TEST(MultinomialBehavior, ShortHistoryInsufficient) {
+    const MultinomialBehaviorTest tester{{}, shared_cal()};
+    stats::Rng rng{71};
+    const auto result = tester.test(trinary_history(25, 0.8, 0.15, rng));
+    EXPECT_FALSE(result.sufficient);
+    EXPECT_TRUE(result.passed);
+}
+
+TEST(MultinomialBehavior, HonestTrinaryFeedbackPasses) {
+    const MultinomialBehaviorTest tester{{}, shared_cal()};
+    stats::Rng rng{72};
+    int failures = 0;
+    constexpr int kTrials = 40;
+    for (int t = 0; t < kTrials; ++t) {
+        if (!tester.test(trinary_history(500, 0.8, 0.15, rng)).passed) ++failures;
+    }
+    // Three marginal tests per history: allow a higher — but still
+    // bounded — family-wise false-positive rate.
+    EXPECT_LT(failures, kTrials / 4);
+}
+
+TEST(MultinomialBehavior, EstimatesCategoryProbabilities) {
+    const MultinomialBehaviorTest tester{{}, shared_cal()};
+    stats::Rng rng{73};
+    const auto result = tester.test(trinary_history(2000, 0.8, 0.15, rng));
+    ASSERT_TRUE(result.sufficient);
+    ASSERT_EQ(result.p_hat.size(), 3u);
+    EXPECT_NEAR(result.p_hat[static_cast<std::size_t>(repsys::Rating::kPositive)],
+                0.8, 0.05);
+    EXPECT_NEAR(result.p_hat[static_cast<std::size_t>(repsys::Rating::kNeutral)],
+                0.15, 0.05);
+    EXPECT_NEAR(result.p_hat[static_cast<std::size_t>(repsys::Rating::kNegative)],
+                0.05, 0.05);
+}
+
+TEST(MultinomialBehavior, DetectsRegimeShiftInNeutrals) {
+    // First half mostly positive, second half mostly neutral: each window
+    // is pure, so per-category counts are bimodal — inconsistent with one
+    // multinomial.
+    const MultinomialBehaviorTest tester{{}, shared_cal()};
+    stats::Rng rng{74};
+    std::vector<repsys::Feedback> feedbacks;
+    for (std::size_t i = 0; i < 600; ++i) {
+        const bool first_half = i < 300;
+        feedbacks.push_back(repsys::Feedback{
+            static_cast<repsys::Timestamp>(i + 1), 1,
+            static_cast<repsys::EntityId>(2 + i % 30),
+            draw_rating(rng, first_half ? 0.95 : 0.05, first_half ? 0.03 : 0.92)});
+    }
+    const auto result = tester.test(feedbacks);
+    EXPECT_FALSE(result.passed);
+}
+
+TEST(MultinomialBehavior, DetectsBurstOfNegatives) {
+    const MultinomialBehaviorTest tester{{}, shared_cal()};
+    stats::Rng rng{75};
+    auto feedbacks = trinary_history(500, 0.85, 0.12, rng);
+    for (int i = 0; i < 30; ++i) {
+        feedbacks.push_back(repsys::Feedback{
+            static_cast<repsys::Timestamp>(1000 + i), 1,
+            static_cast<repsys::EntityId>(2 + i % 30), repsys::Rating::kNegative});
+    }
+    EXPECT_FALSE(tester.test(feedbacks).passed);
+}
+
+TEST(MultinomialBehavior, BinaryHistoryMatchesBinaryTest) {
+    // With no neutral ratings, the positive-category test is exactly the
+    // binary behavior test.
+    BehaviorTestConfig config;
+    const MultinomialBehaviorTest trinary{config, shared_cal()};
+    const BehaviorTest binary{config, shared_cal()};
+    stats::Rng rng{76};
+    std::vector<repsys::Feedback> feedbacks;
+    for (std::size_t i = 0; i < 400; ++i) {
+        feedbacks.push_back(repsys::Feedback{
+            static_cast<repsys::Timestamp>(i + 1), 1, 2,
+            rng.bernoulli(0.9) ? repsys::Rating::kPositive
+                               : repsys::Rating::kNegative});
+    }
+    const auto multi_result = trinary.test(feedbacks);
+    const auto binary_result = binary.test(std::span<const repsys::Feedback>{feedbacks});
+    ASSERT_TRUE(multi_result.sufficient);
+    const auto& positive = multi_result.per_category[static_cast<std::size_t>(
+        repsys::Rating::kPositive)];
+    EXPECT_DOUBLE_EQ(positive.distance, binary_result.distance);
+    EXPECT_DOUBLE_EQ(positive.p_hat, binary_result.p_hat);
+    EXPECT_EQ(positive.passed, binary_result.passed);
+}
+
+}  // namespace
+}  // namespace hpr::core

@@ -1,0 +1,163 @@
+// Unit tests for the streaming screener (core/online.h).
+
+#include "core/online.h"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_test.h"
+#include "sim/generators.h"
+
+namespace hpr::core {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = make_calibrator(BehaviorTestConfig{});
+    return cal;
+}
+
+TEST(OnlineScreener, RejectsZeroPatienceOrRecovery) {
+    OnlineScreenerConfig config;
+    config.patience = 0;
+    EXPECT_THROW(OnlineScreener{config}, std::invalid_argument);
+    config = {};
+    config.recovery = 0;
+    EXPECT_THROW(OnlineScreener{config}, std::invalid_argument);
+}
+
+TEST(OnlineScreener, StartsInsufficient) {
+    OnlineScreener screener{{}, shared_cal()};
+    EXPECT_EQ(screener.state(), StreamState::kInsufficient);
+    EXPECT_EQ(screener.transactions(), 0u);
+    EXPECT_EQ(screener.windows(), 0u);
+    EXPECT_TRUE(screener.last_evaluation_passed());
+    for (int i = 0; i < 29; ++i) screener.observe(true);
+    // 2 complete windows < min_windows(3): still insufficient, 0 evals.
+    EXPECT_EQ(screener.state(), StreamState::kInsufficient);
+    EXPECT_EQ(screener.evaluations(), 0u);
+    EXPECT_EQ(screener.windows(), 2u);
+}
+
+TEST(OnlineScreener, HonestStreamStaysClear) {
+    OnlineScreenerConfig config;
+    config.test.bonferroni = true;
+    OnlineScreener screener{config, shared_cal()};
+    stats::Rng rng{901};
+    for (int i = 0; i < 1000; ++i) screener.observe(rng.bernoulli(0.93));
+    EXPECT_EQ(screener.state(), StreamState::kClear);
+    EXPECT_EQ(screener.transactions(), 1000u);
+    EXPECT_EQ(screener.windows(), 100u);
+    EXPECT_EQ(screener.evaluations(), 98u);  // one per window from the 3rd on
+    EXPECT_NEAR(screener.p_hat(), 0.93, 0.05);
+}
+
+TEST(OnlineScreener, BurstAttackFlipsToSuspicious) {
+    OnlineScreener screener{{}, shared_cal()};
+    stats::Rng rng{902};
+    for (int i = 0; i < 600; ++i) screener.observe(rng.bernoulli(0.95));
+    ASSERT_EQ(screener.state(), StreamState::kClear);
+    std::size_t bads_until_flag = 0;
+    while (screener.state() != StreamState::kSuspicious && bads_until_flag < 100) {
+        screener.observe(false);
+        ++bads_until_flag;
+    }
+    EXPECT_EQ(screener.state(), StreamState::kSuspicious);
+    // The paper's goal: bound how many bads slip through a short period.
+    EXPECT_LE(bads_until_flag, 40u);
+}
+
+TEST(OnlineScreener, PatienceDelaysFlagging) {
+    OnlineScreenerConfig eager;
+    eager.patience = 1;
+    OnlineScreenerConfig tolerant;
+    tolerant.patience = 4;
+
+    const auto bads_to_flag = [&](const OnlineScreenerConfig& config) {
+        OnlineScreener screener{config, shared_cal()};
+        stats::Rng rng{903};
+        for (int i = 0; i < 600; ++i) screener.observe(rng.bernoulli(0.95));
+        std::size_t bads = 0;
+        while (screener.state() != StreamState::kSuspicious && bads < 200) {
+            screener.observe(false);
+            ++bads;
+        }
+        return bads;
+    };
+    EXPECT_LT(bads_to_flag(eager), bads_to_flag(tolerant));
+}
+
+TEST(OnlineScreener, RecoveryClearsAfterSustainedPassing) {
+    OnlineScreenerConfig config;
+    config.recovery = 2;
+    OnlineScreener screener{config, shared_cal()};
+    stats::Rng rng{904};
+    for (int i = 0; i < 400; ++i) screener.observe(rng.bernoulli(0.95));
+    for (int i = 0; i < 30; ++i) screener.observe(false);
+    ASSERT_EQ(screener.state(), StreamState::kSuspicious);
+    // Resume good service; eventually the suffix ladder passes again and,
+    // after `recovery` consecutive passing evaluations, the state clears.
+    int goods = 0;
+    while (screener.state() == StreamState::kSuspicious && goods < 30000) {
+        screener.observe(rng.bernoulli(0.95));
+        ++goods;
+    }
+    EXPECT_EQ(screener.state(), StreamState::kClear);
+    EXPECT_GT(goods, 50);  // recovery is deliberately slow
+}
+
+TEST(OnlineScreener, MatchesBatchVerdictOnAlignedStreams) {
+    // With windows aligned (stream length a multiple of m) the streaming
+    // evaluation and the batch multi-test see identical window counts, so
+    // the final evaluation verdict must match the batch verdict.
+    MultiTestConfig batch_config;
+    batch_config.stop_on_failure = false;
+    const MultiTest batch{batch_config, shared_cal()};
+    stats::Rng rng{905};
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto outcomes = sim::honest_outcomes(500, 0.9, rng);
+        OnlineScreener screener{{}, shared_cal()};
+        for (const auto o : outcomes) screener.observe(o != 0);
+        const auto batch_result =
+            batch.test(std::span<const std::uint8_t>{outcomes});
+        ASSERT_EQ(screener.last_evaluation_passed(), batch_result.passed)
+            << "trial " << trial;
+    }
+}
+
+TEST(OnlineScreener, FeedbackOverloadObservesGoodness) {
+    OnlineScreener screener{{}, shared_cal()};
+    screener.observe(repsys::Feedback{1, 1, 2, repsys::Rating::kPositive});
+    screener.observe(repsys::Feedback{2, 1, 2, repsys::Rating::kNegative});
+    EXPECT_EQ(screener.transactions(), 2u);
+}
+
+TEST(OnlineScreener, LargerWindowConfigs) {
+    OnlineScreenerConfig config;
+    config.test.base.window_size = 25;
+    OnlineScreener screener{config, shared_cal()};
+    stats::Rng rng{907};
+    for (int i = 0; i < 1000; ++i) screener.observe(rng.bernoulli(0.9));
+    EXPECT_EQ(screener.windows(), 40u);
+    EXPECT_EQ(screener.transactions(), 1000u);
+    EXPECT_NE(screener.state(), StreamState::kInsufficient);
+}
+
+TEST(OnlineScreener, PHatTracksStream) {
+    OnlineScreener screener{{}, shared_cal()};
+    for (int i = 0; i < 100; ++i) screener.observe(i % 10 != 0);  // 90% good
+    EXPECT_NEAR(screener.p_hat(), 0.9, 1e-12);
+    OnlineScreener empty{{}, shared_cal()};
+    EXPECT_EQ(empty.p_hat(), 0.0);
+}
+
+TEST(OnlineScreener, StreakAccountingIsConsistent) {
+    OnlineScreener screener{{}, shared_cal()};
+    stats::Rng rng{906};
+    for (int i = 0; i < 800; ++i) {
+        screener.observe(rng.bernoulli(0.9));
+        // Exactly one of the streaks is always zero.
+        ASSERT_TRUE(screener.failing_streak() == 0 || screener.passing_streak() == 0);
+    }
+}
+
+}  // namespace
+}  // namespace hpr::core

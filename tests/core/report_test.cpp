@@ -1,0 +1,131 @@
+// Unit tests for the human-readable report rendering (core/report.h).
+
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/generators.h"
+
+namespace hpr::core {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = make_calibrator(BehaviorTestConfig{});
+    return cal;
+}
+
+TEST(Report, SingleResultPass) {
+    BehaviorTestResult result;
+    result.sufficient = true;
+    result.passed = true;
+    result.distance = 0.1023;
+    result.threshold = 0.2411;
+    result.p_hat = 0.932;
+    result.windows = 40;
+    const std::string text = describe(result);
+    EXPECT_NE(text.find("PASS"), std::string::npos);
+    EXPECT_NE(text.find("0.1023"), std::string::npos);
+    EXPECT_NE(text.find("<="), std::string::npos);
+    EXPECT_NE(text.find("40 windows"), std::string::npos);
+}
+
+TEST(Report, SingleResultFailUsesStrictComparator) {
+    BehaviorTestResult result;
+    result.sufficient = true;
+    result.passed = false;
+    result.distance = 0.9;
+    result.threshold = 0.2;
+    const std::string text = describe(result);
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+    EXPECT_NE(text.find(" > "), std::string::npos);
+    EXPECT_EQ(text.find("<="), std::string::npos);
+}
+
+TEST(Report, SingleResultInsufficient) {
+    BehaviorTestResult result;
+    result.sufficient = false;
+    result.windows = 2;
+    const std::string text = describe(result);
+    EXPECT_NE(text.find("INSUFFICIENT"), std::string::npos);
+    EXPECT_NE(text.find("2 complete window"), std::string::npos);
+}
+
+TEST(Report, MultiResultListsStages) {
+    MultiTestConfig config;
+    config.collect_details = true;
+    config.stop_on_failure = false;
+    const MultiTest tester{config, shared_cal()};
+    stats::Rng rng{3001};
+    const auto outcomes = sim::honest_outcomes(200, 0.9, rng);
+    const auto result = tester.test(std::span<const std::uint8_t>{outcomes});
+    const std::string text = describe(result);
+    EXPECT_NE(text.find("suffix stage(s)"), std::string::npos);
+    EXPECT_NE(text.find("stage 0:"), std::string::npos);
+    // One line per stage plus the header.
+    const auto lines = std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(static_cast<std::size_t>(lines), result.details.size() + 1);
+}
+
+TEST(Report, MultiResultFailureNamesSuffix) {
+    const MultiTest tester{{}, shared_cal()};
+    stats::Rng rng{3002};
+    auto outcomes = sim::honest_outcomes(400, 0.95, rng);
+    outcomes.insert(outcomes.end(), 30, std::uint8_t{0});
+    const auto result = tester.test(std::span<const std::uint8_t>{outcomes});
+    ASSERT_FALSE(result.passed);
+    const std::string text = describe(result);
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+    EXPECT_NE(text.find("shortest failing suffix"), std::string::npos);
+}
+
+TEST(Report, AssessmentVariants) {
+    core::TwoPhaseConfig config;
+    const TwoPhaseAssessor assessor{
+        config,
+        std::shared_ptr<const repsys::TrustFunction>{
+            repsys::make_trust_function("average")},
+        shared_cal()};
+    stats::Rng rng{3003};
+
+    const auto honest = assessor.assess(sim::honest_history(500, 0.93, rng));
+    const std::string ok = describe(honest);
+    EXPECT_NE(ok.find("assessed"), std::string::npos);
+    EXPECT_NE(ok.find("trust: 0.9"), std::string::npos);
+
+    const auto attacker =
+        assessor.assess(sim::hibernating_history(500, 30, 0.95, rng));
+    const std::string bad = describe(attacker);
+    EXPECT_NE(bad.find("suspicious"), std::string::npos);
+    EXPECT_NE(bad.find("withheld"), std::string::npos);
+
+    const auto newcomer = assessor.assess(sim::honest_history(12, 0.9, rng));
+    const std::string young = describe(newcomer);
+    EXPECT_NE(young.find("insufficient-history"), std::string::npos);
+    EXPECT_NE(young.find("UNSCREENED"), std::string::npos);
+}
+
+TEST(Report, AdaptiveResultListsRegimes) {
+    const AdaptiveBehaviorTest adaptive{{}, {}, shared_cal()};
+    stats::Rng rng{3004};
+    auto outcomes = sim::honest_outcomes(300, 0.95, rng);
+    const auto tail = sim::honest_outcomes(300, 0.6, rng);
+    outcomes.insert(outcomes.end(), tail.begin(), tail.end());
+    const auto result = adaptive.test(std::span<const std::uint8_t>{outcomes});
+    const std::string text = describe(result);
+    EXPECT_NE(text.find("regime(s)"), std::string::npos);
+    EXPECT_NE(text.find("regime 0"), std::string::npos);
+    EXPECT_NE(text.find("windows ["), std::string::npos);
+}
+
+TEST(Report, AdaptiveInsufficient) {
+    const AdaptiveBehaviorTest adaptive{{}, {}, shared_cal()};
+    const std::vector<std::uint8_t> outcomes(10, 1);
+    const std::string text =
+        describe(adaptive.test(std::span<const std::uint8_t>{outcomes}));
+    EXPECT_NE(text.find("INSUFFICIENT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpr::core

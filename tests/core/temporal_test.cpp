@@ -1,0 +1,87 @@
+// Unit tests for temporal categorizers (core/temporal.h).
+
+#include "core/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace hpr::core {
+namespace {
+
+repsys::Feedback at(repsys::Timestamp time, bool good = true) {
+    return repsys::Feedback{time, 1, 2,
+                            good ? repsys::Rating::kPositive
+                                 : repsys::Rating::kNegative};
+}
+
+TEST(Temporal, HourOfDay) {
+    EXPECT_EQ(hour_of_day(0), 0);
+    EXPECT_EQ(hour_of_day(kSecondsPerHour), 1);
+    EXPECT_EQ(hour_of_day(23 * kSecondsPerHour + 59), 23);
+    EXPECT_EQ(hour_of_day(kSecondsPerDay), 0);
+    EXPECT_EQ(hour_of_day(-1), 23);  // pre-epoch wraps
+}
+
+TEST(Temporal, DayOfWeek) {
+    EXPECT_EQ(day_of_week(0), 0);                       // Monday 00:00
+    EXPECT_EQ(day_of_week(4 * kSecondsPerDay), 4);      // Friday
+    EXPECT_EQ(day_of_week(5 * kSecondsPerDay), 5);      // Saturday
+    EXPECT_EQ(day_of_week(kSecondsPerWeek), 0);         // wraps to Monday
+    EXPECT_EQ(day_of_week(-kSecondsPerDay), 6);         // Sunday before epoch
+}
+
+TEST(Temporal, WeekdayWeekendCategorizer) {
+    const auto categorize = weekday_weekend_categorizer();
+    EXPECT_EQ(categorize(at(2 * kSecondsPerDay)), "weekday");   // Wednesday
+    EXPECT_EQ(categorize(at(5 * kSecondsPerDay)), "weekend");   // Saturday
+    EXPECT_EQ(categorize(at(6 * kSecondsPerDay + 100)), "weekend");
+}
+
+TEST(Temporal, BusinessHoursCategorizer) {
+    const auto categorize = business_hours_categorizer(9, 17);
+    EXPECT_EQ(categorize(at(10 * kSecondsPerHour)), "business");   // Mon 10:00
+    EXPECT_EQ(categorize(at(8 * kSecondsPerHour)), "off-hours");   // Mon 08:00
+    EXPECT_EQ(categorize(at(17 * kSecondsPerHour)), "off-hours");  // Mon 17:00
+    // Saturday 10:00 is off-hours even inside the hour range.
+    EXPECT_EQ(categorize(at(5 * kSecondsPerDay + 10 * kSecondsPerHour)),
+              "off-hours");
+    EXPECT_THROW((void)business_hours_categorizer(17, 9), std::invalid_argument);
+    EXPECT_THROW((void)business_hours_categorizer(-1, 9), std::invalid_argument);
+}
+
+TEST(Temporal, TimeSliceCategorizer) {
+    const auto categorize = time_slice_categorizer(100);
+    EXPECT_EQ(categorize(at(0)), "epoch-0");
+    EXPECT_EQ(categorize(at(99)), "epoch-0");
+    EXPECT_EQ(categorize(at(100)), "epoch-1");
+    EXPECT_EQ(categorize(at(250)), "epoch-2");
+    EXPECT_EQ(categorize(at(-1)), "epoch--1");
+    EXPECT_THROW((void)time_slice_categorizer(0), std::invalid_argument);
+}
+
+TEST(Temporal, WeekdayWeekendScreeningScenario) {
+    // Paper §3.1's example end-to-end: a file-sharing server is solid on
+    // weekdays (p=0.95) and congested on weekends (p=0.6).  Pooled
+    // screening flags the mixture; per-time-category screening passes.
+    stats::Rng rng{1001};
+    std::vector<repsys::Feedback> feedbacks;
+    repsys::Timestamp time = 0;
+    for (int i = 0; i < 1400; ++i) {
+        time += kSecondsPerHour;  // one transaction per hour for ~8 weeks
+        const bool weekend = day_of_week(time) >= 5;
+        feedbacks.push_back(at(time, rng.bernoulli(weekend ? 0.6 : 0.95)));
+    }
+    const auto cal = make_calibrator({});
+    const MultiTest pooled{{}, cal};
+    EXPECT_FALSE(pooled.test(std::span<const repsys::Feedback>{feedbacks}).passed);
+
+    const CategoryTest by_time{MultiTestConfig{}, weekday_weekend_categorizer(), cal};
+    const auto result = by_time.test(feedbacks);
+    ASSERT_EQ(result.per_category.size(), 2u);
+    EXPECT_TRUE(result.all_passed())
+        << ::testing::PrintToString(result.failed_categories());
+}
+
+}  // namespace
+}  // namespace hpr::core

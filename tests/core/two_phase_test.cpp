@@ -1,0 +1,265 @@
+// Unit tests for the two-phase assessor (core/two_phase.h) —
+// paper Figs. 1 and 2.
+
+#include "core/two_phase.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/generators.h"
+
+namespace hpr::core {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = make_calibrator(BehaviorTestConfig{});
+    return cal;
+}
+
+std::shared_ptr<const repsys::TrustFunction> average() {
+    return std::shared_ptr<const repsys::TrustFunction>{
+        repsys::make_trust_function("average")};
+}
+
+TwoPhaseAssessor make_assessor(ScreeningMode mode, bool collusion = false) {
+    TwoPhaseConfig config;
+    config.mode = mode;
+    config.collusion_resilient = collusion;
+    return TwoPhaseAssessor{config, average(), shared_cal()};
+}
+
+TEST(TwoPhase, RejectsNullTrustFunction) {
+    EXPECT_THROW(TwoPhaseAssessor(TwoPhaseConfig{}, nullptr), std::invalid_argument);
+}
+
+TEST(TwoPhase, ToStringCoverage) {
+    EXPECT_STREQ(to_string(ScreeningMode::kNone), "none");
+    EXPECT_STREQ(to_string(ScreeningMode::kSingle), "single");
+    EXPECT_STREQ(to_string(ScreeningMode::kMulti), "multi");
+    EXPECT_STREQ(to_string(Verdict::kSuspicious), "suspicious");
+    EXPECT_STREQ(to_string(Verdict::kAssessed), "assessed");
+    EXPECT_STREQ(to_string(Verdict::kInsufficientHistory), "insufficient-history");
+}
+
+TEST(TwoPhase, HonestServerIsAssessedWithCorrectTrust) {
+    const auto assessor = make_assessor(ScreeningMode::kMulti);
+    stats::Rng rng{51};
+    const auto history = sim::honest_history(600, 0.95, rng);
+    const Assessment a = assessor.assess(history);
+    ASSERT_EQ(a.verdict, Verdict::kAssessed);
+    ASSERT_TRUE(a.trust.has_value());
+    EXPECT_NEAR(*a.trust, history.good_ratio(), 1e-12);
+    EXPECT_TRUE(a.acceptable(0.9));
+}
+
+TEST(TwoPhase, SuspiciousServerGetsNoTrustValue) {
+    const auto assessor = make_assessor(ScreeningMode::kMulti);
+    stats::Rng rng{52};
+    // Hibernating attacker caught mid-attack.
+    const auto history = sim::hibernating_history(500, 25, 0.95, rng);
+    const Assessment a = assessor.assess(history);
+    EXPECT_EQ(a.verdict, Verdict::kSuspicious);
+    EXPECT_FALSE(a.trust.has_value());
+    EXPECT_FALSE(a.acceptable(0.0));
+    EXPECT_FALSE(a.screening.passed);
+}
+
+TEST(TwoPhase, NoScreeningModeNeverFlagsAnyone) {
+    const auto assessor = make_assessor(ScreeningMode::kNone);
+    stats::Rng rng{53};
+    const auto history = sim::hibernating_history(500, 25, 0.95, rng);
+    const Assessment a = assessor.assess(history);
+    EXPECT_EQ(a.verdict, Verdict::kAssessed);
+    ASSERT_TRUE(a.trust.has_value());
+    // The hibernating attacker sails through at high trust — the failure
+    // mode the paper's two-phase approach exists to prevent.
+    EXPECT_GT(*a.trust, 0.85);
+}
+
+TEST(TwoPhase, ShortHistoryIsInsufficientButScored) {
+    const auto assessor = make_assessor(ScreeningMode::kMulti);
+    repsys::TransactionHistory history;
+    for (int i = 0; i < 12; ++i) history.append(1, 2, repsys::Rating::kPositive);
+    const Assessment a = assessor.assess(history);
+    EXPECT_EQ(a.verdict, Verdict::kInsufficientHistory);
+    ASSERT_TRUE(a.trust.has_value());
+    EXPECT_EQ(*a.trust, 1.0);
+}
+
+TEST(TwoPhase, AcceptHonorsThreshold) {
+    // Bonferroni-corrected screening keeps the honest false-positive rate
+    // low so this test exercises the threshold logic, not screening noise.
+    TwoPhaseConfig config;
+    config.mode = ScreeningMode::kMulti;
+    config.test.bonferroni = true;
+    const TwoPhaseAssessor assessor{config, average(), shared_cal()};
+    stats::Rng rng{54};
+    const auto history = sim::honest_history(600, 0.85, rng);
+    ASSERT_NE(assessor.assess(history).verdict, Verdict::kSuspicious);
+    EXPECT_TRUE(assessor.accept(history, 0.7));
+    EXPECT_FALSE(assessor.accept(history, 0.95));
+}
+
+TEST(TwoPhase, SingleModeWrapsSingleTest) {
+    const auto assessor = make_assessor(ScreeningMode::kSingle);
+    stats::Rng rng{55};
+    const auto honest = sim::honest_history(400, 0.9, rng);
+    const auto screening = assessor.screen(honest.view());
+    EXPECT_TRUE(screening.sufficient);
+    EXPECT_EQ(screening.stages_run, 1u);
+
+    // Rigid periodic pattern fails the single test too.
+    std::vector<std::uint8_t> rigid;
+    for (int w = 0; w < 40; ++w) {
+        rigid.push_back(0);
+        for (int i = 0; i < 9; ++i) rigid.push_back(1);
+    }
+    repsys::TransactionHistory rigid_history;
+    for (const auto o : rigid) {
+        rigid_history.append(1, 2, o != 0 ? repsys::Rating::kPositive
+                                          : repsys::Rating::kNegative);
+    }
+    const auto failed = assessor.screen(rigid_history.view());
+    EXPECT_FALSE(failed.passed);
+    ASSERT_TRUE(failed.failure.has_value());
+    ASSERT_TRUE(failed.failed_suffix_length.has_value());
+}
+
+TEST(TwoPhase, CollusionResilientModeCatchesColluders) {
+    const auto plain = make_assessor(ScreeningMode::kMulti, false);
+    const auto resilient = make_assessor(ScreeningMode::kMulti, true);
+    // Colluder-covered attacker: fakes from 5 clients, cheats on a fresh
+    // victim with probability 0.1 per transaction (an honest-looking
+    // Bernoulli stream in time order).
+    stats::Rng rng{58};
+    repsys::TransactionHistory history;
+    repsys::EntityId victim = 100;
+    for (int i = 0; i < 400; ++i) {
+        if (rng.bernoulli(0.1)) {
+            history.append(1, victim++, repsys::Rating::kNegative);
+        } else {
+            history.append(1, static_cast<repsys::EntityId>(2 + i % 5),
+                           repsys::Rating::kPositive);
+        }
+    }
+    // Time-ordered, the pattern is a clean 10%-bad binomial: plain
+    // screening passes.  Issuer-reordered it fails.
+    EXPECT_TRUE(plain.screen(history.view()).passed);
+    EXPECT_FALSE(resilient.screen(history.view()).passed);
+    const Assessment a = resilient.assess(history);
+    EXPECT_EQ(a.verdict, Verdict::kSuspicious);
+}
+
+TEST(TwoPhase, RunsTestScreenIsOffByDefault) {
+    TwoPhaseConfig config;
+    EXPECT_FALSE(config.require_runs_test);
+    const TwoPhaseAssessor assessor{config, average(), shared_cal()};
+    stats::Rng rng{59};
+    const auto assessment = assessor.assess(sim::honest_history(400, 0.9, rng));
+    EXPECT_FALSE(assessment.runs.has_value());
+}
+
+TEST(TwoPhase, RunsTestScreenCatchesWhatDilutedWindowTestMisses) {
+    // A 20-bad burst at the end of a 4000-transaction history dilutes to
+    // nothing in the single whole-history window test, but the burst's
+    // run structure (one giant bad run) is flagrant.
+    TwoPhaseConfig window_only;
+    window_only.mode = ScreeningMode::kSingle;
+    TwoPhaseConfig with_runs = window_only;
+    with_runs.require_runs_test = true;
+    const TwoPhaseAssessor plain{window_only, average(), shared_cal()};
+    const TwoPhaseAssessor strict{with_runs, average(), shared_cal()};
+
+    stats::Rng rng{60};
+    int window_caught = 0;
+    int runs_caught = 0;
+    constexpr int kTrials = 20;
+    for (int t = 0; t < kTrials; ++t) {
+        const auto history = sim::hibernating_history(4000, 20, 0.95, rng);
+        if (plain.assess(history).verdict == Verdict::kSuspicious) ++window_caught;
+        const auto assessment = strict.assess(history);
+        if (assessment.verdict == Verdict::kSuspicious) ++runs_caught;
+    }
+    EXPECT_GT(runs_caught, window_caught);
+    EXPECT_GT(runs_caught, kTrials / 2);
+}
+
+TEST(TwoPhase, RunsTestScreenKeepsHonestAcceptance) {
+    TwoPhaseConfig config;
+    config.require_runs_test = true;
+    const TwoPhaseAssessor assessor{config, average(), shared_cal()};
+    stats::Rng rng{61};
+    int flagged = 0;
+    constexpr int kTrials = 30;
+    for (int t = 0; t < kTrials; ++t) {
+        const auto history = sim::honest_history(600, 0.9, rng);
+        const auto assessment = assessor.assess(history);
+        if (assessment.verdict == Verdict::kSuspicious) ++flagged;
+        if (assessment.verdict == Verdict::kAssessed) {
+            ASSERT_TRUE(assessment.runs.has_value());
+            EXPECT_TRUE(assessment.runs->passed);
+        }
+    }
+    EXPECT_LT(flagged, kTrials / 3);
+}
+
+TEST(TwoPhase, RunsTestAppliesToReorderedSequenceUnderCollusionMode) {
+    // Colluder blocks in the issuer-reordered sequence are giant runs:
+    // the supplementary screen reinforces the §4 transform.
+    TwoPhaseConfig config;
+    config.mode = ScreeningMode::kSingle;
+    config.collusion_resilient = true;
+    config.require_runs_test = true;
+    const TwoPhaseAssessor assessor{config, average(), shared_cal()};
+    stats::Rng rng{62};
+    repsys::TransactionHistory history;
+    repsys::EntityId victim = 300;
+    for (int i = 0; i < 400; ++i) {
+        if (rng.bernoulli(0.1)) {
+            history.append(1, victim++, repsys::Rating::kNegative);
+        } else {
+            history.append(1, static_cast<repsys::EntityId>(2 + i % 5),
+                           repsys::Rating::kPositive);
+        }
+    }
+    const auto assessment = assessor.assess(history);
+    EXPECT_EQ(assessment.verdict, Verdict::kSuspicious);
+}
+
+TEST(TwoPhase, TrustFunctionIsPluggable) {
+    TwoPhaseConfig config;
+    config.mode = ScreeningMode::kMulti;
+    const TwoPhaseAssessor weighted{
+        config,
+        std::shared_ptr<const repsys::TrustFunction>{
+            repsys::make_trust_function("weighted:0.5")},
+        shared_cal()};
+    stats::Rng rng{56};
+    const auto history = sim::honest_history(600, 0.95, rng);
+    const Assessment a = weighted.assess(history);
+    ASSERT_TRUE(a.trust.has_value());
+    // The EWMA is dominated by the last few outcomes, so unlike the plain
+    // average it can sit well below 0.95 — but never outside [0, 1].
+    EXPECT_GE(*a.trust, 0.0);
+    EXPECT_LE(*a.trust, 1.0);
+    EXPECT_EQ(weighted.trust_function().name(), "weighted(0.5)");
+}
+
+TEST(TwoPhase, SharedCalibratorIsExposed) {
+    const auto cal = shared_cal();
+    TwoPhaseConfig config;
+    const TwoPhaseAssessor assessor{config, average(), cal};
+    EXPECT_EQ(assessor.calibrator().get(), cal.get());
+}
+
+TEST(TwoPhase, AssessSpanOverloadMatchesHistoryOverload) {
+    const auto assessor = make_assessor(ScreeningMode::kMulti);
+    stats::Rng rng{57};
+    const auto history = sim::honest_history(500, 0.9, rng);
+    const Assessment from_history = assessor.assess(history);
+    const Assessment from_span = assessor.assess(history.view());
+    EXPECT_EQ(from_history.verdict, from_span.verdict);
+    EXPECT_EQ(from_history.trust, from_span.trust);
+}
+
+}  // namespace
+}  // namespace hpr::core

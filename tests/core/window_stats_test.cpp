@@ -1,0 +1,130 @@
+// Unit tests for window statistics (core/window_stats.h).
+
+#include "core/window_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace hpr::core {
+namespace {
+
+std::vector<repsys::Feedback> feedbacks_from(const std::vector<int>& outcomes) {
+    std::vector<repsys::Feedback> fs;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        fs.push_back(repsys::Feedback{
+            static_cast<repsys::Timestamp>(i + 1), 1, 2,
+            outcomes[i] != 0 ? repsys::Rating::kPositive : repsys::Rating::kNegative});
+    }
+    return fs;
+}
+
+TEST(WindowStats, RejectsZeroWindowSize) {
+    const auto fs = feedbacks_from({1, 1, 1});
+    EXPECT_THROW((void)compute_window_stats(std::span<const repsys::Feedback>{fs}, 0),
+                 std::invalid_argument);
+}
+
+TEST(WindowStats, ExactMultipleUsesAllTransactions) {
+    const auto fs = feedbacks_from({1, 1, 0, 1, 0, 0});
+    const WindowStats ws =
+        compute_window_stats(std::span<const repsys::Feedback>{fs}, 3);
+    EXPECT_EQ(ws.windows(), 2u);
+    EXPECT_EQ(ws.transactions_used, 6u);
+    // Newest window first: (1,0,0) -> 1 good; older window (1,1,0) -> 2.
+    ASSERT_EQ(ws.good_counts.size(), 2u);
+    EXPECT_EQ(ws.good_counts[0], 1u);
+    EXPECT_EQ(ws.good_counts[1], 2u);
+    EXPECT_EQ(ws.good_total, 3u);
+    EXPECT_NEAR(ws.p_hat(), 0.5, 1e-12);
+}
+
+TEST(WindowStats, OldestRemainderIsIgnored) {
+    // 7 transactions, window 3: the oldest one (index 0) is dropped.
+    const auto fs = feedbacks_from({0, 1, 1, 1, 0, 1, 1});
+    const WindowStats ws =
+        compute_window_stats(std::span<const repsys::Feedback>{fs}, 3);
+    EXPECT_EQ(ws.windows(), 2u);
+    EXPECT_EQ(ws.transactions_used, 6u);
+    // Newest window (0,1,1) -> 2 goods; then (1,1,1)... wait: windows cover
+    // indices [4,7) -> (0,1,1) = 2 and [1,4) -> (1,1,1) = 3.
+    EXPECT_EQ(ws.good_counts[0], 2u);
+    EXPECT_EQ(ws.good_counts[1], 3u);
+}
+
+TEST(WindowStats, TooShortHistoryHasNoWindows) {
+    const auto fs = feedbacks_from({1, 1});
+    const WindowStats ws =
+        compute_window_stats(std::span<const repsys::Feedback>{fs}, 3);
+    EXPECT_EQ(ws.windows(), 0u);
+    EXPECT_EQ(ws.transactions_used, 0u);
+    EXPECT_EQ(ws.p_hat(), 0.0);
+}
+
+TEST(WindowStats, EmptyInput) {
+    const std::vector<repsys::Feedback> none;
+    const WindowStats ws =
+        compute_window_stats(std::span<const repsys::Feedback>{none}, 10);
+    EXPECT_EQ(ws.windows(), 0u);
+}
+
+TEST(WindowStats, DistributionMatchesCounts) {
+    const auto fs = feedbacks_from({1, 1, 0, 1, 1, 1, 0, 0, 1});
+    const WindowStats ws =
+        compute_window_stats(std::span<const repsys::Feedback>{fs}, 3);
+    const auto dist = ws.distribution();
+    EXPECT_EQ(dist.size(), ws.windows());
+    EXPECT_EQ(dist.value_sum(), ws.good_total);
+    EXPECT_EQ(dist.max_value(), 3u);
+}
+
+TEST(WindowStats, OutcomeOverloadMatchesFeedbackOverload) {
+    stats::Rng rng{9};
+    std::vector<int> raw;
+    std::vector<std::uint8_t> outcomes;
+    for (int i = 0; i < 137; ++i) {
+        const int good = rng.bernoulli(0.8) ? 1 : 0;
+        raw.push_back(good);
+        outcomes.push_back(static_cast<std::uint8_t>(good));
+    }
+    const auto fs = feedbacks_from(raw);
+    const WindowStats from_feedback =
+        compute_window_stats(std::span<const repsys::Feedback>{fs}, 10);
+    const WindowStats from_outcomes =
+        compute_window_stats(std::span<const std::uint8_t>{outcomes}, 10);
+    EXPECT_EQ(from_feedback.good_counts, from_outcomes.good_counts);
+    EXPECT_EQ(from_feedback.good_total, from_outcomes.good_total);
+}
+
+TEST(WindowStats, PHatEqualsGoodRatioOfUsedSuffix) {
+    stats::Rng rng{10};
+    std::vector<std::uint8_t> outcomes;
+    for (int i = 0; i < 1003; ++i) outcomes.push_back(rng.bernoulli(0.93) ? 1 : 0);
+    const WindowStats ws =
+        compute_window_stats(std::span<const std::uint8_t>{outcomes}, 10);
+    std::size_t good = 0;
+    for (std::size_t i = 3; i < outcomes.size(); ++i) good += outcomes[i];
+    EXPECT_NEAR(ws.p_hat(), static_cast<double>(good) / 1000.0, 1e-12);
+}
+
+TEST(WindowStats, SuffixSharesNewestWindows) {
+    // Key property behind O(n) multi-testing: the suffix of length L
+    // contains exactly the newest floor(L/m) windows of the full sequence.
+    stats::Rng rng{11};
+    std::vector<std::uint8_t> outcomes;
+    for (int i = 0; i < 257; ++i) outcomes.push_back(rng.bernoulli(0.7) ? 1 : 0);
+    const std::span<const std::uint8_t> all{outcomes};
+    const WindowStats full = compute_window_stats(all, 10);
+    for (std::size_t suffix_len : {30u, 100u, 200u, 250u}) {
+        const WindowStats suffix =
+            compute_window_stats(all.subspan(all.size() - suffix_len, suffix_len), 10);
+        ASSERT_EQ(suffix.windows(), suffix_len / 10);
+        for (std::size_t w = 0; w < suffix.windows(); ++w) {
+            ASSERT_EQ(suffix.good_counts[w], full.good_counts[w])
+                << "suffix " << suffix_len << " window " << w;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace hpr::core

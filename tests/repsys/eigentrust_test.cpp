@@ -1,0 +1,134 @@
+// Unit tests for the EigenTrust baseline (repsys/eigentrust.h).
+
+#include "repsys/eigentrust.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace hpr::repsys {
+namespace {
+
+Feedback fb(Timestamp t, EntityId server, EntityId client, bool good) {
+    return Feedback{t, server, client,
+                    good ? Rating::kPositive : Rating::kNegative};
+}
+
+TEST(EigenTrust, RejectsDegenerateInput) {
+    EXPECT_THROW((void)EigenTrust::compute({}), std::invalid_argument);
+    const std::vector<Feedback> one{fb(1, 1, 2, true)};
+    EigenTrustConfig bad;
+    bad.teleport = 0.0;
+    EXPECT_THROW((void)EigenTrust::compute(one, bad), std::invalid_argument);
+    bad = {};
+    bad.max_iterations = 0;
+    EXPECT_THROW((void)EigenTrust::compute(one, bad), std::invalid_argument);
+}
+
+TEST(EigenTrust, ScoresFormADistribution) {
+    stats::Rng rng{61};
+    std::vector<Feedback> feedbacks;
+    for (int i = 0; i < 500; ++i) {
+        feedbacks.push_back(fb(i + 1,
+                               static_cast<EntityId>(1 + rng.uniform_int(std::uint64_t{8})),
+                               static_cast<EntityId>(20 + rng.uniform_int(std::uint64_t{30})),
+                               rng.bernoulli(0.8)));
+    }
+    const auto result = EigenTrust::compute(feedbacks);
+    EXPECT_TRUE(result.converged());
+    double total = 0.0;
+    for (const auto& [id, score] : result.scores()) {
+        EXPECT_GE(score, 0.0);
+        total += score;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(EigenTrust, GoodServerOutranksBadServer) {
+    // 30 clients all rate server 1 positively and server 2 negatively.
+    std::vector<Feedback> feedbacks;
+    Timestamp t = 1;
+    for (EntityId c = 100; c < 130; ++c) {
+        feedbacks.push_back(fb(t++, 1, c, true));
+        feedbacks.push_back(fb(t++, 2, c, false));
+    }
+    const auto result = EigenTrust::compute(feedbacks);
+    EXPECT_GT(result.score(1), result.score(2));
+    // With local trust clamped at zero, the all-negative server earns no
+    // endorsement beyond the uniform teleport mass.
+    EXPECT_GT(result.score(1), 2.0 * result.score(2));
+    const auto ranking = result.ranking();
+    EXPECT_EQ(ranking.front(), 1u);
+}
+
+TEST(EigenTrust, UnknownEntityScoresZero) {
+    const std::vector<Feedback> feedbacks{fb(1, 1, 2, true)};
+    const auto result = EigenTrust::compute(feedbacks);
+    EXPECT_EQ(result.score(999), 0.0);
+}
+
+TEST(EigenTrust, PreTrustedAnchorsConcentrateMass) {
+    // Two disconnected endorsement islands: {1 <- 10} and {2 <- 20}.
+    const std::vector<Feedback> feedbacks{fb(1, 1, 10, true), fb(2, 2, 20, true)};
+    const std::vector<EntityId> anchors{10};
+    const auto anchored = EigenTrust::compute(feedbacks, {}, anchors);
+    // Teleport lands only on client 10, so island {10, 1} gets all mass.
+    EXPECT_GT(anchored.score(1), anchored.score(2));
+    EXPECT_NEAR(anchored.score(2) + anchored.score(20), 0.0, 1e-9);
+}
+
+TEST(EigenTrust, CollusionCliqueIsDampedByPreTrust) {
+    // Honest region: clients 100..119 endorse servers 1..3 (who, acting as
+    // clients, endorse each other lightly).  A colluding clique 50/51
+    // endorses itself heavily and nobody else endorses it.
+    std::vector<Feedback> feedbacks;
+    Timestamp t = 1;
+    for (EntityId c = 100; c < 120; ++c) {
+        for (EntityId s = 1; s <= 3; ++s) feedbacks.push_back(fb(t++, s, c, true));
+    }
+    for (int i = 0; i < 200; ++i) {
+        feedbacks.push_back(fb(t++, 50, 51, true));
+        feedbacks.push_back(fb(t++, 51, 50, true));
+    }
+    const std::vector<EntityId> anchors{100, 101, 102};
+    const auto result = EigenTrust::compute(feedbacks, {}, anchors);
+    // The clique's mutual endorsements cannot pull in teleport mass that
+    // only flows through the pre-trusted honest clients.
+    EXPECT_GT(result.score(1), result.score(50));
+    EXPECT_GT(result.score(1), result.score(51));
+}
+
+TEST(EigenTrust, MixedFeedbackNetsOut) {
+    // Client 9 rates server 1: 5 positives, 2 negatives -> net +3;
+    // server 2: 2 positives, 2 negatives -> net 0 (no edge).
+    std::vector<Feedback> feedbacks;
+    Timestamp t = 1;
+    for (int i = 0; i < 5; ++i) feedbacks.push_back(fb(t++, 1, 9, true));
+    for (int i = 0; i < 2; ++i) feedbacks.push_back(fb(t++, 1, 9, false));
+    for (int i = 0; i < 2; ++i) feedbacks.push_back(fb(t++, 2, 9, true));
+    for (int i = 0; i < 2; ++i) feedbacks.push_back(fb(t++, 2, 9, false));
+    const std::vector<EntityId> anchors{9};
+    const auto result = EigenTrust::compute(feedbacks, {}, anchors);
+    EXPECT_GT(result.score(1), result.score(2));
+}
+
+TEST(EigenTrust, DeterministicAcrossRuns) {
+    stats::Rng rng{62};
+    std::vector<Feedback> feedbacks;
+    for (int i = 0; i < 300; ++i) {
+        feedbacks.push_back(fb(i + 1,
+                               static_cast<EntityId>(1 + rng.uniform_int(std::uint64_t{5})),
+                               static_cast<EntityId>(10 + rng.uniform_int(std::uint64_t{20})),
+                               rng.bernoulli(0.7)));
+    }
+    const auto a = EigenTrust::compute(feedbacks);
+    const auto b = EigenTrust::compute(feedbacks);
+    for (const auto& [id, score] : a.scores()) {
+        ASSERT_DOUBLE_EQ(score, b.score(id));
+    }
+}
+
+}  // namespace
+}  // namespace hpr::repsys

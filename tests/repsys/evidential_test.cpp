@@ -1,0 +1,108 @@
+// Unit tests for evidential (Dempster-Shafer) trust (repsys/evidential.h).
+
+#include "repsys/evidential.h"
+
+#include <gtest/gtest.h>
+
+namespace hpr::repsys {
+namespace {
+
+Feedback fb(Timestamp t, Rating r) { return Feedback{t, 1, 2, r}; }
+
+void expect_valid(const BeliefMass& m) {
+    EXPECT_GE(m.trust, 0.0);
+    EXPECT_GE(m.distrust, 0.0);
+    EXPECT_GE(m.uncertainty, -1e-12);
+    EXPECT_NEAR(m.trust + m.distrust + m.uncertainty, 1.0, 1e-12);
+}
+
+TEST(Evidential, NoEvidenceIsVacuous) {
+    const BeliefMass m = belief_from_counts(0, 0, 0);
+    EXPECT_EQ(m.trust, 0.0);
+    EXPECT_EQ(m.distrust, 0.0);
+    EXPECT_EQ(m.uncertainty, 1.0);
+    EXPECT_EQ(m.expected_trust(), 0.5);
+}
+
+TEST(Evidential, CountsMapToMasses) {
+    const BeliefMass m = belief_from_counts(8, 1, 1);
+    expect_valid(m);
+    EXPECT_NEAR(m.trust, 0.8, 1e-12);
+    EXPECT_NEAR(m.distrust, 0.1, 1e-12);
+    EXPECT_NEAR(m.uncertainty, 0.1, 1e-12);
+    EXPECT_NEAR(m.expected_trust(), 0.85, 1e-12);
+}
+
+TEST(Evidential, DiscountShiftsMassToUncertainty) {
+    const BeliefMass crisp = belief_from_counts(9, 1, 0, 0.0);
+    const BeliefMass hedged = belief_from_counts(9, 1, 0, 0.5);
+    expect_valid(hedged);
+    EXPECT_NEAR(hedged.trust, 0.5 * crisp.trust, 1e-12);
+    EXPECT_GT(hedged.uncertainty, crisp.uncertainty);
+    EXPECT_THROW((void)belief_from_counts(1, 0, 0, 1.5), std::invalid_argument);
+}
+
+TEST(Evidential, FeedbackOverloadCountsRatings) {
+    const std::vector<Feedback> feedbacks{
+        fb(1, Rating::kPositive), fb(2, Rating::kPositive),
+        fb(3, Rating::kNegative), fb(4, Rating::kNeutral)};
+    const BeliefMass m = belief_from_feedbacks(feedbacks);
+    EXPECT_NEAR(m.trust, 0.5, 1e-12);
+    EXPECT_NEAR(m.distrust, 0.25, 1e-12);
+    EXPECT_NEAR(m.uncertainty, 0.25, 1e-12);
+}
+
+TEST(Evidential, CombiningWithVacuousIsIdentity) {
+    const BeliefMass m = belief_from_counts(7, 2, 1);
+    const BeliefMass vacuous;
+    const BeliefMass combined = combine(m, vacuous);
+    EXPECT_NEAR(combined.trust, m.trust, 1e-12);
+    EXPECT_NEAR(combined.distrust, m.distrust, 1e-12);
+    EXPECT_NEAR(combined.uncertainty, m.uncertainty, 1e-12);
+}
+
+TEST(Evidential, CombinationIsCommutative) {
+    const BeliefMass a = belief_from_counts(8, 1, 1);
+    const BeliefMass b = belief_from_counts(3, 5, 2);
+    const BeliefMass ab = combine(a, b);
+    const BeliefMass ba = combine(b, a);
+    expect_valid(ab);
+    EXPECT_NEAR(ab.trust, ba.trust, 1e-12);
+    EXPECT_NEAR(ab.distrust, ba.distrust, 1e-12);
+}
+
+TEST(Evidential, AgreementReinforcesBelief) {
+    const BeliefMass witness = belief_from_counts(7, 1, 2);
+    const BeliefMass combined = combine(witness, witness);
+    expect_valid(combined);
+    EXPECT_GT(combined.trust, witness.trust);
+    EXPECT_LT(combined.uncertainty, witness.uncertainty);
+}
+
+TEST(Evidential, ConflictErodesCertainty) {
+    const BeliefMass pro = belief_from_counts(8, 1, 1);
+    const BeliefMass contra = belief_from_counts(1, 8, 1);
+    const BeliefMass combined = combine(pro, contra);
+    expect_valid(combined);
+    // Opposing evidence cancels toward a middling expected trust.
+    EXPECT_NEAR(combined.expected_trust(), 0.5, 0.1);
+}
+
+TEST(Evidential, TotalConflictThrows) {
+    BeliefMass certain_yes;
+    certain_yes.trust = 1.0;
+    certain_yes.uncertainty = 0.0;
+    BeliefMass certain_no;
+    certain_no.distrust = 1.0;
+    certain_no.uncertainty = 0.0;
+    EXPECT_THROW((void)combine(certain_yes, certain_no), std::invalid_argument);
+}
+
+TEST(Evidential, ExpectedTrustTracksEvidenceRatio) {
+    // With no neutrals and no discount, expected trust ~ positive ratio.
+    const BeliefMass m = belief_from_counts(90, 10, 0);
+    EXPECT_NEAR(m.expected_trust(), 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpr::repsys

@@ -1,0 +1,159 @@
+// Unit and property tests for TransactionHistory (repsys/history.h).
+
+#include "repsys/history.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace hpr::repsys {
+namespace {
+
+Feedback make(Timestamp t, EntityId client, Rating r) {
+    return Feedback{t, 1, client, r};
+}
+
+TEST(History, StartsEmpty) {
+    const TransactionHistory h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.size(), 0u);
+    EXPECT_EQ(h.good_count(), 0u);
+    EXPECT_EQ(h.good_ratio(), 0.0);
+}
+
+TEST(History, ConstructFromFeedbacks) {
+    const TransactionHistory h{{make(1, 10, Rating::kPositive),
+                                make(2, 11, Rating::kNegative),
+                                make(3, 12, Rating::kPositive)}};
+    EXPECT_EQ(h.size(), 3u);
+    EXPECT_EQ(h.good_count(), 2u);
+    EXPECT_NEAR(h.good_ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(History, ConstructorRejectsUnorderedTimestamps) {
+    EXPECT_THROW(TransactionHistory({make(5, 1, Rating::kPositive),
+                                     make(4, 1, Rating::kPositive)}),
+                 std::invalid_argument);
+}
+
+TEST(History, AppendRejectsTimeRegression) {
+    TransactionHistory h;
+    h.append(make(10, 1, Rating::kPositive));
+    EXPECT_THROW(h.append(make(9, 1, Rating::kPositive)), std::invalid_argument);
+    h.append(make(10, 2, Rating::kNegative));  // equal timestamps are fine
+    EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(History, AutoTimestampAppend) {
+    TransactionHistory h;
+    h.append(1, 7, Rating::kPositive);
+    h.append(1, 8, Rating::kNegative);
+    EXPECT_EQ(h[0].time, 1);
+    EXPECT_EQ(h[1].time, 2);
+    EXPECT_EQ(h[1].client, 8u);
+}
+
+TEST(History, PopBackRollsBackCounts) {
+    TransactionHistory h;
+    h.append(1, 7, Rating::kPositive);
+    h.append(1, 8, Rating::kPositive);
+    h.pop_back();
+    EXPECT_EQ(h.size(), 1u);
+    EXPECT_EQ(h.good_count(), 1u);
+    h.pop_back();
+    EXPECT_TRUE(h.empty());
+    EXPECT_THROW(h.pop_back(), std::logic_error);
+}
+
+TEST(History, AppendPopAppendKeepsPrefixConsistent) {
+    TransactionHistory h;
+    h.append(1, 1, Rating::kPositive);
+    h.append(1, 2, Rating::kNegative);
+    h.pop_back();
+    h.append(1, 3, Rating::kPositive);
+    EXPECT_EQ(h.good_count(), 2u);
+    EXPECT_EQ(h.good_count(0, 2), 2u);
+}
+
+TEST(History, GoodCountRanges) {
+    // Pattern: G B G G B
+    const TransactionHistory h{{make(1, 1, Rating::kPositive),
+                                make(2, 1, Rating::kNegative),
+                                make(3, 1, Rating::kPositive),
+                                make(4, 1, Rating::kPositive),
+                                make(5, 1, Rating::kNegative)}};
+    EXPECT_EQ(h.good_count(0, 5), 3u);
+    EXPECT_EQ(h.good_count(0, 1), 1u);
+    EXPECT_EQ(h.good_count(1, 2), 0u);
+    EXPECT_EQ(h.good_count(2, 4), 2u);
+    EXPECT_EQ(h.good_count(3, 3), 0u);
+}
+
+TEST(History, GoodCountRejectsBadRanges) {
+    const TransactionHistory h{{make(1, 1, Rating::kPositive)}};
+    EXPECT_THROW((void)h.good_count(0, 2), std::out_of_range);
+    EXPECT_THROW((void)h.good_count(1, 0), std::out_of_range);
+}
+
+TEST(History, GoodCountMatchesNaiveScan) {
+    // Property: prefix-sum range queries equal a direct scan.
+    stats::Rng rng{31};
+    TransactionHistory h;
+    for (int i = 0; i < 500; ++i) {
+        h.append(1, static_cast<EntityId>(rng.uniform_int(std::uint64_t{20})),
+                 rng.bernoulli(0.8) ? Rating::kPositive : Rating::kNegative);
+    }
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto a = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{501}));
+        const auto b = static_cast<std::size_t>(rng.uniform_int(std::uint64_t{501}));
+        const std::size_t lo = std::min(a, b);
+        const std::size_t hi = std::max(a, b);
+        std::size_t direct = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            if (h[i].good()) ++direct;
+        }
+        ASSERT_EQ(h.good_count(lo, hi), direct) << "[" << lo << ", " << hi << ")";
+    }
+}
+
+TEST(History, RecentReturnsNewestSuffix) {
+    const TransactionHistory h{{make(1, 1, Rating::kPositive),
+                                make(2, 2, Rating::kNegative),
+                                make(3, 3, Rating::kPositive)}};
+    const auto tail = h.recent(2);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].time, 2);
+    EXPECT_EQ(tail[1].time, 3);
+    EXPECT_EQ(h.recent(10).size(), 3u);
+    EXPECT_EQ(h.recent(0).size(), 0u);
+}
+
+TEST(History, DistinctClients) {
+    const TransactionHistory h{{make(1, 5, Rating::kPositive),
+                                make(2, 5, Rating::kPositive),
+                                make(3, 6, Rating::kNegative),
+                                make(4, 7, Rating::kPositive)}};
+    EXPECT_EQ(h.distinct_clients(), 3u);
+}
+
+TEST(History, SupporterBaseCountsLatestPositives) {
+    // Client 5: last feedback negative. Client 6: last positive.
+    const TransactionHistory h{{make(1, 5, Rating::kPositive),
+                                make(2, 6, Rating::kNegative),
+                                make(3, 6, Rating::kPositive),
+                                make(4, 5, Rating::kNegative)}};
+    EXPECT_EQ(h.supporter_base(), 1u);
+}
+
+TEST(History, ViewSpansAllFeedbacks) {
+    TransactionHistory h;
+    h.append(1, 2, Rating::kPositive);
+    h.append(1, 3, Rating::kNegative);
+    const auto view = h.view();
+    ASSERT_EQ(view.size(), 2u);
+    EXPECT_EQ(view[0].client, 2u);
+    EXPECT_EQ(view[1].client, 3u);
+}
+
+}  // namespace
+}  // namespace hpr::repsys

@@ -1,0 +1,103 @@
+// Unit tests for H-Trust group reputation (repsys/htrust.h).
+
+#include "repsys/htrust.h"
+
+#include <gtest/gtest.h>
+
+namespace hpr::repsys {
+namespace {
+
+Feedback fb(Timestamp t, EntityId client, bool good) {
+    return Feedback{t, 1, client, good ? Rating::kPositive : Rating::kNegative};
+}
+
+TEST(HIndex, KnownValues) {
+    EXPECT_EQ(h_index({}), 0u);
+    EXPECT_EQ(h_index({0, 0, 0}), 0u);
+    EXPECT_EQ(h_index({1}), 1u);
+    EXPECT_EQ(h_index({5}), 1u);
+    EXPECT_EQ(h_index({3, 3, 3}), 3u);
+    EXPECT_EQ(h_index({10, 8, 5, 4, 3}), 4u);
+    EXPECT_EQ(h_index({25, 8, 5, 3, 3}), 3u);
+}
+
+TEST(HIndex, OrderInvariant) {
+    EXPECT_EQ(h_index({1, 9, 2, 8, 3}), h_index({9, 8, 3, 2, 1}));
+}
+
+TEST(HTrust, EmptyHistory) {
+    const HTrustResult result = h_trust({});
+    EXPECT_EQ(result.h, 0u);
+    EXPECT_EQ(result.supporters, 0u);
+    EXPECT_EQ(result.positives, 0u);
+    EXPECT_EQ(result.normalized, 0.0);
+}
+
+TEST(HTrust, CountsPerClientPositives) {
+    // Client 10: 3 positives; client 11: 2; client 12: 1 positive + 1
+    // negative (negatives never count).
+    std::vector<Feedback> feedbacks;
+    Timestamp t = 1;
+    for (int i = 0; i < 3; ++i) feedbacks.push_back(fb(t++, 10, true));
+    for (int i = 0; i < 2; ++i) feedbacks.push_back(fb(t++, 11, true));
+    feedbacks.push_back(fb(t++, 12, true));
+    feedbacks.push_back(fb(t++, 12, false));
+    const HTrustResult result = h_trust(feedbacks);
+    EXPECT_EQ(result.h, 2u);  // two clients with >= 2 positives
+    EXPECT_EQ(result.supporters, 3u);
+    EXPECT_EQ(result.positives, 6u);
+}
+
+TEST(HTrust, SingleColluderBoundedAtOne) {
+    // One colluder files 400 fake positives: H stays at 1.
+    std::vector<Feedback> feedbacks;
+    for (int i = 0; i < 400; ++i) {
+        feedbacks.push_back(fb(i + 1, 5, true));
+    }
+    const HTrustResult result = h_trust(feedbacks);
+    EXPECT_EQ(result.h, 1u);
+    EXPECT_LT(result.normalized, 0.1);
+}
+
+TEST(HTrust, KColludersBoundedAtK) {
+    std::vector<Feedback> feedbacks;
+    Timestamp t = 1;
+    for (int round = 0; round < 100; ++round) {
+        for (EntityId c = 2; c < 7; ++c) feedbacks.push_back(fb(t++, c, true));
+    }
+    EXPECT_EQ(h_trust(feedbacks).h, 5u);  // 5 colluders cap H at 5
+}
+
+TEST(HTrust, BroadSupportScoresHigh) {
+    // 20 distinct clients x 20 positives each: H = 20, the ceiling for
+    // 400 positives (sqrt(400)) -> normalized 1.
+    std::vector<Feedback> feedbacks;
+    Timestamp t = 1;
+    for (int round = 0; round < 20; ++round) {
+        for (EntityId c = 100; c < 120; ++c) feedbacks.push_back(fb(t++, c, true));
+    }
+    const HTrustResult result = h_trust(feedbacks);
+    EXPECT_EQ(result.h, 20u);
+    EXPECT_NEAR(result.normalized, 1.0, 1e-12);
+}
+
+TEST(HTrust, DiscriminatesColluderFromHonestAtSameVolume) {
+    // Same 400 positives: colluder-concentrated vs broadly earned — the
+    // volume-based average cannot tell them apart, H-Trust can.
+    std::vector<Feedback> concentrated;
+    std::vector<Feedback> broad;
+    Timestamp t = 1;
+    for (int i = 0; i < 400; ++i) {
+        concentrated.push_back(fb(t, static_cast<EntityId>(2 + i % 4), true));
+        broad.push_back(fb(t, static_cast<EntityId>(100 + i % 40), true));
+        ++t;
+    }
+    const auto h_concentrated = h_trust(concentrated);
+    const auto h_broad = h_trust(broad);
+    EXPECT_EQ(h_concentrated.positives, h_broad.positives);
+    EXPECT_LT(h_concentrated.h, h_broad.h);
+    EXPECT_LT(h_concentrated.normalized + 0.25, h_broad.normalized);
+}
+
+}  // namespace
+}  // namespace hpr::repsys

@@ -1,0 +1,150 @@
+// Unit tests for the feedback storage substrate (repsys/store.h).
+
+#include "repsys/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace hpr::repsys {
+namespace {
+
+Feedback fb(Timestamp t, EntityId server, EntityId client, bool good) {
+    return Feedback{t, server, client,
+                    good ? Rating::kPositive : Rating::kNegative};
+}
+
+FeedbackStore sample_store() {
+    FeedbackStore store;
+    store.submit({fb(1, 10, 100, true), fb(2, 10, 101, false), fb(3, 10, 100, true),
+                  fb(1, 20, 100, true), fb(5, 20, 102, true)});
+    return store;
+}
+
+TEST(FeedbackStore, StartsEmpty) {
+    const FeedbackStore store;
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.server_count(), 0u);
+    EXPECT_TRUE(store.servers().empty());
+    EXPECT_FALSE(store.contains(1));
+}
+
+TEST(FeedbackStore, RoutesByServer) {
+    const FeedbackStore store = sample_store();
+    EXPECT_EQ(store.size(), 5u);
+    EXPECT_EQ(store.server_count(), 2u);
+    EXPECT_EQ(store.servers(), (std::vector<EntityId>{10, 20}));
+    EXPECT_EQ(store.history(10).size(), 3u);
+    EXPECT_EQ(store.history(20).size(), 2u);
+    EXPECT_EQ(store.history(10).good_count(), 2u);
+}
+
+TEST(FeedbackStore, UnknownServerThrows) {
+    const FeedbackStore store = sample_store();
+    EXPECT_THROW((void)store.history(99), std::out_of_range);
+}
+
+TEST(FeedbackStore, RejectsPerServerTimeRegression) {
+    FeedbackStore store;
+    store.submit(fb(5, 1, 2, true));
+    EXPECT_THROW(store.submit(fb(4, 1, 2, true)), std::invalid_argument);
+    // A different server has an independent clock.
+    store.submit(fb(1, 2, 2, true));
+    EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(FeedbackStore, BetweenIsInclusiveAndOrdered) {
+    const FeedbackStore store = sample_store();
+    const auto range = store.between(10, 2, 3);
+    ASSERT_EQ(range.size(), 2u);
+    EXPECT_EQ(range[0].time, 2);
+    EXPECT_EQ(range[1].time, 3);
+    EXPECT_TRUE(store.between(10, 100, 200).empty());
+    EXPECT_TRUE(store.between(99, 0, 10).empty());
+    // Inverted bounds are an empty range, not undefined behavior.
+    EXPECT_TRUE(store.between(10, 3, 1).empty());
+}
+
+TEST(FeedbackStore, IssuedByCollectsAcrossServers) {
+    const FeedbackStore store = sample_store();
+    const auto by_100 = store.issued_by(100);
+    ASSERT_EQ(by_100.size(), 3u);
+    // Time-ordered; the tie at t=1 broken by server id.
+    EXPECT_EQ(by_100[0].time, 1);
+    EXPECT_EQ(by_100[0].server, 10u);
+    EXPECT_EQ(by_100[1].server, 20u);
+    EXPECT_EQ(by_100[2].time, 3);
+    EXPECT_TRUE(store.issued_by(999).empty());
+}
+
+TEST(FeedbackStore, SampleHistoryIsDeterministicSubset) {
+    FeedbackStore store;
+    for (int i = 1; i <= 400; ++i) {
+        store.submit(fb(i, 1, static_cast<EntityId>(100 + i % 10), i % 7 != 0));
+    }
+    const auto a = store.sample_history(1, 0.5, 99);
+    const auto b = store.sample_history(1, 0.5, 99);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.size(), 120u);
+    EXPECT_LT(a.size(), 280u);
+    // Order preserved.
+    for (std::size_t i = 1; i < a.size(); ++i) ASSERT_LE(a[i - 1].time, a[i].time);
+    // Degenerate fractions.
+    EXPECT_TRUE(store.sample_history(1, 0.0, 99).empty());
+    EXPECT_EQ(store.sample_history(1, 1.0, 99).size(), 400u);
+    EXPECT_THROW((void)store.sample_history(1, 1.5, 99), std::invalid_argument);
+    EXPECT_TRUE(store.sample_history(123, 0.5, 99).empty());
+}
+
+TEST(FeedbackStore, EvictBeforeDropsOldFeedback) {
+    FeedbackStore store = sample_store();
+    const std::size_t removed = store.evict_before(3);
+    EXPECT_EQ(removed, 3u);  // t=1,2 of server 10 and t=1 of server 20
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.history(10).size(), 1u);
+    EXPECT_EQ(store.history(10)[0].time, 3);
+    EXPECT_EQ(store.history(20).size(), 1u);
+}
+
+TEST(FeedbackStore, EvictCanForgetServersEntirely) {
+    FeedbackStore store = sample_store();
+    store.evict_before(100);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.server_count(), 0u);
+    EXPECT_FALSE(store.contains(10));
+}
+
+TEST(FeedbackStore, SaveLoadRoundTrip) {
+    const FeedbackStore store = sample_store();
+    const auto dir =
+        (std::filesystem::temp_directory_path() / "hpr_store_test").string();
+    store.save(dir);
+    const FeedbackStore loaded = FeedbackStore::load(dir);
+    EXPECT_EQ(loaded.size(), store.size());
+    EXPECT_EQ(loaded.servers(), store.servers());
+    EXPECT_EQ(loaded.history(10).feedbacks(), store.history(10).feedbacks());
+    EXPECT_EQ(loaded.history(20).feedbacks(), store.history(20).feedbacks());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(FeedbackStore, LoadRejectsMissingDirectory) {
+    EXPECT_THROW((void)FeedbackStore::load("/nonexistent/hpr_store"),
+                 std::runtime_error);
+}
+
+TEST(FeedbackStore, LoadIgnoresNonCsvFiles) {
+    const auto dir =
+        (std::filesystem::temp_directory_path() / "hpr_store_mixed").string();
+    sample_store().save(dir);
+    {
+        std::ofstream junk{std::filesystem::path{dir} / "notes.txt"};
+        junk << "not a feedback log\n";
+    }
+    const FeedbackStore loaded = FeedbackStore::load(dir);
+    EXPECT_EQ(loaded.server_count(), 2u);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hpr::repsys

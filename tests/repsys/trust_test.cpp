@@ -1,0 +1,220 @@
+// Unit and property tests for trust functions (repsys/trust.h).
+
+#include "repsys/trust.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace hpr::repsys {
+namespace {
+
+TransactionHistory from_outcomes(const std::vector<bool>& outcomes) {
+    TransactionHistory h;
+    for (bool good : outcomes) {
+        h.append(1, 2, good ? Rating::kPositive : Rating::kNegative);
+    }
+    return h;
+}
+
+TEST(AverageTrust, IsGoodRatio) {
+    const AverageTrust trust;
+    EXPECT_NEAR(trust.evaluate(from_outcomes({true, true, false, true})), 0.75, 1e-12);
+    EXPECT_NEAR(trust.evaluate(from_outcomes({false, false})), 0.0, 1e-12);
+    EXPECT_NEAR(trust.evaluate(from_outcomes({true})), 1.0, 1e-12);
+}
+
+TEST(AverageTrust, EmptyHistoryGivesPrior) {
+    EXPECT_EQ(AverageTrust{}.evaluate(TransactionHistory{}), 0.5);
+    EXPECT_EQ(AverageTrust{0.2}.evaluate(TransactionHistory{}), 0.2);
+}
+
+TEST(AverageTrust, RejectsBadPrior) {
+    EXPECT_THROW(AverageTrust{-0.1}, std::invalid_argument);
+    EXPECT_THROW(AverageTrust{1.5}, std::invalid_argument);
+}
+
+TEST(WeightedTrust, MatchesRecurrence) {
+    // R_t = 0.5 f_t + 0.5 R_{t-1}, R_0 = 0.5.
+    const WeightedTrust trust{0.5, 0.5};
+    // good: 0.75; bad: 0.375; good: 0.6875.
+    EXPECT_NEAR(trust.evaluate(from_outcomes({true, false, true})), 0.6875, 1e-12);
+}
+
+TEST(WeightedTrust, LambdaOneTracksLastOutcome) {
+    const WeightedTrust trust{1.0, 0.5};
+    EXPECT_EQ(trust.evaluate(from_outcomes({false, false, true})), 1.0);
+    EXPECT_EQ(trust.evaluate(from_outcomes({true, true, false})), 0.0);
+}
+
+TEST(WeightedTrust, RejectsBadParameters) {
+    EXPECT_THROW(WeightedTrust(0.0), std::invalid_argument);
+    EXPECT_THROW(WeightedTrust(1.2), std::invalid_argument);
+    EXPECT_THROW(WeightedTrust(0.5, -0.1), std::invalid_argument);
+}
+
+TEST(WeightedTrust, RecoveryAfterBadTakesThreeGoods) {
+    // The paper's Fig. 4 discussion: with lambda = 0.5 and threshold 0.9,
+    // an attacker needs 2-3 goods after each bad to get back above 0.9.
+    auto acc = WeightedTrust{0.5, 0.5}.make_accumulator();
+    for (int i = 0; i < 20; ++i) acc->update(true);  // converge near 1.0
+    ASSERT_GT(acc->value(), 0.99);
+    acc->update(false);
+    EXPECT_LT(acc->value(), 0.9);
+    int goods = 0;
+    while (acc->value() < 0.9) {
+        acc->update(true);
+        ++goods;
+    }
+    EXPECT_GE(goods, 2);
+    EXPECT_LE(goods, 3);
+}
+
+TEST(BetaTrust, PosteriorMean) {
+    const BetaTrust trust;
+    EXPECT_EQ(trust.evaluate(TransactionHistory{}), 0.5);  // (0+1)/(0+2)
+    EXPECT_NEAR(trust.evaluate(from_outcomes({true, true, true})), 4.0 / 5.0, 1e-12);
+    EXPECT_NEAR(trust.evaluate(from_outcomes({true, false})), 2.0 / 4.0, 1e-12);
+}
+
+TEST(DecayTrust, UniformHistoryIsInvariant) {
+    const DecayTrust trust{0.9};
+    EXPECT_NEAR(trust.evaluate(from_outcomes(std::vector<bool>(50, true))), 1.0, 1e-12);
+    EXPECT_NEAR(trust.evaluate(from_outcomes(std::vector<bool>(50, false))), 0.0, 1e-12);
+}
+
+TEST(DecayTrust, RecentOutcomesWeighMore) {
+    const DecayTrust trust{0.9};
+    const double bad_then_good = trust.evaluate(from_outcomes({false, true}));
+    const double good_then_bad = trust.evaluate(from_outcomes({true, false}));
+    EXPECT_GT(bad_then_good, good_then_bad);
+}
+
+TEST(DecayTrust, GammaOneEqualsAverage) {
+    const DecayTrust decay{1.0};
+    const AverageTrust average;
+    const auto history = from_outcomes({true, false, true, true, false, true});
+    EXPECT_NEAR(decay.evaluate(history), average.evaluate(history), 1e-12);
+}
+
+TEST(DecayTrust, RejectsBadParameters) {
+    EXPECT_THROW(DecayTrust(0.0), std::invalid_argument);
+    EXPECT_THROW(DecayTrust(1.1), std::invalid_argument);
+    EXPECT_THROW(DecayTrust(0.9, 2.0), std::invalid_argument);
+}
+
+TEST(TrustGuard, RejectsBadParameters) {
+    EXPECT_THROW(TrustGuardTrust(0.5, 0.4, 0.1, 0), std::invalid_argument);
+    EXPECT_THROW(TrustGuardTrust(-0.1, 0.4, 0.1, 10), std::invalid_argument);
+    EXPECT_THROW(TrustGuardTrust(0.5, -0.4, 0.1, 10), std::invalid_argument);
+}
+
+TEST(TrustGuard, SteadyBehaviorScoresLikeItsRate) {
+    const TrustGuardTrust trust;  // alpha .5, beta .4, gamma .1, window 10
+    const double high = trust.evaluate(from_outcomes(std::vector<bool>(100, true)));
+    EXPECT_NEAR(high, 0.9, 1e-9);  // alpha*1 + beta*1 + gamma*0
+    const double low = trust.evaluate(from_outcomes(std::vector<bool>(100, false)));
+    EXPECT_NEAR(low, 0.0, 1e-9);
+}
+
+TEST(TrustGuard, DerivativeTermPunishesSuddenDrops) {
+    // Same total goods, different placement: a recent collapse scores
+    // below a steady mediocre record — the PID damping at work.
+    std::vector<bool> collapse(100, true);
+    for (int i = 80; i < 100; ++i) collapse[static_cast<std::size_t>(i)] = false;
+    std::vector<bool> steady;
+    for (int i = 0; i < 100; ++i) steady.push_back(i % 5 != 0);  // 80% spread out
+    const TrustGuardTrust trust;
+    EXPECT_LT(trust.evaluate(from_outcomes(collapse)),
+              trust.evaluate(from_outcomes(steady)) - 0.2);
+}
+
+TEST(TrustGuard, OscillationScoresBelowItsAverage) {
+    // The milking pattern TrustGuard targets: build then dump, repeated.
+    std::vector<bool> oscillating;
+    for (int cycle = 0; cycle < 10; ++cycle) {
+        for (int i = 0; i < 9; ++i) oscillating.push_back(true);
+        oscillating.push_back(false);
+        for (int i = 0; i < 5; ++i) oscillating.push_back(false);
+        for (int i = 0; i < 5; ++i) oscillating.push_back(true);
+    }
+    const TrustGuardTrust trust;
+    const double score = trust.evaluate(from_outcomes(oscillating));
+    double goods = 0;
+    for (const bool b : oscillating) goods += b ? 1.0 : 0.0;
+    EXPECT_LT(score, goods / static_cast<double>(oscillating.size()) + 0.05);
+}
+
+class TrustFunctionProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TrustFunctionProperty, ValuesStayInUnitInterval) {
+    const auto trust = make_trust_function(GetParam());
+    stats::Rng rng{17};
+    auto acc = trust->make_accumulator();
+    for (int i = 0; i < 1000; ++i) {
+        acc->update(rng.bernoulli(0.7));
+        ASSERT_GE(acc->value(), 0.0);
+        ASSERT_LE(acc->value(), 1.0);
+    }
+}
+
+TEST_P(TrustFunctionProperty, AccumulatorMatchesEvaluate) {
+    const auto trust = make_trust_function(GetParam());
+    stats::Rng rng{18};
+    TransactionHistory h;
+    auto acc = trust->make_accumulator();
+    for (int i = 0; i < 300; ++i) {
+        const bool good = rng.bernoulli(0.6);
+        h.append(1, 2, good ? Rating::kPositive : Rating::kNegative);
+        acc->update(good);
+        ASSERT_NEAR(acc->value(), trust->evaluate(h), 1e-12) << "step " << i;
+    }
+}
+
+TEST_P(TrustFunctionProperty, CloneBranchesIndependently) {
+    const auto trust = make_trust_function(GetParam());
+    auto acc = trust->make_accumulator();
+    for (int i = 0; i < 10; ++i) acc->update(true);
+    const auto branch = acc->clone();
+    const double before = acc->value();
+    branch->update(false);
+    EXPECT_EQ(acc->value(), before);  // original unchanged
+    acc->update(false);
+    EXPECT_NEAR(acc->value(), branch->value(), 1e-12);  // same future => same value
+}
+
+TEST_P(TrustFunctionProperty, AllGoodConvergesHigh) {
+    const auto trust = make_trust_function(GetParam());
+    auto acc = trust->make_accumulator();
+    for (int i = 0; i < 500; ++i) acc->update(true);
+    // TrustGuard's ceiling is alpha + beta = 0.9 by construction; every
+    // other function approaches 1.
+    EXPECT_GT(acc->value(), 0.85) << trust->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TrustFunctionProperty,
+                         ::testing::Values("average", "weighted:0.5", "weighted:0.1",
+                                           "beta", "decay:0.98", "decay:0.9",
+                                           "trustguard"));
+
+TEST(TrustFactory, ParsesSpecs) {
+    EXPECT_EQ(make_trust_function("average")->name(), "average");
+    EXPECT_NE(make_trust_function("trustguard")->name().find("trustguard"),
+              std::string::npos);
+    EXPECT_FALSE(known_trust_functions().empty());
+    EXPECT_EQ(make_trust_function("beta")->name(), "beta");
+    EXPECT_NE(make_trust_function("weighted:0.25")->name().find("0.25"),
+              std::string::npos);
+    EXPECT_NE(make_trust_function("decay:0.9")->name().find("0.9"),
+              std::string::npos);
+}
+
+TEST(TrustFactory, RejectsUnknownAndMalformed) {
+    EXPECT_THROW((void)make_trust_function("eigentrust"), std::invalid_argument);
+    EXPECT_THROW((void)make_trust_function("weighted:abc"), std::invalid_argument);
+    EXPECT_THROW((void)make_trust_function(""), std::invalid_argument);
+    EXPECT_THROW((void)make_trust_function("weighted:2.0"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpr::repsys

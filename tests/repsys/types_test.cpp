@@ -1,0 +1,54 @@
+// Unit tests for reputation-system vocabulary types (repsys/types.h).
+
+#include "repsys/types.h"
+
+#include <gtest/gtest.h>
+
+namespace hpr::repsys {
+namespace {
+
+TEST(Rating, GoodnessSemantics) {
+    EXPECT_TRUE(is_good(Rating::kPositive));
+    EXPECT_FALSE(is_good(Rating::kNegative));
+    EXPECT_FALSE(is_good(Rating::kNeutral));
+}
+
+TEST(Rating, ToStringNames) {
+    EXPECT_STREQ(to_string(Rating::kPositive), "positive");
+    EXPECT_STREQ(to_string(Rating::kNegative), "negative");
+    EXPECT_STREQ(to_string(Rating::kNeutral), "neutral");
+}
+
+TEST(Rating, FromStringRoundTrip) {
+    for (Rating r : {Rating::kPositive, Rating::kNegative, Rating::kNeutral}) {
+        EXPECT_EQ(rating_from_string(to_string(r)), r);
+    }
+}
+
+TEST(Rating, FromStringRejectsUnknown) {
+    EXPECT_THROW((void)rating_from_string("ok"), std::invalid_argument);
+    EXPECT_THROW((void)rating_from_string(""), std::invalid_argument);
+    EXPECT_THROW((void)rating_from_string("Positive"), std::invalid_argument);
+}
+
+TEST(Feedback, GoodDelegatesToRating) {
+    Feedback f;
+    f.rating = Rating::kPositive;
+    EXPECT_TRUE(f.good());
+    f.rating = Rating::kNegative;
+    EXPECT_FALSE(f.good());
+}
+
+TEST(Feedback, EqualityIsFieldwise) {
+    const Feedback a{1, 2, 3, Rating::kPositive};
+    Feedback b = a;
+    EXPECT_EQ(a, b);
+    b.time = 9;
+    EXPECT_NE(a, b);
+    b = a;
+    b.rating = Rating::kNegative;
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hpr::repsys

@@ -1,0 +1,157 @@
+// Tests for the attack-cost experiment (sim/attack_cost.h) — paper §5.1.
+// These are the qualitative claims behind Figs. 3 and 4.
+
+#include "sim/attack_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace hpr::sim {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = core::make_calibrator(core::BehaviorTestConfig{});
+    return cal;
+}
+
+AttackCostConfig base_config() {
+    AttackCostConfig config;
+    config.seed = 111;
+    config.max_attack_steps = 30000;
+    return config;
+}
+
+TEST(AttackCost, LargePrepDefeatsPlainAverage) {
+    // The hibernating attack of Fig. 3: with >= 600 prepared transactions
+    // at trust 0.95, all 20 attacks land back-to-back at zero cost.
+    auto config = base_config();
+    config.prep_size = 800;
+    config.screening = core::ScreeningMode::kNone;
+    config.trust_spec = "average";
+    const auto result = run_attack_cost(config, shared_cal());
+    EXPECT_TRUE(result.reached_target);
+    EXPECT_EQ(result.good_transactions, 0u);
+    EXPECT_GE(result.final_trust, 0.9);
+}
+
+TEST(AttackCost, SmallPrepForcesGoodsEvenWithoutScreening) {
+    // Fig. 3 at prep 100: roughly 9 goods per bad in steady state.
+    auto config = base_config();
+    config.prep_size = 100;
+    config.screening = core::ScreeningMode::kNone;
+    const auto series = run_attack_cost_trials(config, 5, shared_cal());
+    EXPECT_EQ(series.unreached_runs, 0u);
+    EXPECT_GT(series.cost.mean(), 50.0);
+}
+
+TEST(AttackCost, MultiTestingImposesCostIndependentOfPrep) {
+    // The headline Fig. 3 result: Scheme 2 keeps the attack expensive no
+    // matter how long the preparation phase was.
+    auto config = base_config();
+    config.screening = core::ScreeningMode::kMulti;
+    config.prep_size = 800;
+    const auto large_prep = run_attack_cost_trials(config, 5, shared_cal());
+    EXPECT_EQ(large_prep.unreached_runs, 0u);
+    EXPECT_GT(large_prep.cost.mean(), 20.0);
+
+    config.prep_size = 400;
+    const auto mid_prep = run_attack_cost_trials(config, 5, shared_cal());
+    // Costs stay in the same band (no collapse to zero at large prep).
+    EXPECT_GT(mid_prep.cost.mean(), 20.0);
+}
+
+TEST(AttackCost, SchemeOrderingAtLargePrep) {
+    // At large prep: cost(None) <= cost(Single) <= cost(Multi) up to noise.
+    auto config = base_config();
+    config.prep_size = 800;
+
+    config.screening = core::ScreeningMode::kNone;
+    const double none = run_attack_cost_trials(config, 5, shared_cal()).cost.mean();
+    config.screening = core::ScreeningMode::kSingle;
+    const double single = run_attack_cost_trials(config, 5, shared_cal()).cost.mean();
+    config.screening = core::ScreeningMode::kMulti;
+    const double multi = run_attack_cost_trials(config, 5, shared_cal()).cost.mean();
+
+    EXPECT_LE(none, single + 1.0);
+    EXPECT_LT(single, multi);
+    EXPECT_LT(none, multi);
+}
+
+TEST(AttackCost, WeightedFunctionForcesSteadyCost) {
+    // Fig. 4: the EWMA alone forces ~2-3 goods per bad regardless of prep.
+    auto config = base_config();
+    config.trust_spec = "weighted:0.5";
+    config.screening = core::ScreeningMode::kNone;
+    for (const std::size_t prep : {100u, 800u}) {
+        config.prep_size = prep;
+        const auto series = run_attack_cost_trials(config, 5, shared_cal());
+        EXPECT_EQ(series.unreached_runs, 0u);
+        EXPECT_GT(series.cost.mean(), 30.0) << "prep " << prep;
+        EXPECT_LT(series.cost.mean(), 90.0) << "prep " << prep;
+    }
+}
+
+TEST(AttackCost, WeightedNeverAllowsConsecutiveBads) {
+    // With lambda = 0.5 and threshold 0.9, one bad drops the EWMA below
+    // 0.9, so the next transaction can never be another attack (§5.1).
+    auto config = base_config();
+    config.trust_spec = "weighted:0.5";
+    config.screening = core::ScreeningMode::kNone;
+    config.prep_size = 300;
+    const auto result = run_attack_cost(config, shared_cal());
+    ASSERT_TRUE(result.reached_target);
+    // 20 attacks need at least 2 goods between consecutive ones.
+    EXPECT_GE(result.good_transactions, 19u * 2u);
+}
+
+TEST(AttackCost, AttackStepsEqualGoodsPlusBads) {
+    auto config = base_config();
+    config.prep_size = 200;
+    config.screening = core::ScreeningMode::kMulti;
+    const auto result = run_attack_cost(config, shared_cal());
+    EXPECT_EQ(result.attack_steps,
+              result.good_transactions + result.attacks_completed);
+}
+
+TEST(AttackCost, DeterministicPerSeed) {
+    auto config = base_config();
+    config.prep_size = 300;
+    config.screening = core::ScreeningMode::kSingle;
+    const auto a = run_attack_cost(config, shared_cal());
+    const auto b = run_attack_cost(config, shared_cal());
+    EXPECT_EQ(a.good_transactions, b.good_transactions);
+    EXPECT_EQ(a.attack_steps, b.attack_steps);
+    EXPECT_EQ(a.final_trust, b.final_trust);
+}
+
+TEST(AttackCost, TargetAttacksHonored) {
+    auto config = base_config();
+    config.prep_size = 400;
+    config.target_attacks = 7;
+    config.screening = core::ScreeningMode::kMulti;
+    const auto result = run_attack_cost(config, shared_cal());
+    EXPECT_TRUE(result.reached_target);
+    EXPECT_EQ(result.attacks_completed, 7u);
+}
+
+TEST(AttackCost, StepCapMarksUnreached) {
+    auto config = base_config();
+    config.prep_size = 400;
+    config.max_attack_steps = 3;  // cannot land 20 attacks in 3 steps
+    config.screening = core::ScreeningMode::kMulti;
+    const auto result = run_attack_cost(config, shared_cal());
+    EXPECT_FALSE(result.reached_target);
+    EXPECT_EQ(result.attack_steps, 3u);
+}
+
+TEST(AttackCost, TrialsAggregateSeeds) {
+    auto config = base_config();
+    config.prep_size = 200;
+    config.screening = core::ScreeningMode::kNone;
+    const auto series = run_attack_cost_trials(config, 8, shared_cal());
+    EXPECT_EQ(series.cost.count(), 8u);
+    // Different seeds should produce at least two distinct costs.
+    EXPECT_GT(series.cost.max(), series.cost.min());
+}
+
+}  // namespace
+}  // namespace hpr::sim

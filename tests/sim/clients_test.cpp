@@ -1,0 +1,105 @@
+// Unit tests for the client-arrival model (sim/clients.h) — paper §5.2.
+
+#include "sim/clients.h"
+
+#include <gtest/gtest.h>
+
+namespace hpr::sim {
+namespace {
+
+TEST(ClientPool, RejectsEmptyPool) {
+    EXPECT_THROW(ClientPool(0, 10), std::invalid_argument);
+}
+
+TEST(ClientPool, IdRangeAndContains) {
+    const ClientPool pool{5, 100};
+    EXPECT_EQ(pool.size(), 5u);
+    EXPECT_EQ(pool.first_id(), 100u);
+    EXPECT_EQ(pool.last_id(), 104u);
+    EXPECT_TRUE(pool.contains(100));
+    EXPECT_TRUE(pool.contains(104));
+    EXPECT_FALSE(pool.contains(99));
+    EXPECT_FALSE(pool.contains(105));
+}
+
+TEST(ClientPool, AllClientsStartNew) {
+    const ClientPool pool{3, 1};
+    for (repsys::EntityId c = 1; c <= 3; ++c) {
+        EXPECT_EQ(pool.state(c), ClientPool::State::kNew);
+    }
+}
+
+TEST(ClientPool, RecordUpdatesState) {
+    ClientPool pool{3, 1};
+    pool.record(2, true);
+    EXPECT_EQ(pool.state(2), ClientPool::State::kLastGood);
+    pool.record(2, false);
+    EXPECT_EQ(pool.state(2), ClientPool::State::kLastBad);
+    EXPECT_EQ(pool.state(1), ClientPool::State::kNew);
+    EXPECT_EQ(pool.satisfied_clients(), 0u);
+    pool.record(3, true);
+    EXPECT_EQ(pool.satisfied_clients(), 1u);
+}
+
+TEST(ClientPool, RecordAndStateRejectForeignIds) {
+    ClientPool pool{3, 1};
+    EXPECT_THROW(pool.record(7, true), std::out_of_range);
+    EXPECT_THROW((void)pool.state(0), std::out_of_range);
+}
+
+TEST(ClientPool, ZeroReputationMeansNoArrivals) {
+    const ClientPool pool{50, 1};
+    stats::Rng rng{101};
+    EXPECT_TRUE(pool.arrivals(0.0, rng).empty());
+}
+
+TEST(ClientPool, ArrivalFrequencyMatchesParams) {
+    // With reputation p the arrival rates must approximate a_i * p.
+    const ClientArrivalParams params{0.5, 0.9, 0.2};
+    ClientPool pool{300, 1, params};
+    for (repsys::EntityId c = 1; c <= 100; ++c) pool.record(c, true);
+    for (repsys::EntityId c = 101; c <= 200; ++c) pool.record(c, false);
+    // Clients 201..300 stay new.
+
+    stats::Rng rng{102};
+    const double reputation = 0.8;
+    double good_arrivals = 0;
+    double bad_arrivals = 0;
+    double new_arrivals = 0;
+    constexpr int kRounds = 2000;
+    for (int round = 0; round < kRounds; ++round) {
+        for (const repsys::EntityId c : pool.arrivals(reputation, rng)) {
+            if (c <= 100) {
+                ++good_arrivals;
+            } else if (c <= 200) {
+                ++bad_arrivals;
+            } else {
+                ++new_arrivals;
+            }
+        }
+    }
+    const double denom = 100.0 * kRounds;
+    EXPECT_NEAR(good_arrivals / denom, params.a_good * reputation, 0.02);
+    EXPECT_NEAR(bad_arrivals / denom, params.a_bad * reputation, 0.02);
+    EXPECT_NEAR(new_arrivals / denom, params.a_new * reputation, 0.02);
+}
+
+TEST(ClientPool, ReputationAboveOneIsClamped) {
+    const ClientArrivalParams params{1.0, 1.0, 1.0};
+    const ClientPool pool{20, 1, params};
+    stats::Rng rng{103};
+    // a_i * clamp(rep) = 1.0: every client arrives every round.
+    EXPECT_EQ(pool.arrivals(5.0, rng).size(), 20u);
+}
+
+TEST(ClientPool, ArrivalsAreSortedUnique) {
+    const ClientPool pool{100, 50};
+    stats::Rng rng{104};
+    const auto arrivals = pool.arrivals(0.9, rng);
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+        ASSERT_LT(arrivals[i - 1], arrivals[i]);
+    }
+}
+
+}  // namespace
+}  // namespace hpr::sim

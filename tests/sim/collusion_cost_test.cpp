@@ -1,0 +1,138 @@
+// Tests for the collusion attack-cost experiment (sim/collusion_cost.h) —
+// paper §5.2, the qualitative claims behind Figs. 5 and 6.
+
+#include "sim/collusion_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace hpr::sim {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = core::make_calibrator(core::BehaviorTestConfig{});
+    return cal;
+}
+
+CollusionCostConfig base_config() {
+    CollusionCostConfig config;
+    config.seed = 211;
+    config.max_attack_steps = 30000;
+    return config;
+}
+
+TEST(CollusionCost, RejectsDegenerateColluderCounts) {
+    auto config = base_config();
+    config.n_colluders = 0;
+    EXPECT_THROW((void)run_collusion_cost(config, shared_cal()),
+                 std::invalid_argument);
+    config.n_colluders = config.n_clients;
+    EXPECT_THROW((void)run_collusion_cost(config, shared_cal()),
+                 std::invalid_argument);
+}
+
+TEST(CollusionCost, WithoutTestingColludersPayEverything) {
+    // The paper's headline §5.2 observation: with no behavior testing the
+    // attacker needs zero genuine good services — fake feedback suffices.
+    auto config = base_config();
+    config.screening = core::ScreeningMode::kNone;
+    for (const std::size_t prep : {100u, 400u, 800u}) {
+        config.prep_size = prep;
+        const auto result = run_collusion_cost(config, shared_cal());
+        EXPECT_TRUE(result.reached_target) << "prep " << prep;
+        EXPECT_EQ(result.genuine_goods, 0u) << "prep " << prep;
+    }
+}
+
+TEST(CollusionCost, ResilientTestingForcesGenuineService) {
+    auto config = base_config();
+    config.screening = core::ScreeningMode::kMulti;
+    config.prep_size = 400;
+    const auto series = run_collusion_cost_trials(config, 4, shared_cal());
+    EXPECT_EQ(series.unreached_runs, 0u);
+    EXPECT_GT(series.cost.mean(), 20.0);
+}
+
+TEST(CollusionCost, MultiTestingCostStableAcrossPrepSizes) {
+    auto config = base_config();
+    config.screening = core::ScreeningMode::kMulti;
+    config.prep_size = 100;
+    const double small = run_collusion_cost_trials(config, 4, shared_cal()).cost.mean();
+    config.prep_size = 800;
+    const double large = run_collusion_cost_trials(config, 4, shared_cal()).cost.mean();
+    // Fig. 5: multi-testing keeps cost roughly flat; in particular a long
+    // prep must not collapse the cost toward zero.
+    EXPECT_GT(large, 0.4 * small);
+    EXPECT_GT(large, 20.0);
+}
+
+TEST(CollusionCost, SingleTestingDegradesWithLongPrep) {
+    // Fig. 5: Scheme 1's cost falls substantially as the preparation
+    // history grows (hibernating weakness).
+    auto config = base_config();
+    config.screening = core::ScreeningMode::kSingle;
+    config.prep_size = 100;
+    const double small = run_collusion_cost_trials(config, 4, shared_cal()).cost.mean();
+    config.prep_size = 800;
+    const double large = run_collusion_cost_trials(config, 4, shared_cal()).cost.mean();
+    EXPECT_LT(large, small);
+}
+
+TEST(CollusionCost, ScreeningGrowsSupporterBase) {
+    // §4 intuition: to pass the re-ordered test the attacker must serve
+    // clients beyond its 5 colluders, expanding the supporter base.
+    auto config = base_config();
+    config.prep_size = 400;
+    config.screening = core::ScreeningMode::kNone;
+    const auto unscreened = run_collusion_cost(config, shared_cal());
+    config.screening = core::ScreeningMode::kMulti;
+    const auto screened = run_collusion_cost(config, shared_cal());
+    EXPECT_GT(screened.supporter_base, unscreened.supporter_base);
+    EXPECT_GT(screened.supporter_base, config.n_colluders);
+}
+
+TEST(CollusionCost, WeightedTrustAlsoConstrained) {
+    auto config = base_config();
+    config.trust_spec = "weighted:0.5";
+    config.screening = core::ScreeningMode::kNone;
+    config.prep_size = 400;
+    const auto baseline = run_collusion_cost(config, shared_cal());
+    EXPECT_EQ(baseline.genuine_goods, 0u);
+    EXPECT_GT(baseline.fake_positives, 0u);
+
+    config.screening = core::ScreeningMode::kMulti;
+    const auto screened = run_collusion_cost(config, shared_cal());
+    EXPECT_GT(screened.genuine_goods, 20u);
+}
+
+TEST(CollusionCost, DeterministicPerSeed) {
+    auto config = base_config();
+    config.prep_size = 200;
+    config.screening = core::ScreeningMode::kMulti;
+    const auto a = run_collusion_cost(config, shared_cal());
+    const auto b = run_collusion_cost(config, shared_cal());
+    EXPECT_EQ(a.genuine_goods, b.genuine_goods);
+    EXPECT_EQ(a.fake_positives, b.fake_positives);
+    EXPECT_EQ(a.attack_steps, b.attack_steps);
+}
+
+TEST(CollusionCost, ReachesExactTargetAttackCount) {
+    auto config = base_config();
+    config.prep_size = 300;
+    config.target_attacks = 9;
+    config.screening = core::ScreeningMode::kMulti;
+    const auto result = run_collusion_cost(config, shared_cal());
+    EXPECT_TRUE(result.reached_target);
+    EXPECT_EQ(result.attacks_completed, 9u);
+}
+
+TEST(CollusionCost, TrialsAggregate) {
+    auto config = base_config();
+    config.prep_size = 200;
+    config.screening = core::ScreeningMode::kMulti;
+    const auto series = run_collusion_cost_trials(config, 6, shared_cal());
+    EXPECT_EQ(series.cost.count(), 6u);
+    EXPECT_EQ(series.fakes.count(), 6u);
+}
+
+}  // namespace
+}  // namespace hpr::sim

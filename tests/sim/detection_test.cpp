@@ -1,0 +1,102 @@
+// Tests for the detection-rate experiment (sim/detection.h) — paper §5.3,
+// the qualitative claims behind Fig. 7.
+
+#include "sim/detection.h"
+
+#include <gtest/gtest.h>
+
+namespace hpr::sim {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = core::make_calibrator(core::BehaviorTestConfig{});
+    return cal;
+}
+
+DetectionConfig config_for(std::size_t attack_window, std::size_t trials = 60) {
+    DetectionConfig config;
+    config.attack_window = attack_window;
+    config.trials = trials;
+    config.seed = 311;
+    return config;
+}
+
+TEST(Detection, TightAttackWindowIsAlwaysCaught) {
+    // N = 10: exactly one bad per window — a rigid, underdispersed
+    // pattern that the distribution test nails.
+    EXPECT_GT(detection_rate(config_for(10), shared_cal()), 0.95);
+}
+
+TEST(Detection, RateDecreasesWithAttackWindow) {
+    // Fig. 7: detection decays monotonically (up to noise) in N.
+    const double at10 = detection_rate(config_for(10), shared_cal());
+    const double at20 = detection_rate(config_for(20), shared_cal());
+    const double at40 = detection_rate(config_for(40), shared_cal());
+    const double at80 = detection_rate(config_for(80), shared_cal());
+    EXPECT_GE(at10 + 0.05, at20);
+    EXPECT_GE(at20 + 0.05, at40);
+    EXPECT_GE(at40 + 0.10, at80);
+    EXPECT_GT(at10, at80);
+}
+
+TEST(Detection, LargeWindowApproachesFalsePositiveFloor) {
+    const double at80 = detection_rate(config_for(80), shared_cal());
+    EXPECT_LT(at80, 0.5);
+}
+
+TEST(Detection, ZeroTrialsGiveZeroRate) {
+    auto config = config_for(10);
+    config.trials = 0;
+    EXPECT_EQ(detection_rate(config, shared_cal()), 0.0);
+}
+
+TEST(Detection, SingleTestDetectsLessThanMulti) {
+    auto config = config_for(40);
+    config.use_multi = true;
+    const double multi = detection_rate(config, shared_cal());
+    config.use_multi = false;
+    const double single = detection_rate(config, shared_cal());
+    EXPECT_LE(single, multi + 0.05);
+}
+
+TEST(Detection, DeterministicPerSeed) {
+    const auto config = config_for(20);
+    EXPECT_EQ(detection_rate(config, shared_cal()),
+              detection_rate(config, shared_cal()));
+}
+
+TEST(Detection, FalsePositiveRateIsLow) {
+    // Honest Bernoulli histories should rarely be flagged.  The multi-test
+    // runs ~40 dependent stages, so its family-wise rate sits above the
+    // single-test 5% but must stay well below attack detection rates.
+    auto config = config_for(10, /*trials=*/100);
+    const double fp = false_positive_rate(0.9, config, shared_cal());
+    EXPECT_LT(fp, 0.4);
+    config.use_multi = false;
+    const double fp_single = false_positive_rate(0.9, config, shared_cal());
+    EXPECT_LT(fp_single, 0.1);
+}
+
+TEST(Detection, BonferroniCutsFalsePositivesKeepsDetection) {
+    auto plain = config_for(10, /*trials=*/100);
+    auto corrected = plain;
+    corrected.test.bonferroni = true;
+
+    const double fp_plain = false_positive_rate(0.9, plain, shared_cal());
+    const double fp_corrected = false_positive_rate(0.9, corrected, shared_cal());
+    EXPECT_LE(fp_corrected, fp_plain);
+    EXPECT_LT(fp_corrected, 0.1);
+
+    // The rigid N = 10 periodic attack is still caught.
+    EXPECT_GT(detection_rate(corrected, shared_cal()), 0.9);
+}
+
+TEST(Detection, FalsePositiveWellBelowDetection) {
+    auto config = config_for(20, /*trials=*/100);
+    const double detection = detection_rate(config, shared_cal());
+    const double fp = false_positive_rate(0.9, config, shared_cal());
+    EXPECT_GT(detection, fp + 0.3);
+}
+
+}  // namespace
+}  // namespace hpr::sim

@@ -1,0 +1,82 @@
+// Unit tests for attack economics (sim/economics.h).
+
+#include "sim/economics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hpr::sim {
+namespace {
+
+TEST(Economics, CampaignProfitArithmetic) {
+    AttackEconomics e;
+    e.join_cost = 5.0;
+    e.good_service_cost = 2.0;
+    e.fake_feedback_cost = 0.5;
+    e.attack_gain = 10.0;
+    // 3 attacks, 4 goods, 2 fakes: 30 - 8 - 1 - 5 = 16.
+    EXPECT_NEAR(campaign_profit(e, 3, 4, 2), 16.0, 1e-12);
+    EXPECT_NEAR(campaign_profit(e, 0, 0, 0), -5.0, 1e-12);
+}
+
+TEST(Economics, CheatAndRunIsOneAttack) {
+    AttackEconomics e;
+    e.join_cost = 1.0;
+    e.good_service_cost = 1.0;
+    e.attack_gain = 10.0;
+    EXPECT_NEAR(cheat_and_run_profit(e, 4), 10.0 - 4.0 - 1.0, 1e-12);
+}
+
+TEST(Economics, DeterrentJoinCostNeutralizesProfit) {
+    AttackEconomics e;
+    e.good_service_cost = 1.0;
+    e.attack_gain = 10.0;
+    const double deterrent = deterrent_join_cost(e, 4);
+    EXPECT_NEAR(deterrent, 6.0, 1e-12);
+    e.join_cost = deterrent;
+    EXPECT_LE(cheat_and_run_profit(e, 4), 0.0);
+}
+
+TEST(Economics, DeterrentIsZeroWhenPrepAlreadyTooExpensive) {
+    AttackEconomics e;
+    e.good_service_cost = 3.0;
+    e.attack_gain = 10.0;
+    EXPECT_EQ(deterrent_join_cost(e, 5), 0.0);  // 15 > 10: never profitable
+}
+
+TEST(Economics, BreakEvenAttackCount) {
+    AttackEconomics e;
+    e.join_cost = 5.0;
+    e.good_service_cost = 1.0;
+    e.attack_gain = 10.0;
+    // Expenses 45 + 5 = 50 -> 5 attacks break even.
+    EXPECT_EQ(break_even_attacks(e, 45), 5u);
+    EXPECT_EQ(break_even_attacks(e, 0), 1u);  // join cost alone
+    e.join_cost = 0.0;
+    EXPECT_EQ(break_even_attacks(e, 0), 0u);
+}
+
+TEST(Economics, BreakEvenNeverWithoutGain) {
+    AttackEconomics e;
+    e.attack_gain = 0.0;
+    EXPECT_EQ(break_even_attacks(e, 10),
+              std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Economics, DefenseRaisesBreakEvenPoint) {
+    // The economic meaning of Figs. 3-6: screening multiplies the goods an
+    // attacker must fund, pushing the break-even attack count up.
+    AttackEconomics e;
+    e.good_service_cost = 1.0;
+    e.attack_gain = 3.0;
+    const std::size_t undefended = break_even_attacks(e, 0);
+    const std::size_t scheme1 = break_even_attacks(e, 18);   // measured Fig. 3 scale
+    const std::size_t scheme2 = break_even_attacks(e, 50);
+    EXPECT_LT(undefended, scheme1);
+    EXPECT_LT(scheme1, scheme2);
+    EXPECT_GE(scheme2, 17u);  // 50/3 rounded up
+}
+
+}  // namespace
+}  // namespace hpr::sim

@@ -1,0 +1,148 @@
+// Unit tests for workload generators (sim/generators.h).
+
+#include "sim/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hpr::sim {
+namespace {
+
+TEST(Generators, HonestOutcomesLengthAndRatio) {
+    stats::Rng rng{81};
+    const auto outcomes = honest_outcomes(10000, 0.9, rng);
+    ASSERT_EQ(outcomes.size(), 10000u);
+    std::size_t good = 0;
+    for (auto o : outcomes) good += o;
+    EXPECT_NEAR(static_cast<double>(good) / 10000.0, 0.9, 0.02);
+}
+
+TEST(Generators, HonestOutcomesRejectsBadP) {
+    stats::Rng rng{82};
+    EXPECT_THROW((void)honest_outcomes(10, -0.1, rng), std::invalid_argument);
+    EXPECT_THROW((void)honest_outcomes(10, 1.1, rng), std::invalid_argument);
+}
+
+TEST(Generators, HonestOutcomesDeterministicPerSeed) {
+    stats::Rng a{83};
+    stats::Rng b{83};
+    EXPECT_EQ(honest_outcomes(500, 0.8, a), honest_outcomes(500, 0.8, b));
+}
+
+TEST(Generators, PeriodicOutcomesExactPerBlockBadCount) {
+    stats::Rng rng{84};
+    const std::size_t window = 20;
+    const auto outcomes = periodic_outcomes(400, window, 0.1, rng);
+    ASSERT_EQ(outcomes.size(), 400u);
+    for (std::size_t block = 0; block < 400; block += window) {
+        std::size_t bads = 0;
+        for (std::size_t i = block; i < block + window; ++i) {
+            if (outcomes[i] == 0) ++bads;
+        }
+        EXPECT_EQ(bads, 2u) << "block at " << block;
+    }
+}
+
+TEST(Generators, PeriodicOutcomesTrailingPartialBlockStaysGood) {
+    stats::Rng rng{85};
+    const auto outcomes = periodic_outcomes(25, 10, 0.1, rng);
+    for (std::size_t i = 20; i < 25; ++i) EXPECT_EQ(outcomes[i], 1u);
+}
+
+TEST(Generators, PeriodicOutcomesPositionsVaryAcrossBlocks) {
+    stats::Rng rng{86};
+    const auto outcomes = periodic_outcomes(800, 10, 0.1, rng);
+    // With one random bad position per 10-block, at least two different
+    // positions must appear across 80 blocks.
+    std::set<std::size_t> positions;
+    for (std::size_t block = 0; block < 800; block += 10) {
+        for (std::size_t i = 0; i < 10; ++i) {
+            if (outcomes[block + i] == 0) positions.insert(i);
+        }
+    }
+    EXPECT_GT(positions.size(), 3u);
+}
+
+TEST(Generators, PeriodicOutcomesRejectsBadArguments) {
+    stats::Rng rng{87};
+    EXPECT_THROW((void)periodic_outcomes(100, 0, 0.1, rng), std::invalid_argument);
+    EXPECT_THROW((void)periodic_outcomes(100, 10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, HonestHistoryFieldsArePopulated) {
+    stats::Rng rng{88};
+    const auto history = honest_history(120, 0.9, rng, /*server=*/9);
+    ASSERT_EQ(history.size(), 120u);
+    EXPECT_EQ(history[0].server, 9u);
+    EXPECT_EQ(history[0].time, 1);
+    EXPECT_EQ(history[119].time, 120);
+    EXPECT_GT(history.distinct_clients(), 1u);
+}
+
+TEST(Generators, ClientIdSchemeCycles) {
+    const ClientIdScheme scheme{200, 5};
+    EXPECT_EQ(scheme.client_for(0), 200u);
+    EXPECT_EQ(scheme.client_for(4), 204u);
+    EXPECT_EQ(scheme.client_for(5), 200u);
+}
+
+TEST(Generators, HibernatingHistoryShape) {
+    stats::Rng rng{89};
+    const auto history = hibernating_history(200, 30, 0.95, rng);
+    ASSERT_EQ(history.size(), 230u);
+    // The attack tail is all bad.
+    for (std::size_t i = 200; i < 230; ++i) {
+        EXPECT_FALSE(history[i].good()) << i;
+    }
+    EXPECT_NEAR(static_cast<double>(history.good_count(0, 200)) / 200.0, 0.95, 0.06);
+}
+
+TEST(Generators, CheatAndRunEndsWithOneBad) {
+    stats::Rng rng{90};
+    const auto history = cheat_and_run_history(50, 1.0, rng);
+    ASSERT_EQ(history.size(), 51u);
+    EXPECT_FALSE(history[50].good());
+    EXPECT_EQ(history.good_count(), 50u);
+}
+
+TEST(Generators, DriftingOutcomesInterpolate) {
+    stats::Rng rng{92};
+    const auto outcomes = drifting_outcomes(20000, 1.0, 0.0, rng);
+    ASSERT_EQ(outcomes.size(), 20000u);
+    std::size_t first_half_good = 0;
+    std::size_t second_half_good = 0;
+    for (std::size_t i = 0; i < 10000; ++i) first_half_good += outcomes[i];
+    for (std::size_t i = 10000; i < 20000; ++i) second_half_good += outcomes[i];
+    // First half averages p ~ 0.75, second ~ 0.25.
+    EXPECT_NEAR(static_cast<double>(first_half_good) / 10000.0, 0.75, 0.03);
+    EXPECT_NEAR(static_cast<double>(second_half_good) / 10000.0, 0.25, 0.03);
+    EXPECT_THROW((void)drifting_outcomes(10, -0.1, 0.5, rng), std::invalid_argument);
+    EXPECT_THROW((void)drifting_outcomes(10, 0.5, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, DriftingDegenerateEndpoints) {
+    stats::Rng rng{93};
+    const auto constant = drifting_outcomes(500, 0.9, 0.9, rng);
+    std::size_t good = 0;
+    for (const auto o : constant) good += o;
+    EXPECT_NEAR(static_cast<double>(good) / 500.0, 0.9, 0.06);
+    EXPECT_TRUE(drifting_outcomes(0, 0.5, 0.9, rng).empty());
+    const auto single = drifting_outcomes(1, 1.0, 0.0, rng);
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0], 1u);  // t = 0 at n = 1: uses p_start
+}
+
+TEST(Generators, PeriodicHistoryMatchesOutcomes) {
+    stats::Rng a{91};
+    stats::Rng b{91};
+    const auto history = periodic_attack_history(200, 10, 0.1, a);
+    const auto outcomes = periodic_outcomes(200, 10, 0.1, b);
+    ASSERT_EQ(history.size(), outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_EQ(history[i].good(), outcomes[i] != 0) << i;
+    }
+}
+
+}  // namespace
+}  // namespace hpr::sim

@@ -1,0 +1,174 @@
+// Unit tests for push-sum gossip aggregation (sim/gossip.h).
+
+#include "sim/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpr::sim {
+namespace {
+
+std::vector<double> ramp(std::size_t n) {
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i);
+    return values;
+}
+
+TEST(Gossip, RejectsDegenerateInput) {
+    EXPECT_THROW(GossipNetwork(std::vector<double>{}, GossipConfig{}), std::invalid_argument);
+    EXPECT_THROW(GossipNetwork({1.0, 2.0}, {1.0}, GossipConfig{}), std::invalid_argument);
+    EXPECT_THROW(GossipNetwork({1.0}, {-1.0}, GossipConfig{}), std::invalid_argument);
+    EXPECT_THROW(GossipNetwork({1.0}, {0.0}, GossipConfig{}), std::invalid_argument);
+    GossipConfig bad;
+    bad.tolerance = 0.0;
+    EXPECT_THROW(GossipNetwork({1.0}, bad), std::invalid_argument);
+}
+
+TEST(Gossip, TrueAverageOfRamp) {
+    const GossipNetwork network{ramp(11)};
+    EXPECT_NEAR(network.true_average(), 5.0, 1e-12);
+}
+
+TEST(Gossip, SingleNodeIsAlreadyConverged) {
+    GossipNetwork network{{0.7}};
+    EXPECT_EQ(network.run(), 0u);
+    EXPECT_TRUE(network.converged());
+    EXPECT_NEAR(network.estimate(0), 0.7, 1e-12);
+}
+
+TEST(Gossip, ConvergesToGlobalAverage) {
+    GossipNetwork network{ramp(50)};
+    const std::size_t rounds = network.run();
+    EXPECT_TRUE(network.converged());
+    EXPECT_GT(rounds, 0u);
+    EXPECT_LT(network.max_error(), 1e-6);
+    for (std::size_t i = 0; i < network.size(); ++i) {
+        EXPECT_NEAR(network.estimate(i), network.true_average(), 1e-6) << i;
+    }
+}
+
+TEST(Gossip, EstimatesStayInConvexHullOfInputs) {
+    // Push-sum estimates are weighted averages of initial values, so they
+    // can never leave the [min, max] envelope of the inputs.
+    GossipNetwork network{ramp(20)};
+    for (int round = 0; round < 50; ++round) {
+        network.step();
+        for (std::size_t i = 0; i < network.size(); ++i) {
+            ASSERT_GE(network.estimate(i), -1e-9);
+            ASSERT_LE(network.estimate(i), 19.0 + 1e-9);
+        }
+    }
+}
+
+TEST(Gossip, SpreadShrinksMonotonically) {
+    GossipNetwork network{ramp(64)};
+    double last_spread = network.spread();
+    // Spread is not strictly monotone round-by-round, but over blocks of
+    // rounds it must contract.
+    for (int block = 0; block < 5; ++block) {
+        for (int i = 0; i < 10; ++i) network.step();
+        const double s = network.spread();
+        EXPECT_LT(s, last_spread);
+        last_spread = s;
+    }
+}
+
+TEST(Gossip, ConvergenceIsFast) {
+    // Push-sum converges exponentially: even 256 nodes settle to 1e-9
+    // spread within a few hundred rounds.
+    GossipNetwork network{ramp(256)};
+    const std::size_t rounds = network.run();
+    EXPECT_TRUE(network.converged());
+    EXPECT_LT(rounds, 400u);
+}
+
+TEST(Gossip, TighterToleranceNeedsMoreRounds) {
+    GossipConfig loose;
+    loose.tolerance = 1e-3;
+    GossipConfig tight;
+    tight.tolerance = 1e-12;
+    GossipNetwork a{ramp(64), loose, 5};
+    GossipNetwork b{ramp(64), tight, 5};
+    EXPECT_LT(a.run(), b.run());
+}
+
+TEST(Gossip, DeterministicPerSeed) {
+    GossipNetwork a{ramp(32), {}, 77};
+    GossipNetwork b{ramp(32), {}, 77};
+    a.step();
+    b.step();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_DOUBLE_EQ(a.estimate(i), b.estimate(i));
+    }
+}
+
+TEST(Gossip, FailedNodesFreeze) {
+    GossipNetwork network{ramp(16)};
+    network.fail_node(3);
+    network.fail_node(3);  // idempotent
+    EXPECT_EQ(network.live_nodes(), 15u);
+    const double frozen = network.estimate(3);
+    for (int i = 0; i < 20; ++i) network.step();
+    EXPECT_EQ(network.estimate(3), frozen);
+}
+
+TEST(Gossip, LiveNodesStillAgreeAfterFailure) {
+    // Mass held by the failed node is lost, so live estimates converge to
+    // a common value that may be offset from the true average — bounded
+    // by the failed node's share.
+    GossipNetwork network{ramp(40)};
+    for (int i = 0; i < 5; ++i) network.step();
+    network.fail_node(0);
+    (void)network.run();
+    EXPECT_TRUE(network.converged());
+    EXPECT_LT(network.spread(), 1e-6);
+    EXPECT_LT(network.max_error(), 2.0);  // bounded residual offset
+}
+
+TEST(Gossip, EstimateIndexChecked) {
+    GossipNetwork network{ramp(4)};
+    EXPECT_THROW((void)network.estimate(4), std::out_of_range);
+    EXPECT_THROW(network.fail_node(17), std::out_of_range);
+}
+
+TEST(Gossip, WeightedConsensusIsShardSizeAware) {
+    // Peer 0 saw 90 transactions (81 good), peer 1 saw 10 (2 good): the
+    // weighted consensus must be 83/100, not the unweighted mean of the
+    // two local ratios.
+    GossipNetwork network{{81.0, 2.0}, {90.0, 10.0}, GossipConfig{}};
+    EXPECT_NEAR(network.true_average(), 0.83, 1e-12);
+    (void)network.run();
+    ASSERT_TRUE(network.converged());
+    EXPECT_NEAR(network.estimate(0), 0.83, 1e-6);
+    EXPECT_NEAR(network.estimate(1), 0.83, 1e-6);
+}
+
+TEST(Gossip, ZeroWeightPeersJoinTheConsensus) {
+    // A peer with an empty shard contributes nothing but still learns the
+    // consensus value.
+    GossipNetwork network{{10.0, 0.0, 0.0}, {20.0, 0.0, 0.0}, GossipConfig{}};
+    (void)network.run();
+    ASSERT_TRUE(network.converged());
+    for (std::size_t i = 0; i < network.size(); ++i) {
+        EXPECT_NEAR(network.estimate(i), 0.5, 1e-6) << i;
+    }
+}
+
+TEST(Gossip, ReputationShardScenario) {
+    // The paper's use case: 30 peers each hold the good-ratio of their
+    // local feedback shard for one server; gossip agrees on the global
+    // ratio without a central server.
+    std::vector<double> shard_ratios;
+    stats::Rng rng{123};
+    for (int i = 0; i < 30; ++i) shard_ratios.push_back(0.85 + 0.1 * rng.uniform());
+    GossipNetwork network{shard_ratios};
+    (void)network.run();
+    ASSERT_TRUE(network.converged());
+    EXPECT_NEAR(network.estimate(7), network.true_average(), 1e-8);
+    EXPECT_GT(network.true_average(), 0.85);
+    EXPECT_LT(network.true_average(), 0.95);
+}
+
+}  // namespace
+}  // namespace hpr::sim

@@ -1,0 +1,193 @@
+// Unit tests for the structured-overlay feedback directory
+// (sim/overlay.h).
+
+#include "sim/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <span>
+
+#include "core/behavior_test.h"
+#include "stats/rng.h"
+
+namespace hpr::sim {
+namespace {
+
+repsys::Feedback fb(repsys::Timestamp t, repsys::EntityId server,
+                    repsys::EntityId client, bool good) {
+    return repsys::Feedback{t, server, client,
+                            good ? repsys::Rating::kPositive
+                                 : repsys::Rating::kNegative};
+}
+
+TEST(Overlay, RejectsDegenerateConfig) {
+    OverlayConfig bad;
+    bad.nodes = 0;
+    EXPECT_THROW(FeedbackOverlay{bad}, std::invalid_argument);
+    bad = {};
+    bad.replication = 0;
+    EXPECT_THROW(FeedbackOverlay{bad}, std::invalid_argument);
+    bad = {};
+    bad.nodes = 2;
+    bad.replication = 3;
+    EXPECT_THROW(FeedbackOverlay{bad}, std::invalid_argument);
+}
+
+TEST(Overlay, PublishLookupRoundTrip) {
+    FeedbackOverlay overlay;
+    std::vector<repsys::Feedback> published;
+    for (int i = 1; i <= 50; ++i) {
+        published.push_back(fb(i, 42, static_cast<repsys::EntityId>(100 + i), i % 5 != 0));
+        EXPECT_EQ(overlay.publish(published.back()), 3u);
+    }
+    EXPECT_EQ(overlay.lookup(42), published);
+    EXPECT_TRUE(overlay.lookup(999).empty());
+}
+
+TEST(Overlay, MultipleServersAreIndependent) {
+    FeedbackOverlay overlay;
+    overlay.publish(fb(1, 1, 10, true));
+    overlay.publish(fb(1, 2, 10, false));
+    ASSERT_EQ(overlay.lookup(1).size(), 1u);
+    ASSERT_EQ(overlay.lookup(2).size(), 1u);
+    EXPECT_TRUE(overlay.lookup(1)[0].good());
+    EXPECT_FALSE(overlay.lookup(2)[0].good());
+}
+
+TEST(Overlay, PublishRejectsTimeRegressionPerServer) {
+    FeedbackOverlay overlay;
+    overlay.publish(fb(5, 1, 10, true));
+    EXPECT_THROW(overlay.publish(fb(4, 1, 11, true)), std::invalid_argument);
+    overlay.publish(fb(1, 2, 10, true));  // another server: independent clock
+}
+
+TEST(Overlay, SurvivesFewerFailuresThanReplication) {
+    OverlayConfig config;
+    config.nodes = 32;
+    config.replication = 3;
+    FeedbackOverlay overlay{config};
+    for (int i = 1; i <= 20; ++i) {
+        overlay.publish(fb(i, 7, static_cast<repsys::EntityId>(200 + i), true));
+    }
+    // Kill two of the three replicas (find them via the load vector).
+    const auto loads = overlay.load();
+    std::size_t killed = 0;
+    for (std::size_t i = 0; i < loads.size() && killed < 2; ++i) {
+        if (loads[i] > 0) {
+            overlay.fail_node(i);
+            ++killed;
+        }
+    }
+    ASSERT_EQ(killed, 2u);
+    EXPECT_EQ(overlay.lookup(7).size(), 20u);
+}
+
+TEST(Overlay, LosesDataWhenAllReplicasFail) {
+    OverlayConfig config;
+    config.nodes = 16;
+    config.replication = 2;
+    FeedbackOverlay overlay{config};
+    overlay.publish(fb(1, 7, 100, true));
+    std::size_t killed = 0;
+    const auto loads = overlay.load();
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        if (loads[i] > 0) {
+            overlay.fail_node(i);
+            ++killed;
+        }
+    }
+    ASSERT_EQ(killed, 2u);
+    EXPECT_TRUE(overlay.lookup(7).empty());
+    EXPECT_EQ(overlay.live_nodes(), 14u);
+}
+
+TEST(Overlay, NewPublishesLandOnSurvivors) {
+    OverlayConfig config;
+    config.nodes = 16;
+    config.replication = 2;
+    FeedbackOverlay overlay{config};
+    overlay.publish(fb(1, 7, 100, true));
+    const auto loads = overlay.load();
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        if (loads[i] > 0) overlay.fail_node(i);
+    }
+    // Re-publishing after total replica loss works and is retrievable.
+    overlay.publish(fb(2, 7, 101, false));
+    ASSERT_EQ(overlay.lookup(7).size(), 1u);
+    EXPECT_EQ(overlay.lookup(7)[0].time, 2);
+}
+
+TEST(Overlay, RoutingHopsAreLogarithmic) {
+    for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+        OverlayConfig config;
+        config.nodes = n;
+        config.replication = 1;
+        FeedbackOverlay overlay{config};
+        stats::Rng rng{n};
+        std::size_t worst = 0;
+        for (int i = 0; i < 200; ++i) {
+            (void)overlay.lookup(static_cast<repsys::EntityId>(rng()));
+            worst = std::max(worst, overlay.last_hops());
+        }
+        // Greedy finger routing halves the remaining distance per hop.
+        const auto bound = static_cast<std::size_t>(
+            2.0 * std::log2(static_cast<double>(n)) + 4.0);
+        EXPECT_LE(worst, bound) << "n=" << n;
+    }
+}
+
+TEST(Overlay, LoadIsSpreadAcrossNodes) {
+    OverlayConfig config;
+    config.nodes = 64;
+    config.replication = 1;
+    FeedbackOverlay overlay{config};
+    // 300 distinct servers, one feedback each.
+    for (repsys::EntityId s = 1; s <= 300; ++s) {
+        overlay.publish(fb(1, s, 1000 + s, true));
+    }
+    const auto loads = overlay.load();
+    const std::size_t total = std::accumulate(loads.begin(), loads.end(), std::size_t{0});
+    EXPECT_EQ(total, 300u);
+    std::size_t busiest = 0;
+    std::size_t occupied = 0;
+    for (const std::size_t l : loads) {
+        busiest = std::max(busiest, l);
+        if (l > 0) ++occupied;
+    }
+    // Random ring placement is uneven but no node should hold a quarter
+    // of everything, and a good fraction of nodes hold something.
+    EXPECT_LT(busiest, 75u);
+    EXPECT_GT(occupied, 16u);
+}
+
+TEST(Overlay, AnchorIsDeterministic) {
+    const FeedbackOverlay a;
+    const FeedbackOverlay b;
+    EXPECT_EQ(a.anchor_of(42), b.anchor_of(42));
+    EXPECT_NE(a.anchor_of(42), a.anchor_of(43));
+}
+
+TEST(Overlay, FailNodeIndexChecked) {
+    FeedbackOverlay overlay;
+    EXPECT_THROW(overlay.fail_node(10000), std::out_of_range);
+}
+
+TEST(Overlay, EndToEndWithBehaviorTesting) {
+    // The full §2 story: feedbacks live in the overlay, a client fetches a
+    // server's log and screens it.
+    FeedbackOverlay overlay;
+    stats::Rng rng{77};
+    for (int i = 1; i <= 400; ++i) {
+        overlay.publish(fb(i, 5, static_cast<repsys::EntityId>(100 + i % 30),
+                           rng.bernoulli(0.92)));
+    }
+    const auto log = overlay.lookup(5);
+    ASSERT_EQ(log.size(), 400u);
+    const core::BehaviorTest tester;
+    EXPECT_TRUE(tester.test(std::span<const repsys::Feedback>{log}).sufficient);
+}
+
+}  // namespace
+}  // namespace hpr::sim

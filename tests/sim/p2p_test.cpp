@@ -1,0 +1,114 @@
+// Integration tests for the decentralized reputation system (sim/p2p.h).
+
+#include "sim/p2p.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/generators.h"
+
+namespace hpr::sim {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = core::make_calibrator(core::BehaviorTestConfig{});
+    return cal;
+}
+
+void publish_history(DecentralizedReputationSystem& system,
+                     const repsys::TransactionHistory& history) {
+    for (const auto& f : history.feedbacks()) system.record(f);
+}
+
+TEST(P2P, RejectsBadConfig) {
+    P2PConfig bad;
+    bad.retrieval_fraction = 0.0;
+    EXPECT_THROW(DecentralizedReputationSystem{bad}, std::invalid_argument);
+    bad = {};
+    bad.retrieval_fraction = 1.5;
+    EXPECT_THROW(DecentralizedReputationSystem{bad}, std::invalid_argument);
+    bad = {};
+    bad.trust_spec = "no-such-fn";
+    EXPECT_THROW(DecentralizedReputationSystem{bad}, std::invalid_argument);
+}
+
+TEST(P2P, HonestServerAssessedFromOverlay) {
+    DecentralizedReputationSystem system{{}, shared_cal()};
+    stats::Rng rng{7001};
+    publish_history(system, honest_history(500, 0.93, rng, /*server=*/7));
+    const auto assessment = system.assess(7);
+    ASSERT_EQ(assessment.verdict, core::Verdict::kAssessed);
+    EXPECT_NEAR(*assessment.trust, 0.93, 0.05);
+    EXPECT_GT(system.last_hops(), 0u);
+}
+
+TEST(P2P, AttackerFlaggedFromOverlayData) {
+    DecentralizedReputationSystem system{{}, shared_cal()};
+    stats::Rng rng{7002};
+    publish_history(system, hibernating_history(500, 30, 0.95, rng, /*server=*/8));
+    EXPECT_EQ(system.assess(8).verdict, core::Verdict::kSuspicious);
+}
+
+TEST(P2P, UnknownServerIsInsufficient) {
+    DecentralizedReputationSystem system{{}, shared_cal()};
+    const auto assessment = system.assess(999);
+    EXPECT_EQ(assessment.verdict, core::Verdict::kInsufficientHistory);
+}
+
+TEST(P2P, PartialRetrievalStillScreens) {
+    P2PConfig config;
+    config.retrieval_fraction = 0.5;
+    DecentralizedReputationSystem system{config, shared_cal()};
+    stats::Rng rng{7003};
+    publish_history(system, honest_history(1200, 0.92, rng, /*server=*/9));
+    const auto assessment = system.assess(9);
+    ASSERT_NE(assessment.verdict, core::Verdict::kSuspicious);
+    ASSERT_TRUE(assessment.trust.has_value());
+    EXPECT_NEAR(*assessment.trust, 0.92, 0.06);
+}
+
+TEST(P2P, SurvivesReplicaFailures) {
+    P2PConfig config;
+    config.overlay.nodes = 32;
+    config.overlay.replication = 3;
+    DecentralizedReputationSystem system{config, shared_cal()};
+    stats::Rng rng{7004};
+    publish_history(system, honest_history(400, 0.9, rng, /*server=*/5));
+    // Kill one loaded node; the log must still be assessable.
+    const auto loads = system.overlay().load();
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        if (loads[i] > 0) {
+            system.fail_node(i);
+            break;
+        }
+    }
+    EXPECT_EQ(system.assess(5).verdict, core::Verdict::kAssessed);
+}
+
+TEST(P2P, GossipConsensusMatchesExactRatio) {
+    DecentralizedReputationSystem system{{}, shared_cal()};
+    stats::Rng rng{7005};
+    publish_history(system, honest_history(900, 0.88, rng, /*server=*/6));
+    const auto consensus = system.gossip_trust(6, 25);
+    EXPECT_TRUE(consensus.converged);
+    EXPECT_GT(consensus.rounds, 0u);
+    EXPECT_NEAR(consensus.value, consensus.exact, 1e-6);
+    EXPECT_NEAR(consensus.exact, 0.88, 0.05);
+}
+
+TEST(P2P, GossipTrustArgumentChecks) {
+    DecentralizedReputationSystem system{{}, shared_cal()};
+    EXPECT_THROW((void)system.gossip_trust(1, 0), std::invalid_argument);
+    EXPECT_THROW((void)system.gossip_trust(123, 5), std::invalid_argument);
+}
+
+TEST(P2P, SinglePeerGossipIsExact) {
+    DecentralizedReputationSystem system{{}, shared_cal()};
+    stats::Rng rng{7006};
+    publish_history(system, honest_history(300, 0.8, rng, /*server=*/4));
+    const auto consensus = system.gossip_trust(4, 1);
+    EXPECT_NEAR(consensus.value, consensus.exact, 1e-12);
+    EXPECT_TRUE(consensus.converged);
+}
+
+}  // namespace
+}  // namespace hpr::sim

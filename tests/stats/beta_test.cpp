@@ -1,0 +1,192 @@
+// Unit tests for the Beta distribution (stats/beta.h).
+
+#include "stats/beta.h"
+
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace hpr::stats {
+namespace {
+
+TEST(LogBeta, KnownValues) {
+    // B(1, 1) = 1, B(2, 3) = 1/12, B(0.5, 0.5) = pi.
+    EXPECT_NEAR(std::exp(log_beta(1.0, 1.0)), 1.0, 1e-12);
+    EXPECT_NEAR(std::exp(log_beta(2.0, 3.0)), 1.0 / 12.0, 1e-12);
+    EXPECT_NEAR(std::exp(log_beta(0.5, 0.5)), M_PI, 1e-9);
+}
+
+TEST(RegIncompleteBeta, Boundaries) {
+    EXPECT_EQ(reg_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_EQ(reg_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    EXPECT_EQ(reg_incomplete_beta(2.0, 3.0, -0.5), 0.0);
+    EXPECT_EQ(reg_incomplete_beta(2.0, 3.0, 1.5), 1.0);
+}
+
+TEST(RegIncompleteBeta, UniformSpecialCase) {
+    // I_x(1, 1) = x.
+    for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+        EXPECT_NEAR(reg_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+    }
+}
+
+TEST(RegIncompleteBeta, SymmetryRelation) {
+    // I_x(a, b) = 1 - I_{1-x}(b, a).
+    for (double x : {0.05, 0.3, 0.5, 0.8, 0.95}) {
+        EXPECT_NEAR(reg_incomplete_beta(2.5, 4.0, x),
+                    1.0 - reg_incomplete_beta(4.0, 2.5, 1.0 - x), 1e-10);
+    }
+}
+
+TEST(RegIncompleteBeta, BinomialIdentity) {
+    // P(Bin(n, p) >= k) = I_p(k, n - k + 1).
+    const double p = 0.6;
+    const int n = 10;
+    const int k = 7;
+    double tail = 0.0;
+    for (int j = k; j <= n; ++j) {
+        tail += std::exp(std::lgamma(n + 1.0) - std::lgamma(j + 1.0) -
+                         std::lgamma(n - j + 1.0)) *
+                std::pow(p, j) * std::pow(1 - p, n - j);
+    }
+    EXPECT_NEAR(reg_incomplete_beta(k, n - k + 1.0, p), tail, 1e-10);
+}
+
+TEST(Beta, RejectsNonPositiveShapes) {
+    EXPECT_THROW(Beta(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Beta(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(Beta, MeanAndVariance) {
+    const Beta b{3.0, 7.0};
+    EXPECT_NEAR(b.mean(), 0.3, 1e-12);
+    EXPECT_NEAR(b.variance(), 3.0 * 7.0 / (100.0 * 11.0), 1e-12);
+}
+
+TEST(Beta, PdfIntegratesToOne) {
+    const Beta b{2.5, 4.5};
+    // Simpson's rule over [0, 1].
+    constexpr int kIntervals = 2000;
+    double integral = 0.0;
+    const double h = 1.0 / kIntervals;
+    for (int i = 0; i < kIntervals; ++i) {
+        const double x0 = i * h;
+        const double x1 = x0 + h;
+        integral += (b.pdf(x0) + 4.0 * b.pdf(0.5 * (x0 + x1)) + b.pdf(x1)) * h / 6.0;
+    }
+    EXPECT_NEAR(integral, 1.0, 1e-6);
+}
+
+TEST(Beta, PdfOutsideSupportIsZero) {
+    const Beta b{2.0, 2.0};
+    EXPECT_EQ(b.pdf(-0.1), 0.0);
+    EXPECT_EQ(b.pdf(1.1), 0.0);
+}
+
+class BetaQuantileProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BetaQuantileProperty, QuantileInvertsCdf) {
+    const auto [a, b_param] = GetParam();
+    const Beta b{a, b_param};
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        const double x = b.quantile(q);
+        EXPECT_NEAR(b.cdf(x), q, 1e-9) << "a=" << a << " b=" << b_param << " q=" << q;
+    }
+    EXPECT_EQ(b.quantile(0.0), 0.0);
+    EXPECT_EQ(b.quantile(1.0), 1.0);
+}
+
+TEST_P(BetaQuantileProperty, CdfIsMonotone) {
+    const auto [a, b_param] = GetParam();
+    const Beta b{a, b_param};
+    double prev = 0.0;
+    for (int i = 1; i <= 20; ++i) {
+        const double x = i / 20.0;
+        const double c = b.cdf(x);
+        EXPECT_GE(c + 1e-12, prev);
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BetaQuantileProperty,
+                         ::testing::Values(std::make_tuple(1.0, 1.0),
+                                           std::make_tuple(2.0, 5.0),
+                                           std::make_tuple(5.0, 2.0),
+                                           std::make_tuple(0.5, 0.5),
+                                           std::make_tuple(20.0, 3.0)));
+
+TEST(Beta, QuantileRejectsOutOfRange) {
+    const Beta b{2.0, 2.0};
+    EXPECT_THROW((void)b.quantile(-0.1), std::invalid_argument);
+    EXPECT_THROW((void)b.quantile(1.1), std::invalid_argument);
+}
+
+TEST(ClopperPearson, RejectsBadArguments) {
+    EXPECT_THROW((void)clopper_pearson(1, 0), std::invalid_argument);
+    EXPECT_THROW((void)clopper_pearson(5, 4), std::invalid_argument);
+    EXPECT_THROW((void)clopper_pearson(1, 10, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)clopper_pearson(1, 10, 1.0), std::invalid_argument);
+}
+
+TEST(ClopperPearson, DegenerateCounts) {
+    const Interval none = clopper_pearson(0, 20);
+    EXPECT_EQ(none.lower, 0.0);
+    EXPECT_GT(none.upper, 0.0);
+    EXPECT_LT(none.upper, 0.35);
+    const Interval all = clopper_pearson(20, 20);
+    EXPECT_EQ(all.upper, 1.0);
+    EXPECT_GT(all.lower, 0.65);
+}
+
+TEST(ClopperPearson, KnownTextbookValue) {
+    // 8 successes in 10 trials at 95%: [0.4439, 0.9748] (standard tables).
+    const Interval i = clopper_pearson(8, 10);
+    EXPECT_NEAR(i.lower, 0.4439, 5e-4);
+    EXPECT_NEAR(i.upper, 0.9748, 5e-4);
+    EXPECT_TRUE(i.contains(0.8));
+}
+
+TEST(ClopperPearson, IntervalShrinksWithSampleSize) {
+    const Interval small = clopper_pearson(9, 10);
+    const Interval large = clopper_pearson(900, 1000);
+    EXPECT_LT(large.width(), small.width());
+    EXPECT_TRUE(large.contains(0.9));
+}
+
+TEST(ClopperPearson, HigherConfidenceWidens) {
+    const Interval at90 = clopper_pearson(45, 50, 0.90);
+    const Interval at99 = clopper_pearson(45, 50, 0.99);
+    EXPECT_LT(at90.width(), at99.width());
+    EXPECT_LE(at99.lower, at90.lower);
+    EXPECT_GE(at99.upper, at90.upper);
+}
+
+TEST(ClopperPearson, EmpiricalCoverageIsConservative) {
+    // Exact interval: coverage must be >= nominal for any p.
+    Rng rng{222};
+    const double p = 0.9;
+    constexpr int kTrials = 400;
+    int covered = 0;
+    for (int t = 0; t < kTrials; ++t) {
+        std::uint64_t successes = 0;
+        constexpr std::uint64_t n = 60;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (rng.bernoulli(p)) ++successes;
+        }
+        if (clopper_pearson(successes, n).contains(p)) ++covered;
+    }
+    EXPECT_GE(static_cast<double>(covered) / kTrials, 0.93);
+}
+
+TEST(Beta, PosteriorMeanMatchesBetaTrustSemantics) {
+    // Beta reputation: g positive, b negative -> Beta(g+1, b+1).
+    const Beta posterior{95.0 + 1.0, 5.0 + 1.0};
+    EXPECT_NEAR(posterior.mean(), 96.0 / 102.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpr::stats

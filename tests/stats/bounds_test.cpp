@@ -1,0 +1,77 @@
+// Unit tests for concentration bounds (stats/bounds.h) — the explicit
+// form of the paper's Lemma 3.1.
+
+#include "stats/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace hpr::stats {
+namespace {
+
+TEST(Bounds, HoeffdingRejectsBadArguments) {
+    EXPECT_THROW((void)hoeffding_bound(0, 0.1), std::invalid_argument);
+    EXPECT_THROW((void)hoeffding_bound(10, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)hoeffding_bound(10, -0.5), std::invalid_argument);
+}
+
+TEST(Bounds, HoeffdingKnownValueAndClamp) {
+    // 2 exp(-2 * 100 * 0.1^2) = 2 exp(-2) ~= 0.2707.
+    EXPECT_NEAR(hoeffding_bound(100, 0.1), 2.0 * std::exp(-2.0), 1e-12);
+    // Tiny n / epsilon: the probability bound is clamped at 1.
+    EXPECT_EQ(hoeffding_bound(1, 0.01), 1.0);
+}
+
+TEST(Bounds, HoeffdingDecreasesInNAndEpsilon) {
+    EXPECT_GT(hoeffding_bound(100, 0.05), hoeffding_bound(1000, 0.05));
+    EXPECT_GT(hoeffding_bound(1000, 0.02), hoeffding_bound(1000, 0.05));
+}
+
+TEST(Bounds, Lemma31MinHistorySatisfiesTheBound) {
+    for (const double epsilon : {0.01, 0.05, 0.1}) {
+        for (const double delta : {0.01, 0.05, 0.2}) {
+            const std::uint64_t n = lemma31_min_history(epsilon, delta);
+            EXPECT_LE(hoeffding_bound(n, epsilon), delta + 1e-12)
+                << "eps=" << epsilon << " delta=" << delta;
+            if (n > 1) {
+                EXPECT_GT(hoeffding_bound(n - 1, epsilon), delta - 1e-9);
+            }
+        }
+    }
+}
+
+TEST(Bounds, Lemma31KnownValue) {
+    // ln(2/0.05) / (2 * 0.05^2) = ln(40)/0.005 ~= 737.8 -> 738.
+    EXPECT_EQ(lemma31_min_history(0.05, 0.05), 738u);
+    EXPECT_THROW((void)lemma31_min_history(0.0, 0.05), std::invalid_argument);
+    EXPECT_THROW((void)lemma31_min_history(0.1, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)lemma31_min_history(0.1, 1.0), std::invalid_argument);
+}
+
+TEST(Bounds, EmpiricalDeviationRateIsWithinTheBound) {
+    // Monte-Carlo check of the lemma: with n = lemma31_min_history(eps,
+    // delta) Bernoulli trials, |p̂ - p| >= eps happens less often than
+    // delta (usually far less; Hoeffding is loose).
+    constexpr double kEpsilon = 0.05;
+    constexpr double kDelta = 0.1;
+    const std::uint64_t n = lemma31_min_history(kEpsilon, kDelta);
+    Rng rng{321};
+    constexpr int kTrials = 300;
+    int deviations = 0;
+    for (int t = 0; t < kTrials; ++t) {
+        const double p = 0.9;
+        std::uint64_t good = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (rng.bernoulli(p)) ++good;
+        }
+        const double p_hat = static_cast<double>(good) / static_cast<double>(n);
+        if (std::fabs(p_hat - p) >= kEpsilon) ++deviations;
+    }
+    EXPECT_LT(static_cast<double>(deviations) / kTrials, kDelta);
+}
+
+}  // namespace
+}  // namespace hpr::stats

@@ -1,0 +1,304 @@
+// Unit tests for Monte-Carlo threshold calibration (stats/calibrate.h).
+
+#include "stats/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+namespace hpr::stats {
+namespace {
+
+TEST(EmpiricalQuantile, KnownValues) {
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_NEAR(empirical_quantile(v, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(empirical_quantile(v, 1.0), 5.0, 1e-12);
+    EXPECT_NEAR(empirical_quantile(v, 0.5), 3.0, 1e-12);
+    EXPECT_NEAR(empirical_quantile(v, 0.25), 2.0, 1e-12);
+    EXPECT_NEAR(empirical_quantile(v, 0.125), 1.5, 1e-12);  // interpolated
+}
+
+TEST(EmpiricalQuantile, SingleElement) {
+    EXPECT_EQ(empirical_quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(EmpiricalQuantile, UnsortedInputIsHandled) {
+    EXPECT_NEAR(empirical_quantile({5.0, 1.0, 3.0, 2.0, 4.0}, 0.5), 3.0, 1e-12);
+}
+
+TEST(EmpiricalQuantile, Rejections) {
+    EXPECT_THROW((void)empirical_quantile({}, 0.5), std::invalid_argument);
+    EXPECT_THROW((void)empirical_quantile({1.0}, -0.1), std::invalid_argument);
+    EXPECT_THROW((void)empirical_quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Calibrator, RejectsBadConfig) {
+    CalibrationConfig bad;
+    bad.confidence = 0.0;
+    EXPECT_THROW(Calibrator{bad}, std::invalid_argument);
+    bad = {};
+    bad.replications = 0;
+    EXPECT_THROW(Calibrator{bad}, std::invalid_argument);
+    bad = {};
+    bad.p_grid = 0;
+    EXPECT_THROW(Calibrator{bad}, std::invalid_argument);
+    bad = {};
+    bad.windows_cap = 0;
+    EXPECT_THROW(Calibrator{bad}, std::invalid_argument);
+    bad = {};
+    bad.windows_grid_ratio = 0.9;
+    EXPECT_THROW(Calibrator{bad}, std::invalid_argument);
+}
+
+TEST(Calibrator, RejectsBadArguments) {
+    Calibrator cal;
+    EXPECT_THROW((void)cal.threshold(0, 10, 0.9), std::invalid_argument);
+    EXPECT_THROW((void)cal.threshold(5, 0, 0.9), std::invalid_argument);
+    EXPECT_THROW((void)cal.threshold(5, 10, -0.1), std::invalid_argument);
+    EXPECT_THROW((void)cal.threshold(5, 10, 1.5), std::invalid_argument);
+}
+
+TEST(Calibrator, ThresholdIsPositiveAndBounded) {
+    Calibrator cal;
+    const double eps = cal.threshold(40, 10, 0.9);
+    EXPECT_GT(eps, 0.0);
+    EXPECT_LE(eps, 2.0);  // L1 distance between pmfs is at most 2
+}
+
+TEST(Calibrator, ThresholdDeterministicAcrossInstances) {
+    Calibrator a;
+    Calibrator b;
+    EXPECT_EQ(a.threshold(40, 10, 0.9), b.threshold(40, 10, 0.9));
+}
+
+TEST(Calibrator, ThresholdIndependentOfCallOrder) {
+    Calibrator a;
+    Calibrator b;
+    const double a_first = a.threshold(40, 10, 0.9);
+    (void)b.threshold(8, 10, 0.5);
+    (void)b.threshold(100, 20, 0.95);
+    EXPECT_EQ(b.threshold(40, 10, 0.9), a_first);
+}
+
+TEST(Calibrator, ThresholdDecreasesWithMoreWindows) {
+    // With more window samples the empirical distribution concentrates on
+    // the true pmf, so the 95%-quantile of the null distance shrinks.
+    Calibrator cal;
+    const double eps_small = cal.threshold(5, 10, 0.9);
+    const double eps_mid = cal.threshold(40, 10, 0.9);
+    const double eps_large = cal.threshold(400, 10, 0.9);
+    EXPECT_GT(eps_small, eps_mid);
+    EXPECT_GT(eps_mid, eps_large);
+}
+
+TEST(Calibrator, HigherConfidenceGivesHigherThreshold) {
+    CalibrationConfig c90;
+    c90.confidence = 0.90;
+    CalibrationConfig c99;
+    c99.confidence = 0.99;
+    Calibrator cal90{c90};
+    Calibrator cal99{c99};
+    EXPECT_LT(cal90.threshold(40, 10, 0.9), cal99.threshold(40, 10, 0.9));
+}
+
+TEST(Calibrator, CacheGrowsOncePerKey) {
+    Calibrator cal;
+    EXPECT_EQ(cal.cache_size(), 0u);
+    (void)cal.threshold(40, 10, 0.9);
+    EXPECT_EQ(cal.cache_size(), 1u);
+    (void)cal.threshold(40, 10, 0.9);
+    EXPECT_EQ(cal.cache_size(), 1u);
+    // Same p bucket (grid 256): 0.9 and 0.9001 quantize identically.
+    (void)cal.threshold(40, 10, 0.9001);
+    EXPECT_EQ(cal.cache_size(), 1u);
+    // Same window-count bucket on the geometric grid.
+    (void)cal.threshold(cal.effective_windows(40), 10, 0.9);
+    EXPECT_EQ(cal.cache_size(), 1u);
+    // A clearly different window count lands on a new grid point.
+    (void)cal.threshold(400, 10, 0.9);
+    EXPECT_EQ(cal.cache_size(), 2u);
+    cal.clear_cache();
+    EXPECT_EQ(cal.cache_size(), 0u);
+}
+
+TEST(Calibrator, EffectiveWindowsGridIsMonotoneAndConservative) {
+    Calibrator cal;
+    std::size_t prev = 0;
+    for (std::size_t k = 1; k <= 3000; k += 7) {
+        const std::size_t bucket = cal.effective_windows(k);
+        ASSERT_LE(bucket, std::min(k, cal.config().windows_cap));  // rounds down
+        ASSERT_GE(bucket, prev);                                   // monotone
+        // Never more than ~grid-ratio below the requested k (pre-cap).
+        if (k <= cal.config().windows_cap) {
+            ASSERT_GE(static_cast<double>(bucket) * cal.config().windows_grid_ratio *
+                          1.01,
+                      static_cast<double>(k));
+        }
+        prev = bucket;
+    }
+}
+
+TEST(Calibrator, ExactModeWithUnitGridRatio) {
+    CalibrationConfig config;
+    config.windows_grid_ratio = 1.0;
+    Calibrator cal{config};
+    EXPECT_EQ(cal.effective_windows(41), 41u);
+    (void)cal.threshold(40, 10, 0.9);
+    (void)cal.threshold(41, 10, 0.9);
+    EXPECT_EQ(cal.cache_size(), 2u);
+}
+
+TEST(Calibrator, ExplicitConfidenceReusesNullSample) {
+    Calibrator cal;
+    const double at95 = cal.threshold(40, 10, 0.9, 0.95);
+    const double at99 = cal.threshold(40, 10, 0.9, 0.99);
+    EXPECT_LT(at95, at99);
+    EXPECT_EQ(cal.cache_size(), 1u);  // one null sample serves both
+    EXPECT_THROW((void)cal.threshold(40, 10, 0.9, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)cal.threshold(40, 10, 0.9, 1.0), std::invalid_argument);
+}
+
+TEST(SortedQuantile, MatchesEmpiricalQuantile) {
+    const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+    for (double q : {0.0, 0.25, 0.5, 0.77, 1.0}) {
+        EXPECT_NEAR(sorted_quantile(sorted, q), empirical_quantile(sorted, q), 1e-12);
+    }
+    EXPECT_THROW((void)sorted_quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Calibrator, WindowsCapSharesThreshold) {
+    CalibrationConfig config;
+    config.windows_cap = 64;
+    Calibrator cal{config};
+    const double at_cap = cal.threshold(64, 10, 0.9);
+    EXPECT_EQ(cal.threshold(100000, 10, 0.9), at_cap);
+    EXPECT_EQ(cal.cache_size(), 1u);
+}
+
+TEST(Calibrator, NullDistancesAreSortedAndQuantileConsistent) {
+    Calibrator cal;
+    const auto distances = cal.null_distances(40, 10, 0.9);
+    ASSERT_EQ(distances.size(), cal.config().replications);
+    for (std::size_t i = 1; i < distances.size(); ++i) {
+        ASSERT_LE(distances[i - 1], distances[i]);
+    }
+    const double eps = cal.threshold(40, 10, 0.9);
+    // The threshold is the 95%-quantile of exactly this sample.
+    EXPECT_NEAR(eps, empirical_quantile(distances, cal.config().confidence), 1e-12);
+}
+
+TEST(Calibrator, DegenerateP1HasZeroNullDistance) {
+    Calibrator cal;
+    // With p = 1 every window is all-good: the sampled empirical pmf is
+    // exactly the reference point mass, so the threshold is 0.
+    EXPECT_EQ(cal.threshold(40, 10, 1.0), 0.0);
+    EXPECT_EQ(cal.threshold(40, 10, 0.0), 0.0);
+}
+
+TEST(Calibrator, NearDegeneratePNeverRoundsToZeroThreshold) {
+    // Regression: p̂ = 0.999 used to quantize onto the p = 1 bucket whose
+    // threshold is exactly 0, condemning any history with one old bad
+    // transaction to fail forever.  Non-degenerate p̂ must clamp to the
+    // nearest interior bucket instead.
+    Calibrator cal;
+    EXPECT_GT(cal.threshold(40, 10, 0.9999), 0.0);
+    EXPECT_GT(cal.threshold(40, 10, 0.0001), 0.0);
+    EXPECT_EQ(cal.threshold(40, 10, 0.9999), cal.threshold(40, 10, 255.0 / 256.0));
+}
+
+TEST(Calibrator, SaveLoadRoundTrip) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "hpr_calibration.cache").string();
+    Calibrator source;
+    const double eps_a = source.threshold(40, 10, 0.9);
+    const double eps_b = source.threshold(100, 20, 0.95);
+    source.save_cache(path);
+
+    Calibrator restored;
+    restored.load_cache(path);
+    EXPECT_EQ(restored.cache_size(), source.cache_size());
+    EXPECT_EQ(restored.threshold(40, 10, 0.9), eps_a);
+    EXPECT_EQ(restored.threshold(100, 20, 0.95), eps_b);
+    // Confidence flexibility survives persistence (full null samples).
+    EXPECT_EQ(restored.threshold(40, 10, 0.9, 0.5), source.threshold(40, 10, 0.9, 0.5));
+    std::remove(path.c_str());
+}
+
+TEST(Calibrator, LoadRejectsMismatchedConfig) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "hpr_calibration_mismatch.cache")
+            .string();
+    Calibrator source;
+    (void)source.threshold(40, 10, 0.9);
+    source.save_cache(path);
+
+    CalibrationConfig other;
+    other.replications = 500;
+    Calibrator incompatible{other};
+    EXPECT_THROW(incompatible.load_cache(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(Calibrator, LoadRejectsCorruptFiles) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "hpr_calibration_bad.cache").string();
+    {
+        std::ofstream out{path};
+        out << "not a calibration cache\n";
+    }
+    Calibrator cal;
+    EXPECT_THROW(cal.load_cache(path), std::runtime_error);
+    std::remove(path.c_str());
+    EXPECT_THROW(cal.load_cache("/nonexistent/cache"), std::runtime_error);
+}
+
+TEST(Calibrator, ConcurrentThresholdQueriesAreSafe) {
+    // The calibrator advertises thread safety; hammer one instance from
+    // several threads over an overlapping key set and check every thread
+    // saw the same values a fresh calibrator computes serially.
+    Calibrator shared;
+    Calibrator reference;
+    constexpr int kThreads = 6;
+    constexpr int kQueries = 40;
+    std::vector<std::vector<double>> seen(kThreads);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                for (int q = 0; q < kQueries; ++q) {
+                    const std::size_t windows = 4 + (q % 7) * 10;
+                    const double p = 0.8 + 0.02 * (q % 5);
+                    seen[static_cast<std::size_t>(t)].push_back(
+                        shared.threshold(windows, 10, p));
+                }
+            });
+        }
+        for (auto& thread : threads) thread.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+        for (int q = 0; q < kQueries; ++q) {
+            const std::size_t windows = 4 + (q % 7) * 10;
+            const double p = 0.8 + 0.02 * (q % 5);
+            ASSERT_EQ(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(q)],
+                      reference.threshold(windows, 10, p))
+                << "thread " << t << " query " << q;
+        }
+    }
+}
+
+TEST(Calibrator, DistanceKindIsRespected) {
+    CalibrationConfig ks;
+    ks.kind = DistanceKind::kKolmogorovSmirnov;
+    Calibrator cal_ks{ks};
+    Calibrator cal_l1;
+    // KS distance <= TV = L1/2, so the calibrated thresholds must differ.
+    EXPECT_LT(cal_ks.threshold(40, 10, 0.9), cal_l1.threshold(40, 10, 0.9));
+}
+
+}  // namespace
+}  // namespace hpr::stats

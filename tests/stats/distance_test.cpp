@@ -1,0 +1,120 @@
+// Unit tests for distribution distances (stats/distance.h).
+
+#include "stats/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hpr::stats {
+namespace {
+
+const std::vector<double> kUniform4{0.25, 0.25, 0.25, 0.25};
+const std::vector<double> kPoint4{1.0, 0.0, 0.0, 0.0};
+
+TEST(Distance, ToStringNames) {
+    EXPECT_STREQ(to_string(DistanceKind::kL1), "L1");
+    EXPECT_STREQ(to_string(DistanceKind::kL2), "L2");
+    EXPECT_STREQ(to_string(DistanceKind::kTotalVariation), "TV");
+    EXPECT_STREQ(to_string(DistanceKind::kChiSquare), "ChiSquare");
+    EXPECT_STREQ(to_string(DistanceKind::kKolmogorovSmirnov), "KS");
+}
+
+TEST(Distance, IdenticalDistributionsAreAtZero) {
+    for (auto kind : {DistanceKind::kL1, DistanceKind::kL2,
+                      DistanceKind::kTotalVariation, DistanceKind::kChiSquare,
+                      DistanceKind::kKolmogorovSmirnov}) {
+        EXPECT_EQ(distance(kUniform4, kUniform4, kind), 0.0)
+            << to_string(kind);
+    }
+}
+
+TEST(Distance, LengthMismatchThrows) {
+    const std::vector<double> three{0.5, 0.25, 0.25};
+    EXPECT_THROW((void)distance(kUniform4, three, DistanceKind::kL1),
+                 std::invalid_argument);
+}
+
+TEST(Distance, KnownL1Value) {
+    // |1 - .25| + 3 * |.25| = 1.5
+    EXPECT_NEAR(distance(kPoint4, kUniform4, DistanceKind::kL1), 1.5, 1e-12);
+}
+
+TEST(Distance, KnownL2Value) {
+    EXPECT_NEAR(distance(kPoint4, kUniform4, DistanceKind::kL2),
+                std::sqrt(0.75 * 0.75 + 3 * 0.0625), 1e-12);
+}
+
+TEST(Distance, TotalVariationIsHalfL1) {
+    EXPECT_NEAR(distance(kPoint4, kUniform4, DistanceKind::kTotalVariation),
+                0.5 * distance(kPoint4, kUniform4, DistanceKind::kL1), 1e-12);
+}
+
+TEST(Distance, KnownKsValue) {
+    // CDFs: point (1,1,1,1), uniform (.25,.5,.75,1) -> max gap .75.
+    EXPECT_NEAR(distance(kPoint4, kUniform4, DistanceKind::kKolmogorovSmirnov),
+                0.75, 1e-12);
+}
+
+TEST(Distance, ChiSquarePenalizesImpossibleOutcomes) {
+    const std::vector<double> impossible{0.5, 0.5, 0.0};
+    const std::vector<double> reference{0.5, 0.0, 0.5};
+    EXPECT_GT(distance(impossible, reference, DistanceKind::kChiSquare), 1e6);
+}
+
+TEST(Distance, SymmetricKinds) {
+    const std::vector<double> a{0.7, 0.2, 0.1};
+    const std::vector<double> b{0.3, 0.3, 0.4};
+    for (auto kind : {DistanceKind::kL1, DistanceKind::kL2,
+                      DistanceKind::kTotalVariation,
+                      DistanceKind::kKolmogorovSmirnov}) {
+        EXPECT_NEAR(distance(a, b, kind), distance(b, a, kind), 1e-12)
+            << to_string(kind);
+    }
+}
+
+TEST(Distance, L1BoundedByTwo) {
+    EXPECT_LE(distance(kPoint4, std::vector<double>{0.0, 0.0, 0.0, 1.0},
+                       DistanceKind::kL1),
+              2.0 + 1e-12);
+}
+
+TEST(Distance, EmpiricalL1MatchesPmfTablePath) {
+    const EmpiricalDistribution empirical{3, {0, 0, 1, 3}};
+    const std::vector<double> reference{0.25, 0.25, 0.25, 0.25};
+    const double fast = l1_distance(empirical, reference);
+    const double generic = distance(empirical.pmf_table(), reference,
+                                    DistanceKind::kL1);
+    EXPECT_NEAR(fast, generic, 1e-12);
+}
+
+TEST(Distance, EmpiricalSupportMismatchThrows) {
+    const EmpiricalDistribution empirical{3, {0, 1}};
+    const std::vector<double> reference{0.5, 0.5};
+    EXPECT_THROW((void)l1_distance(empirical, reference), std::invalid_argument);
+}
+
+TEST(Distance, EmptyEmpiricalHasMaximalL1) {
+    const EmpiricalDistribution empty{3};
+    const std::vector<double> reference{0.25, 0.25, 0.25, 0.25};
+    EXPECT_EQ(l1_distance(empty, reference), 2.0);
+}
+
+TEST(Distance, AgainstBinomialReference) {
+    const Binomial b{3, 0.5};
+    // Empirical exactly matching the binomial pmf in proportions 1:3:3:1.
+    const EmpiricalDistribution empirical{3, {0, 1, 1, 1, 2, 2, 2, 3}};
+    EXPECT_NEAR(distance(empirical, b, DistanceKind::kL1), 0.0, 1e-12);
+}
+
+TEST(Distance, GenericEmpiricalOverloadUsesKind) {
+    const EmpiricalDistribution empirical{2, {0, 2}};
+    const std::vector<double> reference{0.5, 0.0, 0.5};
+    EXPECT_NEAR(distance(empirical, reference, DistanceKind::kKolmogorovSmirnov),
+                0.0, 1e-12);
+    EXPECT_NEAR(distance(empirical, reference, DistanceKind::kL1), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpr::stats

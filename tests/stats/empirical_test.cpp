@@ -1,0 +1,140 @@
+// Unit tests for EmpiricalDistribution (stats/empirical.h).
+
+#include "stats/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+#include <vector>
+
+namespace hpr::stats {
+namespace {
+
+TEST(Empirical, StartsEmpty) {
+    const EmpiricalDistribution d{10};
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.size(), 0u);
+    EXPECT_EQ(d.max_value(), 10u);
+    EXPECT_EQ(d.pmf(3), 0.0);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Empirical, BuildFromSamples) {
+    const EmpiricalDistribution d{5, {1, 1, 2, 5, 0}};
+    EXPECT_EQ(d.size(), 5u);
+    EXPECT_EQ(d.count(1), 2u);
+    EXPECT_EQ(d.count(2), 1u);
+    EXPECT_EQ(d.count(3), 0u);
+    EXPECT_NEAR(d.pmf(1), 0.4, 1e-12);
+    EXPECT_EQ(d.value_sum(), 9u);
+    EXPECT_NEAR(d.mean(), 1.8, 1e-12);
+}
+
+TEST(Empirical, RejectsSamplesBeyondSupport) {
+    EmpiricalDistribution d{3};
+    EXPECT_THROW(d.add(4), std::invalid_argument);
+    EXPECT_THROW((EmpiricalDistribution{3, {1, 4}}), std::invalid_argument);
+}
+
+TEST(Empirical, AddRemoveRoundTrip) {
+    EmpiricalDistribution d{10};
+    d.add(4);
+    d.add(7);
+    d.add(4);
+    d.remove(4);
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.count(4), 1u);
+    EXPECT_EQ(d.value_sum(), 11u);
+}
+
+TEST(Empirical, RemoveUnrecordedThrows) {
+    EmpiricalDistribution d{10};
+    d.add(2);
+    EXPECT_THROW(d.remove(3), std::logic_error);
+    d.remove(2);
+    EXPECT_THROW(d.remove(2), std::logic_error);
+}
+
+TEST(Empirical, CountBeyondSupportIsZero) {
+    EmpiricalDistribution d{3};
+    d.add(1);
+    EXPECT_EQ(d.count(100), 0u);
+    EXPECT_EQ(d.pmf(100), 0.0);
+}
+
+TEST(Empirical, PmfTableSumsToOne) {
+    EmpiricalDistribution d{6, {0, 1, 1, 3, 6, 6, 6}};
+    const auto table = d.pmf_table();
+    ASSERT_EQ(table.size(), 7u);
+    double total = 0.0;
+    for (double v : table) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(table[6], 3.0 / 7.0, 1e-12);
+}
+
+TEST(Empirical, VarianceMatchesDirectComputation) {
+    const std::vector<std::uint32_t> samples{2, 4, 4, 4, 5, 5, 7, 9};
+    const EmpiricalDistribution d{10, samples};
+    double mean = 0.0;
+    for (auto s : samples) mean += s;
+    mean /= static_cast<double>(samples.size());
+    double var = 0.0;
+    for (auto s : samples) var += (s - mean) * (s - mean);
+    var /= static_cast<double>(samples.size() - 1);
+    EXPECT_NEAR(d.variance(), var, 1e-12);
+    EXPECT_NEAR(d.mean(), mean, 1e-12);
+}
+
+TEST(Empirical, VarianceOfTinySamplesIsZero) {
+    EmpiricalDistribution d{5};
+    EXPECT_EQ(d.variance(), 0.0);
+    d.add(3);
+    EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(Empirical, MergeCombinesCounts) {
+    EmpiricalDistribution a{4, {0, 1, 2}};
+    const EmpiricalDistribution b{4, {2, 3, 4, 4}};
+    a.merge(b);
+    EXPECT_EQ(a.size(), 7u);
+    EXPECT_EQ(a.count(2), 2u);
+    EXPECT_EQ(a.count(4), 2u);
+    EXPECT_EQ(a.value_sum(), 0u + 1 + 2 + 2 + 3 + 4 + 4);
+}
+
+TEST(Empirical, MergeRejectsSupportMismatch) {
+    EmpiricalDistribution a{4};
+    const EmpiricalDistribution b{5};
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Empirical, ClearResetsEverything) {
+    EmpiricalDistribution d{4, {1, 2, 3}};
+    d.clear();
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.value_sum(), 0u);
+    EXPECT_EQ(d.count(2), 0u);
+    EXPECT_EQ(d.max_value(), 4u);  // support survives clear()
+    d.add(4);                      // still usable
+    EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Empirical, IncrementalEqualsBatch) {
+    // Property behind the O(n) multi-test: incrementally built stats match
+    // a batch build over the same samples.
+    std::vector<std::uint32_t> samples;
+    Rng rng{5};
+    for (int i = 0; i < 500; ++i) {
+        samples.push_back(static_cast<std::uint32_t>(rng.uniform_int(std::uint64_t{11})));
+    }
+    const EmpiricalDistribution batch{10, samples};
+    EmpiricalDistribution incremental{10};
+    for (auto s : samples) incremental.add(s);
+    EXPECT_EQ(incremental.count_table(), batch.count_table());
+    EXPECT_EQ(incremental.value_sum(), batch.value_sum());
+    EXPECT_NEAR(incremental.variance(), batch.variance(), 1e-12);
+}
+
+}  // namespace
+}  // namespace hpr::stats

@@ -1,0 +1,106 @@
+// Unit tests for the multinomial distribution (stats/multinomial.h).
+
+#include "stats/multinomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace hpr::stats {
+namespace {
+
+TEST(Multinomial, RejectsBadProbabilities) {
+    EXPECT_THROW(Multinomial(5, {}), std::invalid_argument);
+    EXPECT_THROW(Multinomial(5, {0.5, -0.1, 0.6}), std::invalid_argument);
+    EXPECT_THROW(Multinomial(5, {0.5, 0.2}), std::invalid_argument);  // sums to 0.7
+}
+
+TEST(Multinomial, AcceptsNormalizedProbabilities) {
+    const Multinomial m{4, {0.2, 0.3, 0.5}};
+    EXPECT_EQ(m.categories(), 3u);
+    EXPECT_EQ(m.n(), 4u);
+}
+
+TEST(Multinomial, KnownPmf) {
+    // Mult(3, {1/3,1/3,1/3}) at (1,1,1): 3!/(1!1!1!) * (1/3)^3 = 6/27.
+    const Multinomial m{3, {1.0 / 3, 1.0 / 3, 1.0 / 3}};
+    EXPECT_NEAR(m.pmf({1, 1, 1}), 6.0 / 27.0, 1e-12);
+    EXPECT_NEAR(m.pmf({3, 0, 0}), 1.0 / 27.0, 1e-12);
+}
+
+TEST(Multinomial, PmfZeroWhenCountsDoNotSumToN) {
+    const Multinomial m{3, {0.5, 0.5}};
+    EXPECT_EQ(m.pmf({1, 1}), 0.0);
+    EXPECT_TRUE(std::isinf(m.log_pmf({1, 1})));
+}
+
+TEST(Multinomial, PmfRejectsWrongCategoryCount) {
+    const Multinomial m{3, {0.5, 0.5}};
+    EXPECT_THROW((void)m.pmf({1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Multinomial, PmfSumsToOneOverSupport) {
+    const Multinomial m{4, {0.2, 0.3, 0.5}};
+    double total = 0.0;
+    for (std::uint32_t a = 0; a <= 4; ++a) {
+        for (std::uint32_t b = 0; a + b <= 4; ++b) {
+            const std::uint32_t c = 4 - a - b;
+            total += m.pmf({a, b, c});
+        }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Multinomial, MarginalIsBinomial) {
+    const Multinomial m{10, {0.2, 0.3, 0.5}};
+    const Binomial marginal = m.marginal(1);
+    EXPECT_EQ(marginal.n(), 10u);
+    EXPECT_NEAR(marginal.p(), 0.3, 1e-12);
+    EXPECT_THROW((void)m.marginal(3), std::invalid_argument);
+}
+
+TEST(Multinomial, SampleCountsSumToN) {
+    const Multinomial m{12, {0.1, 0.6, 0.3}};
+    Rng rng{42};
+    for (int i = 0; i < 200; ++i) {
+        const auto counts = m.sample(rng);
+        ASSERT_EQ(counts.size(), 3u);
+        EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0u), 12u);
+    }
+}
+
+TEST(Multinomial, SampleMeansMatchProbabilities) {
+    const Multinomial m{10, {0.2, 0.3, 0.5}};
+    Rng rng{43};
+    constexpr int kSamples = 20000;
+    std::vector<double> sums(3, 0.0);
+    for (int i = 0; i < kSamples; ++i) {
+        const auto counts = m.sample(rng);
+        for (std::size_t j = 0; j < 3; ++j) sums[j] += counts[j];
+    }
+    for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_NEAR(sums[j] / kSamples, 10.0 * m.probabilities()[j], 0.1) << "j=" << j;
+    }
+}
+
+TEST(Multinomial, BinaryCaseMatchesBinomial) {
+    const Multinomial m{10, {0.9, 0.1}};
+    const Binomial b{10, 0.9};
+    for (std::uint32_t k = 0; k <= 10; ++k) {
+        EXPECT_NEAR(m.pmf({k, 10 - k}), b.pmf(k), 1e-10) << "k=" << k;
+    }
+}
+
+TEST(Multinomial, ZeroProbabilityCategory) {
+    const Multinomial m{5, {0.5, 0.5, 0.0}};
+    EXPECT_EQ(m.pmf({2, 3, 0}), std::exp(m.log_pmf({2, 3, 0})));
+    EXPECT_EQ(m.pmf({2, 2, 1}), 0.0);
+    Rng rng{44};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(m.sample(rng)[2], 0u);
+    }
+}
+
+}  // namespace
+}  // namespace hpr::stats

@@ -1,0 +1,60 @@
+// Unit tests for the standard normal helpers (stats/normal.h).
+
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpr::stats {
+namespace {
+
+TEST(Normal, CdfKnownValues) {
+    EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.0), 0.841344746068543, 1e-12);
+    EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.841344746068543, 1e-12);
+    EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+    EXPECT_NEAR(normal_cdf(-6.0), 9.865876450377018e-10, 1e-15);
+}
+
+TEST(Normal, CdfIsMonotone) {
+    double last = 0.0;
+    for (double x = -6.0; x <= 6.0; x += 0.05) {
+        const double c = normal_cdf(x);
+        ASSERT_GE(c, last);
+        last = c;
+    }
+}
+
+TEST(Normal, QuantileKnownValues) {
+    EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+    EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-8);
+    EXPECT_NEAR(normal_quantile(0.995), 2.5758293035489004, 1e-8);
+    EXPECT_NEAR(normal_quantile(0.841344746068543), 1.0, 1e-8);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+    for (double p = 0.001; p < 0.9995; p += 0.013) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+    }
+    // Deep tails.
+    for (double p : {1e-6, 1e-4, 1.0 - 1e-4, 1.0 - 1e-6}) {
+        EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+    }
+}
+
+TEST(Normal, QuantileRejectsBoundaries) {
+    EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+    EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+    EXPECT_THROW((void)normal_quantile(-0.2), std::invalid_argument);
+}
+
+TEST(Normal, QuantileIsOddAroundHalf) {
+    for (double p : {0.6, 0.75, 0.9, 0.99}) {
+        EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace hpr::stats

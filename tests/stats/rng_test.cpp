@@ -1,0 +1,175 @@
+// Unit tests for the deterministic RNG (stats/rng.h).
+
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hpr::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a{123};
+    Rng b{123};
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+    Rng a{1};
+    Rng b{2};
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+    Rng rng{77};
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i) first.push_back(rng());
+    rng.reseed(77);
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng{5};
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng{6};
+    double sum = 0.0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+    Rng rng{7};
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntWithinBound) {
+    Rng rng{8};
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_LT(rng.uniform_int(17), 17u);
+    }
+}
+
+TEST(Rng, UniformIntZeroBoundReturnsZero) {
+    Rng rng{9};
+    EXPECT_EQ(rng.uniform_int(std::uint64_t{0}), 0u);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+    Rng rng{10};
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(std::uint64_t{7}));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+    Rng rng{11};
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniform_int(std::int64_t{-2}, std::int64_t{2});
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+    Rng rng{12};
+    constexpr int kSamples = 100000;
+    int hits = 0;
+    for (int i = 0; i < kSamples; ++i) {
+        if (rng.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+    Rng rng{13};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng{14};
+    constexpr int kSamples = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sum_sq += z * z;
+    }
+    EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng{15};
+    std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    std::vector<int> shuffled = values;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+    Rng rng{16};
+    std::vector<int> values(50);
+    for (int i = 0; i < 50; ++i) values[static_cast<std::size_t>(i)] = i;
+    std::vector<int> shuffled = values;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, values);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng parent{17};
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (parent() == child()) ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitMix64IsDeterministic) {
+    std::uint64_t s1 = 42;
+    std::uint64_t s2 = 42;
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);  // states advanced in sync
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+    static_assert(std::uniform_random_bit_generator<Rng>);
+    EXPECT_EQ(Rng::min(), 0u);
+    EXPECT_EQ(Rng::max(), std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace hpr::stats
