@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_corrections"
+  "../bench/ablation_corrections.pdb"
+  "CMakeFiles/ablation_corrections.dir/ablation_corrections.cpp.o"
+  "CMakeFiles/ablation_corrections.dir/ablation_corrections.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_corrections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

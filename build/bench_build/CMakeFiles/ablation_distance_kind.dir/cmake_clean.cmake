@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_distance_kind"
+  "../bench/ablation_distance_kind.pdb"
+  "CMakeFiles/ablation_distance_kind.dir/ablation_distance_kind.cpp.o"
+  "CMakeFiles/ablation_distance_kind.dir/ablation_distance_kind.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distance_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

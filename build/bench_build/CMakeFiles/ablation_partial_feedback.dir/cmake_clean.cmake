@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_partial_feedback"
+  "../bench/ablation_partial_feedback.pdb"
+  "CMakeFiles/ablation_partial_feedback.dir/ablation_partial_feedback.cpp.o"
+  "CMakeFiles/ablation_partial_feedback.dir/ablation_partial_feedback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partial_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

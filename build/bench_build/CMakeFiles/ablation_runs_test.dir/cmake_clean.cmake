@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_runs_test"
+  "../bench/ablation_runs_test.pdb"
+  "CMakeFiles/ablation_runs_test.dir/ablation_runs_test.cpp.o"
+  "CMakeFiles/ablation_runs_test.dir/ablation_runs_test.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_runs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/economics_table"
+  "../bench/economics_table.pdb"
+  "CMakeFiles/economics_table.dir/economics_table.cpp.o"
+  "CMakeFiles/economics_table.dir/economics_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economics_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

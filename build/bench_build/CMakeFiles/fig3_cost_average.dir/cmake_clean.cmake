@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_cost_average"
+  "../bench/fig3_cost_average.pdb"
+  "CMakeFiles/fig3_cost_average.dir/fig3_cost_average.cpp.o"
+  "CMakeFiles/fig3_cost_average.dir/fig3_cost_average.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cost_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_cost_weighted"
+  "../bench/fig4_cost_weighted.pdb"
+  "CMakeFiles/fig4_cost_weighted.dir/fig4_cost_weighted.cpp.o"
+  "CMakeFiles/fig4_cost_weighted.dir/fig4_cost_weighted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cost_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

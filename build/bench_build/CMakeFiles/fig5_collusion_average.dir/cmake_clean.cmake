@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_collusion_average"
+  "../bench/fig5_collusion_average.pdb"
+  "CMakeFiles/fig5_collusion_average.dir/fig5_collusion_average.cpp.o"
+  "CMakeFiles/fig5_collusion_average.dir/fig5_collusion_average.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_collusion_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_collusion_weighted"
+  "../bench/fig6_collusion_weighted.pdb"
+  "CMakeFiles/fig6_collusion_weighted.dir/fig6_collusion_weighted.cpp.o"
+  "CMakeFiles/fig6_collusion_weighted.dir/fig6_collusion_weighted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_collusion_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_collusion_weighted.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_detection_rate"
+  "../bench/fig7_detection_rate.pdb"
+  "CMakeFiles/fig7_detection_rate.dir/fig7_detection_rate.cpp.o"
+  "CMakeFiles/fig7_detection_rate.dir/fig7_detection_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_detection_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_distribution_distance"
+  "../bench/fig8_distribution_distance.pdb"
+  "CMakeFiles/fig8_distribution_distance.dir/fig8_distribution_distance.cpp.o"
+  "CMakeFiles/fig8_distribution_distance.dir/fig8_distribution_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_distribution_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

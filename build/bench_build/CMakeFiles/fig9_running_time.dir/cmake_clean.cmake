@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_running_time"
+  "../bench/fig9_running_time.pdb"
+  "CMakeFiles/fig9_running_time.dir/fig9_running_time.cpp.o"
+  "CMakeFiles/fig9_running_time.dir/fig9_running_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_running_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/shootout_market"
+  "../bench/shootout_market.pdb"
+  "CMakeFiles/shootout_market.dir/shootout_market.cpp.o"
+  "CMakeFiles/shootout_market.dir/shootout_market.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shootout_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/substrate_overlay_gossip"
+  "../bench/substrate_overlay_gossip.pdb"
+  "CMakeFiles/substrate_overlay_gossip.dir/substrate_overlay_gossip.cpp.o"
+  "CMakeFiles/substrate_overlay_gossip.dir/substrate_overlay_gossip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_overlay_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

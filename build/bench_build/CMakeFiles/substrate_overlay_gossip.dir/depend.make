@@ -1,0 +1,2 @@
+# Empty dependencies file for substrate_overlay_gossip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/whitewash_policy"
+  "../bench/whitewash_policy.pdb"
+  "CMakeFiles/whitewash_policy.dir/whitewash_policy.cpp.o"
+  "CMakeFiles/whitewash_policy.dir/whitewash_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitewash_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for whitewash_policy.
+# This may be replaced when dependencies are built.

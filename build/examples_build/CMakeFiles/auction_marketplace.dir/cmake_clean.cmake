@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/auction_marketplace"
+  "../examples/auction_marketplace.pdb"
+  "CMakeFiles/auction_marketplace.dir/auction_marketplace.cpp.o"
+  "CMakeFiles/auction_marketplace.dir/auction_marketplace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/collusion_forensics"
+  "../examples/collusion_forensics.pdb"
+  "CMakeFiles/collusion_forensics.dir/collusion_forensics.cpp.o"
+  "CMakeFiles/collusion_forensics.dir/collusion_forensics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collusion_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

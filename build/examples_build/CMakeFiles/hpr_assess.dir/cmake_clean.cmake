@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hpr_assess"
+  "../examples/hpr_assess.pdb"
+  "CMakeFiles/hpr_assess.dir/hpr_assess.cpp.o"
+  "CMakeFiles/hpr_assess.dir/hpr_assess.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpr_assess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

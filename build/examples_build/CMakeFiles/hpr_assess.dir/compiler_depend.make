@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpr_assess.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hpr_calibrate"
+  "../examples/hpr_calibrate.pdb"
+  "CMakeFiles/hpr_calibrate.dir/hpr_calibrate.cpp.o"
+  "CMakeFiles/hpr_calibrate.dir/hpr_calibrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpr_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/p2p_filesharing"
+  "../examples/p2p_filesharing.pdb"
+  "CMakeFiles/p2p_filesharing.dir/p2p_filesharing.cpp.o"
+  "CMakeFiles/p2p_filesharing.dir/p2p_filesharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_filesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/p2p_network.cpp" "examples_build/CMakeFiles/p2p_network.dir/p2p_network.cpp.o" "gcc" "examples_build/CMakeFiles/p2p_network.dir/p2p_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repsys/CMakeFiles/hpr_repsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/p2p_network"
+  "../examples/p2p_network.pdb"
+  "CMakeFiles/p2p_network.dir/p2p_network.cpp.o"
+  "CMakeFiles/p2p_network.dir/p2p_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

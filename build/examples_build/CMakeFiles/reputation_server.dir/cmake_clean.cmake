@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/reputation_server"
+  "../examples/reputation_server.pdb"
+  "CMakeFiles/reputation_server.dir/reputation_server.cpp.o"
+  "CMakeFiles/reputation_server.dir/reputation_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reputation_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

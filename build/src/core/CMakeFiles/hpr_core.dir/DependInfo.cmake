@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/behavior_test.cpp" "src/core/CMakeFiles/hpr_core.dir/behavior_test.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/behavior_test.cpp.o.d"
+  "/root/repo/src/core/category.cpp" "src/core/CMakeFiles/hpr_core.dir/category.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/category.cpp.o.d"
+  "/root/repo/src/core/changepoint.cpp" "src/core/CMakeFiles/hpr_core.dir/changepoint.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/changepoint.cpp.o.d"
+  "/root/repo/src/core/collusion.cpp" "src/core/CMakeFiles/hpr_core.dir/collusion.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/collusion.cpp.o.d"
+  "/root/repo/src/core/multi_test.cpp" "src/core/CMakeFiles/hpr_core.dir/multi_test.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/multi_test.cpp.o.d"
+  "/root/repo/src/core/multidim.cpp" "src/core/CMakeFiles/hpr_core.dir/multidim.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/multidim.cpp.o.d"
+  "/root/repo/src/core/multinomial_test.cpp" "src/core/CMakeFiles/hpr_core.dir/multinomial_test.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/multinomial_test.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/hpr_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/hpr_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/runs_test.cpp" "src/core/CMakeFiles/hpr_core.dir/runs_test.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/runs_test.cpp.o.d"
+  "/root/repo/src/core/temporal.cpp" "src/core/CMakeFiles/hpr_core.dir/temporal.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/temporal.cpp.o.d"
+  "/root/repo/src/core/two_phase.cpp" "src/core/CMakeFiles/hpr_core.dir/two_phase.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/two_phase.cpp.o.d"
+  "/root/repo/src/core/window_stats.cpp" "src/core/CMakeFiles/hpr_core.dir/window_stats.cpp.o" "gcc" "src/core/CMakeFiles/hpr_core.dir/window_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/repsys/CMakeFiles/hpr_repsys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

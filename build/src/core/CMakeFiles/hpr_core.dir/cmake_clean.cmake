@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpr_core.dir/behavior_test.cpp.o"
+  "CMakeFiles/hpr_core.dir/behavior_test.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/category.cpp.o"
+  "CMakeFiles/hpr_core.dir/category.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/changepoint.cpp.o"
+  "CMakeFiles/hpr_core.dir/changepoint.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/collusion.cpp.o"
+  "CMakeFiles/hpr_core.dir/collusion.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/multi_test.cpp.o"
+  "CMakeFiles/hpr_core.dir/multi_test.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/multidim.cpp.o"
+  "CMakeFiles/hpr_core.dir/multidim.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/multinomial_test.cpp.o"
+  "CMakeFiles/hpr_core.dir/multinomial_test.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/online.cpp.o"
+  "CMakeFiles/hpr_core.dir/online.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/report.cpp.o"
+  "CMakeFiles/hpr_core.dir/report.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/runs_test.cpp.o"
+  "CMakeFiles/hpr_core.dir/runs_test.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/temporal.cpp.o"
+  "CMakeFiles/hpr_core.dir/temporal.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/two_phase.cpp.o"
+  "CMakeFiles/hpr_core.dir/two_phase.cpp.o.d"
+  "CMakeFiles/hpr_core.dir/window_stats.cpp.o"
+  "CMakeFiles/hpr_core.dir/window_stats.cpp.o.d"
+  "libhpr_core.a"
+  "libhpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repsys/credibility.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/credibility.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/credibility.cpp.o.d"
+  "/root/repo/src/repsys/eigentrust.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/eigentrust.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/eigentrust.cpp.o.d"
+  "/root/repo/src/repsys/evidential.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/evidential.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/evidential.cpp.o.d"
+  "/root/repo/src/repsys/history.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/history.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/history.cpp.o.d"
+  "/root/repo/src/repsys/htrust.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/htrust.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/htrust.cpp.o.d"
+  "/root/repo/src/repsys/io.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/io.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/io.cpp.o.d"
+  "/root/repo/src/repsys/store.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/store.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/store.cpp.o.d"
+  "/root/repo/src/repsys/trust.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/trust.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/trust.cpp.o.d"
+  "/root/repo/src/repsys/types.cpp" "src/repsys/CMakeFiles/hpr_repsys.dir/types.cpp.o" "gcc" "src/repsys/CMakeFiles/hpr_repsys.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpr_repsys.dir/credibility.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/credibility.cpp.o.d"
+  "CMakeFiles/hpr_repsys.dir/eigentrust.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/eigentrust.cpp.o.d"
+  "CMakeFiles/hpr_repsys.dir/evidential.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/evidential.cpp.o.d"
+  "CMakeFiles/hpr_repsys.dir/history.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/history.cpp.o.d"
+  "CMakeFiles/hpr_repsys.dir/htrust.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/htrust.cpp.o.d"
+  "CMakeFiles/hpr_repsys.dir/io.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/io.cpp.o.d"
+  "CMakeFiles/hpr_repsys.dir/store.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/store.cpp.o.d"
+  "CMakeFiles/hpr_repsys.dir/trust.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/trust.cpp.o.d"
+  "CMakeFiles/hpr_repsys.dir/types.cpp.o"
+  "CMakeFiles/hpr_repsys.dir/types.cpp.o.d"
+  "libhpr_repsys.a"
+  "libhpr_repsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpr_repsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

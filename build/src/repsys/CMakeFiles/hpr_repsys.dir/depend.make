@@ -1,0 +1,2 @@
+# Empty dependencies file for hpr_repsys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attack_cost.cpp" "src/sim/CMakeFiles/hpr_sim.dir/attack_cost.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/attack_cost.cpp.o.d"
+  "/root/repo/src/sim/clients.cpp" "src/sim/CMakeFiles/hpr_sim.dir/clients.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/clients.cpp.o.d"
+  "/root/repo/src/sim/collusion_cost.cpp" "src/sim/CMakeFiles/hpr_sim.dir/collusion_cost.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/collusion_cost.cpp.o.d"
+  "/root/repo/src/sim/detection.cpp" "src/sim/CMakeFiles/hpr_sim.dir/detection.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/detection.cpp.o.d"
+  "/root/repo/src/sim/economics.cpp" "src/sim/CMakeFiles/hpr_sim.dir/economics.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/economics.cpp.o.d"
+  "/root/repo/src/sim/generators.cpp" "src/sim/CMakeFiles/hpr_sim.dir/generators.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/generators.cpp.o.d"
+  "/root/repo/src/sim/gossip.cpp" "src/sim/CMakeFiles/hpr_sim.dir/gossip.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/gossip.cpp.o.d"
+  "/root/repo/src/sim/market.cpp" "src/sim/CMakeFiles/hpr_sim.dir/market.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/market.cpp.o.d"
+  "/root/repo/src/sim/overlay.cpp" "src/sim/CMakeFiles/hpr_sim.dir/overlay.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/overlay.cpp.o.d"
+  "/root/repo/src/sim/p2p.cpp" "src/sim/CMakeFiles/hpr_sim.dir/p2p.cpp.o" "gcc" "src/sim/CMakeFiles/hpr_sim.dir/p2p.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repsys/CMakeFiles/hpr_repsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpr_sim.dir/attack_cost.cpp.o"
+  "CMakeFiles/hpr_sim.dir/attack_cost.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/clients.cpp.o"
+  "CMakeFiles/hpr_sim.dir/clients.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/collusion_cost.cpp.o"
+  "CMakeFiles/hpr_sim.dir/collusion_cost.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/detection.cpp.o"
+  "CMakeFiles/hpr_sim.dir/detection.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/economics.cpp.o"
+  "CMakeFiles/hpr_sim.dir/economics.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/generators.cpp.o"
+  "CMakeFiles/hpr_sim.dir/generators.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/gossip.cpp.o"
+  "CMakeFiles/hpr_sim.dir/gossip.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/market.cpp.o"
+  "CMakeFiles/hpr_sim.dir/market.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/overlay.cpp.o"
+  "CMakeFiles/hpr_sim.dir/overlay.cpp.o.d"
+  "CMakeFiles/hpr_sim.dir/p2p.cpp.o"
+  "CMakeFiles/hpr_sim.dir/p2p.cpp.o.d"
+  "libhpr_sim.a"
+  "libhpr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

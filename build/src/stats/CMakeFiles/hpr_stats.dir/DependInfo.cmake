@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/beta.cpp" "src/stats/CMakeFiles/hpr_stats.dir/beta.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/beta.cpp.o.d"
+  "/root/repo/src/stats/binomial.cpp" "src/stats/CMakeFiles/hpr_stats.dir/binomial.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/binomial.cpp.o.d"
+  "/root/repo/src/stats/bounds.cpp" "src/stats/CMakeFiles/hpr_stats.dir/bounds.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/bounds.cpp.o.d"
+  "/root/repo/src/stats/calibrate.cpp" "src/stats/CMakeFiles/hpr_stats.dir/calibrate.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/calibrate.cpp.o.d"
+  "/root/repo/src/stats/distance.cpp" "src/stats/CMakeFiles/hpr_stats.dir/distance.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/distance.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/hpr_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/moments.cpp" "src/stats/CMakeFiles/hpr_stats.dir/moments.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/moments.cpp.o.d"
+  "/root/repo/src/stats/multinomial.cpp" "src/stats/CMakeFiles/hpr_stats.dir/multinomial.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/multinomial.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/hpr_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/hpr_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/hpr_stats.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

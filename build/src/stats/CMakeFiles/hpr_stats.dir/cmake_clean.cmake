@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpr_stats.dir/beta.cpp.o"
+  "CMakeFiles/hpr_stats.dir/beta.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/binomial.cpp.o"
+  "CMakeFiles/hpr_stats.dir/binomial.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/bounds.cpp.o"
+  "CMakeFiles/hpr_stats.dir/bounds.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/calibrate.cpp.o"
+  "CMakeFiles/hpr_stats.dir/calibrate.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/distance.cpp.o"
+  "CMakeFiles/hpr_stats.dir/distance.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/empirical.cpp.o"
+  "CMakeFiles/hpr_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/moments.cpp.o"
+  "CMakeFiles/hpr_stats.dir/moments.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/multinomial.cpp.o"
+  "CMakeFiles/hpr_stats.dir/multinomial.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/normal.cpp.o"
+  "CMakeFiles/hpr_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/hpr_stats.dir/rng.cpp.o"
+  "CMakeFiles/hpr_stats.dir/rng.cpp.o.d"
+  "libhpr_stats.a"
+  "libhpr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

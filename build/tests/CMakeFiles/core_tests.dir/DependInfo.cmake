@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/behavior_test_test.cpp" "tests/CMakeFiles/core_tests.dir/core/behavior_test_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/behavior_test_test.cpp.o.d"
+  "/root/repo/tests/core/category_test.cpp" "tests/CMakeFiles/core_tests.dir/core/category_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/category_test.cpp.o.d"
+  "/root/repo/tests/core/changepoint_test.cpp" "tests/CMakeFiles/core_tests.dir/core/changepoint_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/changepoint_test.cpp.o.d"
+  "/root/repo/tests/core/collusion_test.cpp" "tests/CMakeFiles/core_tests.dir/core/collusion_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/collusion_test.cpp.o.d"
+  "/root/repo/tests/core/multi_test_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multi_test_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multi_test_test.cpp.o.d"
+  "/root/repo/tests/core/multidim_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multidim_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multidim_test.cpp.o.d"
+  "/root/repo/tests/core/multinomial_test_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multinomial_test_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multinomial_test_test.cpp.o.d"
+  "/root/repo/tests/core/online_test.cpp" "tests/CMakeFiles/core_tests.dir/core/online_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/online_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/runs_test_test.cpp" "tests/CMakeFiles/core_tests.dir/core/runs_test_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/runs_test_test.cpp.o.d"
+  "/root/repo/tests/core/temporal_test.cpp" "tests/CMakeFiles/core_tests.dir/core/temporal_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/temporal_test.cpp.o.d"
+  "/root/repo/tests/core/two_phase_test.cpp" "tests/CMakeFiles/core_tests.dir/core/two_phase_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/two_phase_test.cpp.o.d"
+  "/root/repo/tests/core/window_stats_test.cpp" "tests/CMakeFiles/core_tests.dir/core/window_stats_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/window_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repsys/CMakeFiles/hpr_repsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

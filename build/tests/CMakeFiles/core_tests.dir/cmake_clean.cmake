@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/behavior_test_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/behavior_test_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/category_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/category_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/changepoint_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/changepoint_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/collusion_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/collusion_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multi_test_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multi_test_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multidim_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multidim_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multinomial_test_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multinomial_test_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/online_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/online_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/runs_test_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/runs_test_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/temporal_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/temporal_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/two_phase_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/two_phase_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/window_stats_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/window_stats_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/figures_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/figures_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/figures_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repsys/CMakeFiles/hpr_repsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/repsys/credibility_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/credibility_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/credibility_test.cpp.o.d"
+  "/root/repo/tests/repsys/eigentrust_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/eigentrust_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/eigentrust_test.cpp.o.d"
+  "/root/repo/tests/repsys/evidential_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/evidential_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/evidential_test.cpp.o.d"
+  "/root/repo/tests/repsys/history_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/history_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/history_test.cpp.o.d"
+  "/root/repo/tests/repsys/htrust_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/htrust_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/htrust_test.cpp.o.d"
+  "/root/repo/tests/repsys/io_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/io_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/io_test.cpp.o.d"
+  "/root/repo/tests/repsys/store_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/store_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/store_test.cpp.o.d"
+  "/root/repo/tests/repsys/trust_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/trust_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/trust_test.cpp.o.d"
+  "/root/repo/tests/repsys/types_test.cpp" "tests/CMakeFiles/repsys_tests.dir/repsys/types_test.cpp.o" "gcc" "tests/CMakeFiles/repsys_tests.dir/repsys/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repsys/CMakeFiles/hpr_repsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

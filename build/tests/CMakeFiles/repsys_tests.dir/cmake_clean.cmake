@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repsys_tests.dir/repsys/credibility_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/credibility_test.cpp.o.d"
+  "CMakeFiles/repsys_tests.dir/repsys/eigentrust_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/eigentrust_test.cpp.o.d"
+  "CMakeFiles/repsys_tests.dir/repsys/evidential_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/evidential_test.cpp.o.d"
+  "CMakeFiles/repsys_tests.dir/repsys/history_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/history_test.cpp.o.d"
+  "CMakeFiles/repsys_tests.dir/repsys/htrust_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/htrust_test.cpp.o.d"
+  "CMakeFiles/repsys_tests.dir/repsys/io_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/io_test.cpp.o.d"
+  "CMakeFiles/repsys_tests.dir/repsys/store_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/store_test.cpp.o.d"
+  "CMakeFiles/repsys_tests.dir/repsys/trust_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/trust_test.cpp.o.d"
+  "CMakeFiles/repsys_tests.dir/repsys/types_test.cpp.o"
+  "CMakeFiles/repsys_tests.dir/repsys/types_test.cpp.o.d"
+  "repsys_tests"
+  "repsys_tests.pdb"
+  "repsys_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repsys_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/attack_cost_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/attack_cost_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/attack_cost_test.cpp.o.d"
+  "/root/repo/tests/sim/clients_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/clients_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/clients_test.cpp.o.d"
+  "/root/repo/tests/sim/collusion_cost_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/collusion_cost_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/collusion_cost_test.cpp.o.d"
+  "/root/repo/tests/sim/detection_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/detection_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/detection_test.cpp.o.d"
+  "/root/repo/tests/sim/economics_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/economics_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/economics_test.cpp.o.d"
+  "/root/repo/tests/sim/generators_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/generators_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/generators_test.cpp.o.d"
+  "/root/repo/tests/sim/gossip_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/gossip_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/gossip_test.cpp.o.d"
+  "/root/repo/tests/sim/market_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/market_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/market_test.cpp.o.d"
+  "/root/repo/tests/sim/overlay_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/overlay_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/overlay_test.cpp.o.d"
+  "/root/repo/tests/sim/p2p_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/p2p_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/p2p_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repsys/CMakeFiles/hpr_repsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

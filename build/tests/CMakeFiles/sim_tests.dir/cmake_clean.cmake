@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/attack_cost_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/attack_cost_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/clients_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/clients_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/collusion_cost_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/collusion_cost_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/detection_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/detection_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/economics_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/economics_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/generators_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/generators_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/gossip_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/gossip_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/market_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/market_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/overlay_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/overlay_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/p2p_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/p2p_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/beta_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/beta_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/beta_test.cpp.o.d"
+  "/root/repo/tests/stats/binomial_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/binomial_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/binomial_test.cpp.o.d"
+  "/root/repo/tests/stats/bounds_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/bounds_test.cpp.o.d"
+  "/root/repo/tests/stats/calibrate_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/calibrate_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/calibrate_test.cpp.o.d"
+  "/root/repo/tests/stats/distance_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/distance_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/distance_test.cpp.o.d"
+  "/root/repo/tests/stats/empirical_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/empirical_test.cpp.o.d"
+  "/root/repo/tests/stats/moments_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/moments_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/moments_test.cpp.o.d"
+  "/root/repo/tests/stats/multinomial_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/multinomial_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/multinomial_test.cpp.o.d"
+  "/root/repo/tests/stats/normal_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/normal_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/normal_test.cpp.o.d"
+  "/root/repo/tests/stats/rng_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repsys/CMakeFiles/hpr_repsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
