@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "core/changepoint.h"
 #include "core/collusion.h"
 #include "core/multi_test.h"
@@ -90,9 +94,14 @@ void BM_MultiBehaviorTest(benchmark::State& state) {
 BENCHMARK(BM_MultiBehaviorTest)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_CalibrationColdKey(benchmark::State& state) {
-    // Cost of one cold Monte-Carlo calibration (1000 replications).
+    // Wall time of one cold Monte-Carlo calibration (1000 replications)
+    // with a given worker-pool size: range(0) = window count (the key's
+    // cost driver), range(1) = threads.  The chunk-seeded scheme makes
+    // the resulting threshold bit-identical across thread counts, so the
+    // 1-vs-N rows measure pure scaling of the same computation.
     stats::CalibrationConfig config;
     config.windows_grid_ratio = 1.0;
+    config.threads = static_cast<std::size_t>(state.range(1));
     for (auto _ : state) {
         state.PauseTiming();
         stats::Calibrator calibrator{config};
@@ -100,8 +109,65 @@ void BM_CalibrationColdKey(benchmark::State& state) {
         benchmark::DoNotOptimize(
             calibrator.threshold(static_cast<std::size_t>(state.range(0)), 10, 0.9));
     }
+    state.SetLabel(std::to_string(state.range(1)) + " thread(s)");
 }
-BENCHMARK(BM_CalibrationColdKey)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_CalibrationColdKey)
+    ->ArgsProduct({{10, 100, 1000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_PrecalibrateGrid(benchmark::State& state) {
+    // Warm-start fan-out: the full fig9-style grid (geometric window grid
+    // to 512, p̂ in [0.85, 0.95]) across a pool of range(0) threads.
+    core::BehaviorTestConfig test_config;
+    test_config.calibration_threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        const auto calibrator = core::make_calibrator(test_config);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(
+            core::warm_calibration(*calibrator, 10, 512, 0.85, 0.95));
+    }
+    state.SetLabel(std::to_string(state.range(0)) + " thread(s)");
+}
+BENCHMARK(BM_PrecalibrateGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CalibrationSingleFlight(benchmark::State& state) {
+    // range(0) client threads all missing the SAME cold key: single-flight
+    // dedup means the whole stampede costs ~one Monte-Carlo run.
+    const auto contenders = static_cast<std::size_t>(state.range(0));
+    stats::CalibrationConfig config;
+    config.windows_grid_ratio = 1.0;
+    config.threads = 1;  // isolate dedup from chunk parallelism
+    for (auto _ : state) {
+        state.PauseTiming();
+        stats::Calibrator calibrator{config};
+        state.ResumeTiming();
+        std::vector<std::thread> clients;
+        clients.reserve(contenders);
+        for (std::size_t t = 0; t < contenders; ++t) {
+            clients.emplace_back(
+                [&calibrator] { benchmark::DoNotOptimize(calibrator.threshold(500, 10, 0.9)); });
+        }
+        for (auto& client : clients) client.join();
+        state.PauseTiming();
+        if (calibrator.compute_count() != 1) {
+            state.SkipWithError("single-flight failed to deduplicate");
+        }
+        state.ResumeTiming();
+    }
+    state.SetLabel(std::to_string(contenders) + " contending threads, 1 MC run");
+}
+BENCHMARK(BM_CalibrationSingleFlight)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ReorderByIssuer(benchmark::State& state) {
     const auto history = history_of(static_cast<std::size_t>(state.range(0)), 64);

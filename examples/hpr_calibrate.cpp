@@ -1,16 +1,19 @@
 // hpr_calibrate — precompute and persist the Monte-Carlo calibration
 // cache so production processes start with warm thresholds.
 //
-//   build/examples/hpr_calibrate [output-path]
+//   build/examples/hpr_calibrate [output-path] [threads]
 //
 // Calibrates the default configuration (window 10, L1, 1000 replications)
 // over the window-count grid up to the cap and the p̂ buckets a
-// high-reputation deployment actually hits (p in [0.5, 1.0]), then writes
-// the cache.  A server loads it with `Calibrator::load_cache` and never
-// pays the Monte-Carlo warm-up on the request path.
+// high-reputation deployment actually hits (p in [0.5, 1.0]), fanning the
+// grid across the calibrator's worker pool, then writes the cache.  A
+// server loads it with `Calibrator::load_cache` and never pays the
+// Monte-Carlo warm-up on the request path.  Thresholds are bit-identical
+// at any thread count — parallelism only moves the wall clock.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
@@ -24,28 +27,26 @@ int main(int argc, char** argv) {
                  : (std::filesystem::temp_directory_path() / "hpr_calibration.cache")
                        .string();
 
-    stats::Calibrator calibrator;
+    stats::CalibrationConfig cal_config;
+    if (argc > 2) cal_config.threads = std::strtoul(argv[2], nullptr, 10);
+    stats::Calibrator calibrator{cal_config};
     const auto& config = calibrator.config();
-    std::printf("calibrating: kind=%s replications=%zu p-grid=1/%u window-cap=%zu\n",
-                stats::to_string(config.kind), config.replications, config.p_grid,
-                config.windows_cap);
+    std::printf(
+        "calibrating: kind=%s replications=%zu p-grid=1/%u window-cap=%zu "
+        "threads=%zu\n",
+        stats::to_string(config.kind), config.replications, config.p_grid,
+        config.windows_cap, calibrator.threads());
 
     const auto start = std::chrono::steady_clock::now();
-    std::size_t queries = 0;
-    // Window counts on the calibrator's own geometric grid.
-    for (std::size_t k = 3; k <= config.windows_cap;
-         k = std::max(k + 1, calibrator.effective_windows(k + k / 4 + 1))) {
-        // p̂ buckets every 1/64 across the half deployments care about.
-        for (int b = 32; b <= 64; ++b) {
-            (void)calibrator.threshold(k, 10, static_cast<double>(b) / 64.0);
-            ++queries;
-        }
-    }
+    // The full geometric window grid and the p̂ half deployments care
+    // about, fanned across the worker pool in one call.
+    const std::size_t computed = core::warm_calibration(
+        calibrator, 10, config.windows_cap, 0.5, 1.0);
     const auto elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
-    std::printf("calibrated %zu keys (%zu queries) in %.1fs\n",
-                calibrator.cache_size(), queries, elapsed);
+    std::printf("calibrated %zu keys (%zu Monte-Carlo runs) in %.1fs\n",
+                calibrator.cache_size(), computed, elapsed);
 
     calibrator.save_cache(path);
     std::printf("cache written to %s (%ju bytes)\n", path.c_str(),
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
 
     // Prove the round trip: a fresh calibrator loads it and answers with
     // zero Monte-Carlo work.
-    stats::Calibrator restored;
+    stats::Calibrator restored{cal_config};
     restored.load_cache(path);
     const auto warm_start = std::chrono::steady_clock::now();
     (void)restored.threshold(40, 10, 0.9);
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
                           std::chrono::steady_clock::now() - warm_start)
                           .count();
     std::printf("restored calibrator answered 2 queries in %.0f microseconds "
-                "(cache size %zu)\n",
-                warm, restored.cache_size());
+                "(cache size %zu, Monte-Carlo runs %zu)\n",
+                warm, restored.cache_size(), restored.compute_count());
     return 0;
 }

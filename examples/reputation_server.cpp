@@ -10,6 +10,7 @@
 // core::TwoPhaseAssessor, repsys::EigenTrust,
 // repsys::CredibilityWeightedTrust, core::ChangePointDetector.
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -42,6 +43,21 @@ int main() {
     // server's streaming screener.
     repsys::FeedbackStore store;
     const auto calibrator = core::make_calibrator({});
+    {
+        // Warm-start the shared calibrator across its worker pool before
+        // traffic arrives: every window-count bucket a 1000-transaction
+        // history can hit, p̂ in the range this population produces.  In a
+        // real deployment this cache ships with the binary
+        // (Calibrator::save_cache / load_cache) instead.
+        const auto warm_begin = std::chrono::steady_clock::now();
+        const std::size_t warmed =
+            core::warm_calibration(*calibrator, 10, 1000 / 10, 0.55, 1.0);
+        const double warm_s = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - warm_begin)
+                                  .count();
+        std::printf("warm start: %zu calibration keys in %.1fs on %zu threads\n\n",
+                    warmed, warm_s, calibrator->threads());
+    }
     core::OnlineScreenerConfig screener_config;
     screener_config.test.bonferroni = true;
     std::map<repsys::EntityId, core::OnlineScreener> monitors;

@@ -1,5 +1,7 @@
 #include "core/behavior_test.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace hpr::core {
@@ -9,7 +11,48 @@ std::shared_ptr<stats::Calibrator> make_calibrator(const BehaviorTestConfig& con
     cc.confidence = config.confidence;
     cc.replications = config.replications;
     cc.kind = config.distance;
+    cc.threads = config.calibration_threads;
     return std::make_shared<stats::Calibrator>(cc);
+}
+
+std::size_t warm_calibration(stats::Calibrator& calibrator, std::uint32_t window_size,
+                             std::size_t max_windows, double p_lo, double p_hi) {
+    if (window_size == 0) {
+        throw std::invalid_argument("warm_calibration: window size must be > 0");
+    }
+    if (!(p_lo >= 0.0 && p_hi <= 1.0 && p_lo <= p_hi)) {
+        throw std::invalid_argument(
+            "warm_calibration: need 0 <= p_lo <= p_hi <= 1");
+    }
+    const auto& config = calibrator.config();
+    const std::size_t top =
+        std::min(std::max<std::size_t>(max_windows, 1), config.windows_cap);
+
+    // Every distinct point of the calibrator's geometric window grid up to
+    // `top`: walk k upward, let the calibrator bucket it, and skip over
+    // the rest of each bucket.
+    std::vector<std::size_t> windows;
+    for (std::size_t k = 1; k <= top;) {
+        windows.push_back(calibrator.effective_windows(k));
+        std::size_t next = k + 1;
+        while (next <= top && calibrator.effective_windows(next) == windows.back()) {
+            ++next;
+        }
+        k = next;
+    }
+
+    // Every p̂ bucket intersecting [p_lo, p_hi] (plus the interior-clamped
+    // neighbours of degenerate endpoints, which make_key maps onto).
+    const auto grid = static_cast<double>(config.p_grid);
+    const auto lo_bucket = static_cast<std::uint32_t>(std::ceil(p_lo * grid));
+    const auto hi_bucket = static_cast<std::uint32_t>(std::floor(p_hi * grid));
+    std::vector<double> p_hats;
+    for (std::uint32_t b = lo_bucket; b <= hi_bucket; ++b) {
+        p_hats.push_back(static_cast<double>(b) / grid);
+    }
+    if (p_hats.empty()) p_hats.push_back((p_lo + p_hi) / 2.0);
+
+    return calibrator.precalibrate(windows, {window_size}, p_hats);
 }
 
 BehaviorTest::BehaviorTest(BehaviorTestConfig config,

@@ -80,9 +80,18 @@ private:
 };
 
 /// Build a calibrator matching a test config (confidence, replications,
-/// distance kind).
+/// distance kind, worker threads).
 [[nodiscard]] std::shared_ptr<stats::Calibrator> make_calibrator(
     const BehaviorTestConfig& config);
+
+/// Warm-start helper: precalibrate every key a screening deployment with
+/// this window size can hit — window counts on the calibrator's geometric
+/// grid from 1 up to min(max_windows, windows_cap), p̂ buckets covering
+/// [p_lo, p_hi].  Fans the grid across the calibrator's worker pool;
+/// compose with Calibrator::save_cache / load_cache to move the cost
+/// offline entirely.  Returns the number of cold keys computed.
+std::size_t warm_calibration(stats::Calibrator& calibrator, std::uint32_t window_size,
+                             std::size_t max_windows, double p_lo, double p_hi);
 
 }  // namespace hpr::core
 

@@ -31,6 +31,11 @@ struct BehaviorTestConfig {
 
     /// Distance functional; the paper uses the L1 norm.
     stats::DistanceKind distance = stats::DistanceKind::kL1;
+
+    /// Worker threads for Monte-Carlo calibration (0 = one per hardware
+    /// thread).  Purely a speed knob: calibrated thresholds are
+    /// bit-identical at any thread count.
+    std::size_t calibration_threads = 0;
 };
 
 /// Parameters of multi-testing (paper §3.3): the single test is repeated

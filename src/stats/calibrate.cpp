@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace hpr::stats {
 
@@ -49,6 +51,20 @@ Calibrator::Calibrator(CalibrationConfig config) : config_(config) {
     }
 }
 
+std::size_t Calibrator::threads() const noexcept {
+    if (config_.threads != 0) return config_.threads;
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool& Calibrator::pool() const {
+    // Lazily started so purely warm-cache calibrators never spawn threads.
+    std::call_once(pool_once_, [this] {
+        pool_ = std::make_unique<ThreadPool>(threads() - 1);
+    });
+    return *pool_;
+}
+
 std::size_t Calibrator::effective_windows(std::size_t windows) const {
     std::size_t k = std::min(windows, config_.windows_cap);
     if (config_.windows_grid_ratio > 1.0) {
@@ -90,37 +106,78 @@ Calibrator::Key Calibrator::make_key(std::size_t windows, std::uint32_t m,
 }
 
 std::vector<double> Calibrator::compute_null(const Key& key) const {
+    compute_count_.fetch_add(1, std::memory_order_relaxed);
     const double p = static_cast<double>(key.p_bucket) / static_cast<double>(config_.p_grid);
     const Binomial reference{key.m, p};
     const auto& ref_pmf = reference.pmf_table();
 
     // Derive a per-key seed so null samples are independent of call order.
-    std::uint64_t seed_state = config_.seed ^ (key.windows * 0x9e3779b97f4a7c15ULL) ^
-                               (static_cast<std::uint64_t>(key.m) << 32) ^ key.p_bucket;
-    Rng rng{splitmix64(seed_state)};
+    const std::uint64_t key_seed = config_.seed ^ (key.windows * 0x9e3779b97f4a7c15ULL) ^
+                                   (static_cast<std::uint64_t>(key.m) << 32) ^ key.p_bucket;
 
-    std::vector<double> distances;
-    distances.reserve(config_.replications);
-    EmpiricalDistribution sample{key.m};
-    for (std::size_t r = 0; r < config_.replications; ++r) {
-        sample.clear();
-        for (std::uint64_t i = 0; i < key.windows; ++i) {
-            sample.add(reference.sample(rng));
+    // Each chunk of kChunkReplications replications draws from its own
+    // stream seeded by splitmix64(key_seed + chunk): a pure function of
+    // key and chunk index, so the multiset of distances — and after the
+    // sort, the exact vector — is identical whether the chunks ran on one
+    // thread or many, in any order.
+    const std::size_t chunks =
+        (config_.replications + kChunkReplications - 1) / kChunkReplications;
+    std::vector<double> distances(config_.replications);
+    const auto run_chunk = [&](std::size_t chunk) {
+        std::uint64_t state = key_seed + chunk;
+        Rng rng{splitmix64(state)};
+        EmpiricalDistribution sample{key.m};
+        const std::size_t begin = chunk * kChunkReplications;
+        const std::size_t end =
+            std::min(begin + kChunkReplications, config_.replications);
+        for (std::size_t r = begin; r < end; ++r) {
+            sample.clear();
+            for (std::uint64_t i = 0; i < key.windows; ++i) {
+                sample.add(reference.sample(rng));
+            }
+            distances[r] = distance(sample, ref_pmf, config_.kind);
         }
-        distances.push_back(distance(sample, ref_pmf, config_.kind));
+    };
+    if (chunks > 1 && threads() > 1) {
+        pool().parallel_for(chunks, run_chunk);
+    } else {
+        for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
     }
     std::sort(distances.begin(), distances.end());
     return distances;
 }
 
 const std::vector<double>& Calibrator::null_for(const Key& key) {
+    std::promise<const std::vector<double>*> promise;
+    std::shared_future<const std::vector<double>*> flight;
+    bool leader = false;
     {
         const std::scoped_lock lock{mutex_};
         if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+        if (const auto it = inflight_.find(key); it != inflight_.end()) {
+            flight = it->second;  // join the computation already under way
+        } else {
+            leader = true;
+            flight = promise.get_future().share();
+            inflight_.emplace(key, flight);
+        }
     }
-    std::vector<double> null = compute_null(key);
-    const std::scoped_lock lock{mutex_};
-    return cache_.emplace(key, std::move(null)).first->second;
+    if (!leader) return *flight.get();  // rethrows the leader's failure, if any
+    try {
+        std::vector<double> null = compute_null(key);
+        const std::scoped_lock lock{mutex_};
+        const auto* stored = &cache_.emplace(key, std::move(null)).first->second;
+        inflight_.erase(key);
+        promise.set_value(stored);
+        return *stored;
+    } catch (...) {
+        {
+            const std::scoped_lock lock{mutex_};
+            inflight_.erase(key);  // let a later caller retry the key
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
 }
 
 double Calibrator::threshold(std::size_t windows, std::uint32_t m, double p_hat) {
@@ -140,9 +197,41 @@ const std::vector<double>& Calibrator::null_distances(std::size_t windows,
     return null_for(make_key(windows, m, p_hat));
 }
 
+std::size_t Calibrator::precalibrate(const std::vector<std::size_t>& windows,
+                                     const std::vector<std::uint32_t>& window_sizes,
+                                     const std::vector<double>& p_hats) {
+    // Quantization collapses many grid points onto one key; dedup first so
+    // the fan-out is over distinct Monte-Carlo computations.
+    std::set<Key> keys;
+    for (const std::size_t k : windows) {
+        for (const std::uint32_t m : window_sizes) {
+            for (const double p : p_hats) {
+                keys.insert(make_key(k, m, p));
+            }
+        }
+    }
+    std::vector<Key> cold;
+    {
+        const std::scoped_lock lock{mutex_};
+        for (const Key& key : keys) {
+            if (!cache_.contains(key)) cold.push_back(key);
+        }
+    }
+    if (cold.empty()) return 0;
+    // null_for (not compute_null) so a request racing the warm-up joins
+    // the in-flight computation instead of duplicating it.
+    pool().parallel_for(cold.size(),
+                        [&](std::size_t i) { (void)null_for(cold[i]); });
+    return cold.size();
+}
+
 std::size_t Calibrator::cache_size() const {
     const std::scoped_lock lock{mutex_};
     return cache_.size();
+}
+
+std::size_t Calibrator::compute_count() const noexcept {
+    return compute_count_.load(std::memory_order_relaxed);
 }
 
 void Calibrator::clear_cache() {
@@ -150,14 +239,20 @@ void Calibrator::clear_cache() {
     cache_.clear();
 }
 
+std::string Calibrator::header_line() const {
+    std::ostringstream header;
+    header << "hpr-calibration-cache v2 kind=" << to_string(config_.kind)
+           << " replications=" << config_.replications << " p_grid=" << config_.p_grid
+           << " seed=" << config_.seed << " chunk=" << kChunkReplications;
+    return header.str();
+}
+
 void Calibrator::save_cache(const std::string& path) const {
     std::ofstream out{path};
     if (!out) {
         throw std::runtime_error("Calibrator::save_cache: cannot open '" + path + "'");
     }
-    out << "hpr-calibration-cache v1 kind=" << to_string(config_.kind)
-        << " replications=" << config_.replications << " p_grid=" << config_.p_grid
-        << " seed=" << config_.seed << '\n';
+    out << header_line() << '\n';
     out.precision(17);
     const std::scoped_lock lock{mutex_};
     for (const auto& [key, null_sample] : cache_) {
@@ -176,13 +271,13 @@ void Calibrator::load_cache(const std::string& path) {
     if (!in) {
         throw std::runtime_error("Calibrator::load_cache: cannot open '" + path + "'");
     }
+    const auto fail = [&path](std::size_t line_no, const std::string& what) {
+        throw std::runtime_error("Calibrator::load_cache: " + what + " in '" + path +
+                                 "' at line " + std::to_string(line_no));
+    };
     std::string header;
     std::getline(in, header);
-    std::ostringstream expected;
-    expected << "hpr-calibration-cache v1 kind=" << to_string(config_.kind)
-             << " replications=" << config_.replications
-             << " p_grid=" << config_.p_grid << " seed=" << config_.seed;
-    if (header != expected.str()) {
+    if (header != header_line()) {
         throw std::runtime_error(
             "Calibrator::load_cache: calibration parameters in '" + path +
             "' do not match this calibrator");
@@ -195,16 +290,33 @@ void Calibrator::load_cache(const std::string& path) {
         if (line.empty()) continue;
         const auto colon = line.find(':');
         if (colon == std::string::npos) {
-            throw std::runtime_error("Calibrator::load_cache: malformed line " +
-                                     std::to_string(line_no));
+            fail(line_no, "malformed line");
         }
         Key key{};
         {
             std::istringstream key_in{line.substr(0, colon)};
             if (!(key_in >> key.windows >> key.m >> key.p_bucket)) {
-                throw std::runtime_error("Calibrator::load_cache: bad key at line " +
-                                         std::to_string(line_no));
+                fail(line_no, "unparseable key");
             }
+        }
+        // A poisoned key would silently serve wrong thresholds on every
+        // later lookup that buckets onto it — validate against this
+        // calibrator's quantization grids before accepting anything.
+        if (key.windows == 0) {
+            fail(line_no, "invalid key (windows must be >= 1)");
+        }
+        if (key.m == 0) {
+            fail(line_no, "invalid key (window size must be >= 1)");
+        }
+        if (key.p_bucket > config_.p_grid) {
+            fail(line_no, "invalid key (p bucket beyond p_grid)");
+        }
+        if (key.windows > config_.windows_cap ||
+            key.windows != effective_windows(key.windows)) {
+            fail(line_no, "invalid key (window count off the calibration grid)");
+        }
+        if (loaded.contains(key)) {
+            fail(line_no, "duplicate key");
         }
         std::vector<double> values;
         values.reserve(config_.replications);
@@ -212,10 +324,10 @@ void Calibrator::load_cache(const std::string& path) {
         double v = 0.0;
         while (value_in >> v) values.push_back(v);
         if (values.size() != config_.replications ||
-            !std::is_sorted(values.begin(), values.end())) {
-            throw std::runtime_error(
-                "Calibrator::load_cache: corrupt null sample at line " +
-                std::to_string(line_no));
+            !std::is_sorted(values.begin(), values.end()) ||
+            !std::all_of(values.begin(), values.end(),
+                         [](double d) { return std::isfinite(d) && d >= 0.0; })) {
+            fail(line_no, "corrupt null sample");
         }
         loaded.emplace(key, std::move(values));
     }

@@ -18,6 +18,22 @@
 /// for any confidence level against one cached simulation — multi-testing
 /// uses this for its family-wise (Bonferroni) correction.
 ///
+/// Three mechanisms make the cold path production-grade:
+///
+///  * **Chunk-parallel Monte-Carlo.**  The replication loop is split into
+///    fixed chunks of kChunkReplications; chunk c draws from an Rng seeded
+///    with splitmix64(key_seed + c).  Seeds depend only on the key and the
+///    chunk index — never on which thread runs the chunk — so 1, 2, or N
+///    worker threads produce the bit-identical sorted null sample.
+///  * **Single-flight deduplication.**  Threads that miss the same cold
+///    key join one in-flight computation instead of each paying for a
+///    full Monte-Carlo run (the classic check-then-act race this fixes
+///    previously made N concurrent misses cost N runs).
+///  * **Warm start.**  precalibrate() fans a whole key grid across the
+///    worker pool up front and composes with save_cache()/load_cache(),
+///    so deployments can ship a precomputed cache and never calibrate on
+///    the request path.
+///
 /// Two quantizations keep the key space small; both err on the
 /// conservative side (a slightly *larger* ε, hence fewer false alarms):
 ///  * p̂ is rounded to a 1/p_grid grid;
@@ -27,8 +43,11 @@
 /// This is what makes repeated screening of growing histories O(1)
 /// amortized — the enabler of the O(n) multi-test timing of §5.5 / Fig. 9.
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -36,6 +55,7 @@
 #include "stats/binomial.h"
 #include "stats/distance.h"
 #include "stats/rng.h"
+#include "stats/thread_pool.h"
 
 namespace hpr::stats {
 
@@ -54,11 +74,23 @@ struct CalibrationConfig {
     /// to the nearest grid point, conservatively inflating ε).  Set to 1.0
     /// for exact per-k calibration.
     double windows_grid_ratio = 1.15;
+
+    /// Worker threads for Monte-Carlo computation and precalibrate().
+    /// 0 = one per hardware thread.  The thread count NEVER affects the
+    /// computed samples (see the chunk-seeding scheme above), only speed.
+    std::size_t threads = 0;
 };
 
-/// Memoizing Monte-Carlo calibrator. Thread-safe.
+/// Memoizing Monte-Carlo calibrator. Thread-safe; concurrent misses of
+/// the same key share one computation (single-flight).
 class Calibrator {
 public:
+    /// Replications per seeding chunk.  Part of the sampling scheme: the
+    /// null sample for a key is a pure function of (seed, replications,
+    /// kind, p_grid, kChunkReplications) — it is recorded in the cache
+    /// file header so persisted samples can never silently mismatch.
+    static constexpr std::size_t kChunkReplications = 32;
+
     explicit Calibrator(CalibrationConfig config = {});
 
     /// Threshold ε at the calibrator's default confidence.
@@ -80,13 +112,32 @@ public:
                                                             std::uint32_t m,
                                                             double p_hat);
 
+    /// Warm the cache for the cross product windows × window_sizes ×
+    /// p_hats, fanning cold keys out across the worker pool.  Arguments
+    /// are validated like threshold()'s; duplicate grid points collapse
+    /// onto their shared cache key.  Composes with save_cache(): calibrate
+    /// once offline, persist, and serve with a cold-start-free calibrator.
+    /// \returns the number of keys that were actually computed (cold).
+    std::size_t precalibrate(const std::vector<std::size_t>& windows,
+                             const std::vector<std::uint32_t>& window_sizes,
+                             const std::vector<double>& p_hats);
+
     [[nodiscard]] const CalibrationConfig& config() const noexcept { return config_; }
 
     /// The bucketed window count actually used for a requested k.
     [[nodiscard]] std::size_t effective_windows(std::size_t windows) const;
 
+    /// Resolved worker-thread count (config().threads, or the hardware
+    /// concurrency when that is 0).
+    [[nodiscard]] std::size_t threads() const noexcept;
+
     /// Number of distinct keys calibrated so far.
     [[nodiscard]] std::size_t cache_size() const;
+
+    /// Number of Monte-Carlo computations actually executed (cache misses
+    /// that became the single flight).  A concurrency probe: N threads
+    /// racing one cold key must bump this exactly once.
+    [[nodiscard]] std::size_t compute_count() const noexcept;
 
     /// Drop all memoized null samples.
     void clear_cache();
@@ -98,9 +149,12 @@ public:
 
     /// Merge null samples persisted by save_cache() into this cache.
     /// The file's calibration parameters (distance kind, replications,
-    /// p-grid, seed) must match this calibrator's, otherwise the stored
-    /// samples would answer a different question.
-    /// \throws std::runtime_error on I/O/parse failure or config mismatch.
+    /// p-grid, seed, chunking) must match this calibrator's, otherwise the
+    /// stored samples would answer a different question; every key must
+    /// lie on this calibrator's quantization grids.  Corrupt or
+    /// hand-edited entries are rejected with a line-numbered error.
+    /// \throws std::runtime_error on I/O/parse failure, config mismatch,
+    ///         or an invalid/off-grid/duplicate key.
     void load_cache(const std::string& path);
 
 private:
@@ -114,10 +168,20 @@ private:
     [[nodiscard]] Key make_key(std::size_t windows, std::uint32_t m, double p_hat) const;
     [[nodiscard]] std::vector<double> compute_null(const Key& key) const;
     [[nodiscard]] const std::vector<double>& null_for(const Key& key);
+    [[nodiscard]] std::string header_line() const;
+    [[nodiscard]] ThreadPool& pool() const;
 
     CalibrationConfig config_;
     mutable std::mutex mutex_;
     std::map<Key, std::vector<double>> cache_;
+
+    /// Keys being computed right now; followers wait on the future while
+    /// the flight leader runs the Monte-Carlo loop outside the lock.
+    std::map<Key, std::shared_future<const std::vector<double>*>> inflight_;
+
+    mutable std::atomic<std::size_t> compute_count_{0};
+    mutable std::once_flag pool_once_;
+    mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Empirical quantile (linear interpolation between order statistics) of an

@@ -1,0 +1,95 @@
+#include "stats/thread_pool.h"
+
+#include <algorithm>
+
+namespace hpr::stats {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::scoped_lock lock{mutex_};
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::drain(const std::shared_ptr<Job>& job) {
+    for (;;) {
+        const std::size_t index = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= job->count) return;
+        try {
+            (*job->body)(index);
+        } catch (...) {
+            const std::scoped_lock lock{mutex_};
+            if (!job->error) job->error = std::current_exception();
+            // Abandon the remaining indices: nothing downstream may rely
+            // on partial results once the job is poisoned.
+            job->next.store(job->count, std::memory_order_relaxed);
+        }
+    }
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock lock{mutex_};
+            work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+            if (jobs_.empty()) {
+                if (stop_) return;
+                continue;
+            }
+            job = jobs_.front();
+            if (job->next.load(std::memory_order_relaxed) >= job->count) {
+                // Fully claimed; retire it from the queue and look again.
+                jobs_.pop_front();
+                continue;
+            }
+            ++job->running;
+        }
+        drain(job);
+        {
+            const std::scoped_lock lock{mutex_};
+            --job->running;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+    if (threads_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+    auto job = std::make_shared<Job>(count, &body);
+    {
+        const std::scoped_lock lock{mutex_};
+        jobs_.push_back(job);
+    }
+    work_cv_.notify_all();
+
+    drain(job);  // the caller helps — guarantees progress even under nesting
+
+    std::unique_lock lock{mutex_};
+    done_cv_.wait(lock, [&] {
+        return job->running == 0 &&
+               job->next.load(std::memory_order_relaxed) >= job->count;
+    });
+    if (const auto it = std::find(jobs_.begin(), jobs_.end(), job); it != jobs_.end()) {
+        jobs_.erase(it);
+    }
+    const std::exception_ptr error = job->error;
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace hpr::stats

@@ -1,0 +1,86 @@
+#ifndef HPR_STATS_THREAD_POOL_H
+#define HPR_STATS_THREAD_POOL_H
+
+/// \file thread_pool.h
+/// A small shared worker pool for data-parallel loops.
+///
+/// The Monte-Carlo calibrator is the library's dominant cold-path cost;
+/// it parallelizes both the replication loop of one key and the key grid
+/// of a warm-start across this pool.  The design is deliberately minimal:
+///
+///  * parallel_for(count, body) runs body(0..count-1) with dynamic
+///    (atomic-claim) scheduling and blocks until every index finished;
+///  * the CALLING thread always participates, so a parallel_for issued
+///    from inside a pool worker (nested parallelism: precalibrate fans
+///    keys across the pool, each key fans its replication chunks) can
+///    never deadlock — if no worker is free the caller just executes the
+///    whole loop itself;
+///  * multiple parallel_for calls may be in flight concurrently; workers
+///    drain jobs in FIFO order.
+///
+/// Determinism note: scheduling decides only WHICH thread runs an index,
+/// never what the index computes — callers that want bit-identical
+/// results across pool sizes must (and in this library do) derive all
+/// randomness from the index, not from the executing thread.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpr::stats {
+
+/// Fixed-size worker pool with a help-the-caller parallel_for.
+class ThreadPool {
+public:
+    /// Spawn `workers` threads.  Zero workers is valid: parallel_for then
+    /// simply runs inline on the caller (the natural "1 thread" mode).
+    explicit ThreadPool(std::size_t workers);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Joins all workers; outstanding jobs are finished first.
+    ~ThreadPool();
+
+    /// Number of pool worker threads (excluding participating callers).
+    [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+
+    /// Execute body(i) for every i in [0, count) and wait for completion.
+    /// Indices are claimed dynamically; the calling thread participates.
+    /// If any invocation throws, remaining unclaimed indices are
+    /// abandoned and the first exception is rethrown on the caller.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+private:
+    struct Job {
+        Job(std::size_t job_count, const std::function<void(std::size_t)>* job_body)
+            : count(job_count), body(job_body) {}
+        const std::size_t count;
+        const std::function<void(std::size_t)>* body;
+        std::atomic<std::size_t> next{0};     ///< next unclaimed index
+        std::size_t running = 0;              ///< claims in flight (guarded by pool mutex)
+        std::exception_ptr error;             ///< first failure (guarded by pool mutex)
+    };
+
+    /// Claim and run indices of `job` until none are left.
+    void drain(const std::shared_ptr<Job>& job);
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< workers: a job arrived / shutdown
+    std::condition_variable done_cv_;  ///< callers: a job may have completed
+    std::deque<std::shared_ptr<Job>> jobs_;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_THREAD_POOL_H

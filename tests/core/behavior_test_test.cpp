@@ -194,5 +194,38 @@ INSTANTIATE_TEST_SUITE_P(Sweep, BehaviorTestDistanceKinds,
                                            stats::DistanceKind::kTotalVariation,
                                            stats::DistanceKind::kKolmogorovSmirnov));
 
+TEST(WarmCalibration, CoversEveryKeyScreeningCanHit) {
+    // After warming for histories up to 300 transactions with p̂ in
+    // [0.7, 1.0], screening such histories must trigger zero additional
+    // Monte-Carlo runs.
+    BehaviorTestConfig config;
+    config.replications = 200;  // keep the grid sweep cheap
+    config.calibration_threads = 2;
+    const auto cal = make_calibrator(config);
+    const std::size_t warmed = warm_calibration(*cal, 10, 300 / 10, 0.7, 1.0);
+    EXPECT_GT(warmed, 0u);
+    EXPECT_EQ(cal->compute_count(), warmed);
+
+    const BehaviorTest bt{config, cal};
+    stats::Rng rng{77};
+    for (const double p : {0.85, 0.9, 0.97}) {
+        for (const std::size_t n : {40u, 200u, 300u}) {
+            const auto outcomes = sim::honest_outcomes(n, p, rng);
+            (void)bt.test(std::span<const std::uint8_t>{outcomes});
+        }
+    }
+    EXPECT_EQ(cal->compute_count(), warmed) << "screening hit a cold key";
+}
+
+TEST(WarmCalibration, RejectsBadArguments) {
+    const auto cal = make_calibrator(BehaviorTestConfig{});
+    EXPECT_THROW((void)warm_calibration(*cal, 0, 10, 0.5, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)warm_calibration(*cal, 10, 10, 0.9, 0.5),
+                 std::invalid_argument);
+    EXPECT_THROW((void)warm_calibration(*cal, 10, 10, -0.1, 0.5),
+                 std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hpr::core

@@ -87,7 +87,11 @@ TEST(Report, AssessmentVariants) {
         std::shared_ptr<const repsys::TrustFunction>{
             repsys::make_trust_function("average")},
         shared_cal()};
-    stats::Rng rng{3003};
+    // The uncorrected suffix ladder has a ~10% family-wise false-alarm
+    // rate by design, so the fixture seed must give an honest draw that
+    // passes screening; 3003 became a false alarm when calibration moved
+    // to chunk-seeded (thread-count-independent) null streams.
+    stats::Rng rng{3004};
 
     const auto honest = assessor.assess(sim::honest_history(500, 0.93, rng));
     const std::string ok = describe(honest);

@@ -291,6 +291,262 @@ TEST(Calibrator, ConcurrentThresholdQueriesAreSafe) {
     }
 }
 
+TEST(Calibrator, SingleFlightColdKeyComputesOnce) {
+    // Regression for the check-then-act race in null_for: two threads
+    // missing the same key both used to run the full Monte-Carlo
+    // computation.  Hammer one cold key from many threads and demand
+    // exactly one compute_null execution.
+    constexpr int kThreads = 12;
+    CalibrationConfig config;
+    config.windows_grid_ratio = 1.0;
+    config.threads = 1;  // serial chunks: isolates the dedup mechanism
+    Calibrator cal{config};
+    ASSERT_EQ(cal.compute_count(), 0u);
+    std::vector<double> results(kThreads, -1.0);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&cal, &results, t] {
+                results[static_cast<std::size_t>(t)] = cal.threshold(500, 10, 0.9);
+            });
+        }
+        for (auto& thread : threads) thread.join();
+    }
+    EXPECT_EQ(cal.compute_count(), 1u);
+    EXPECT_EQ(cal.cache_size(), 1u);
+    for (const double r : results) EXPECT_EQ(r, results.front());
+}
+
+TEST(Calibrator, ParallelMatchesSerialBitIdentical) {
+    // The chunk-seeded scheme must make the sorted null sample a pure
+    // function of the key — 1, 2, and 8 worker threads all produce the
+    // bit-identical vector, hence bit-identical thresholds.
+    const auto run = [](std::size_t threads) {
+        CalibrationConfig config;
+        config.threads = threads;
+        return Calibrator{config};
+    };
+    Calibrator serial = run(1);
+    Calibrator two = run(2);
+    Calibrator eight = run(8);
+    const struct {
+        std::size_t windows;
+        std::uint32_t m;
+        double p;
+    } keys[] = {{5, 10, 0.9}, {40, 10, 0.9}, {40, 20, 0.75}, {400, 10, 0.95},
+                {2048, 10, 0.5}};
+    for (const auto& key : keys) {
+        const auto& base = serial.null_distances(key.windows, key.m, key.p);
+        ASSERT_EQ(base, two.null_distances(key.windows, key.m, key.p))
+            << "2 threads diverged at k=" << key.windows;
+        ASSERT_EQ(base, eight.null_distances(key.windows, key.m, key.p))
+            << "8 threads diverged at k=" << key.windows;
+        EXPECT_EQ(serial.threshold(key.windows, key.m, key.p),
+                  two.threshold(key.windows, key.m, key.p));
+        EXPECT_EQ(serial.threshold(key.windows, key.m, key.p),
+                  eight.threshold(key.windows, key.m, key.p));
+    }
+}
+
+TEST(Calibrator, ParallelMatchesSerialAcrossTheFig9Grid) {
+    // The full key grid the fig9 bench warms (every geometric window
+    // bucket up to the cap, p̂ buckets over [0.85, 0.95]) at 1 vs 4
+    // worker threads; reduced replications keep the sweep fast without
+    // changing the seeding scheme under test.
+    CalibrationConfig config;
+    config.replications = 64;
+    config.threads = 1;
+    Calibrator serial{config};
+    config.threads = 4;
+    Calibrator parallel{config};
+
+    std::size_t keys_checked = 0;
+    for (std::size_t k = 1; k <= serial.config().windows_cap;) {
+        const std::size_t bucket = serial.effective_windows(k);
+        for (int b = 218; b <= 243; ++b) {  // p̂ buckets covering [0.85, 0.95]
+            const double p = b / 256.0;
+            ASSERT_EQ(serial.null_distances(bucket, 10, p),
+                      parallel.null_distances(bucket, 10, p))
+                << "k=" << bucket << " p=" << p;
+            ASSERT_EQ(serial.threshold(bucket, 10, p), parallel.threshold(bucket, 10, p));
+            ++keys_checked;
+        }
+        std::size_t next = k + 1;
+        while (next <= serial.config().windows_cap &&
+               serial.effective_windows(next) == bucket) {
+            ++next;
+        }
+        k = next;
+    }
+    EXPECT_GT(keys_checked, 500u);
+    EXPECT_EQ(serial.cache_size(), parallel.cache_size());
+}
+
+TEST(Calibrator, ThreadsResolveToAtLeastOne) {
+    Calibrator auto_threads;  // config threads = 0
+    EXPECT_GE(auto_threads.threads(), 1u);
+    CalibrationConfig config;
+    config.threads = 3;
+    EXPECT_EQ(Calibrator{config}.threads(), 3u);
+}
+
+TEST(Calibrator, PrecalibrateWarmsTheGrid) {
+    CalibrationConfig config;
+    config.threads = 2;
+    Calibrator cal{config};
+    const std::vector<std::size_t> windows{5, 40, 400};
+    const std::vector<std::uint32_t> sizes{10};
+    const std::vector<double> p_hats{0.85, 0.9, 0.95};
+    const std::size_t computed = cal.precalibrate(windows, sizes, p_hats);
+    EXPECT_EQ(computed, cal.cache_size());
+    EXPECT_EQ(computed, cal.compute_count());
+    EXPECT_GT(computed, 0u);
+    // Every grid point now answers from cache: no further Monte-Carlo.
+    for (const auto k : windows) {
+        for (const auto p : p_hats) {
+            (void)cal.threshold(k, 10, p);
+        }
+    }
+    EXPECT_EQ(cal.compute_count(), computed);
+    // Re-warming the same grid is free.
+    EXPECT_EQ(cal.precalibrate(windows, sizes, p_hats), 0u);
+    // And the values equal an unwarmed serial calibrator's.
+    Calibrator reference;
+    EXPECT_EQ(cal.threshold(40, 10, 0.9), reference.threshold(40, 10, 0.9));
+}
+
+TEST(Calibrator, PrecalibrateValidatesArguments) {
+    Calibrator cal;
+    EXPECT_THROW((void)cal.precalibrate({0}, {10}, {0.9}), std::invalid_argument);
+    EXPECT_THROW((void)cal.precalibrate({5}, {0}, {0.9}), std::invalid_argument);
+    EXPECT_THROW((void)cal.precalibrate({5}, {10}, {1.5}), std::invalid_argument);
+    EXPECT_EQ(cal.cache_size(), 0u);
+}
+
+TEST(Calibrator, PrecalibrateComposesWithSaveLoad) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "hpr_precalibrate.cache").string();
+    CalibrationConfig config;
+    config.threads = 2;
+    Calibrator warm{config};
+    (void)warm.precalibrate({5, 40}, {10}, {0.9, 0.95});
+    warm.save_cache(path);
+
+    Calibrator served{config};
+    served.load_cache(path);
+    EXPECT_EQ(served.cache_size(), warm.cache_size());
+    EXPECT_EQ(served.threshold(40, 10, 0.9), warm.threshold(40, 10, 0.9));
+    EXPECT_EQ(served.compute_count(), 0u);  // never ran Monte-Carlo
+    std::remove(path.c_str());
+}
+
+namespace {
+
+/// Write a single-key cache file that matches `cal`'s header but carries a
+/// hand-edited key, returning the path.
+std::string write_cache_with_key(Calibrator& cal, const std::string& key_text) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "hpr_cal_badkey.cache").string();
+    const auto donor =
+        (std::filesystem::temp_directory_path() / "hpr_cal_donor.cache").string();
+    (void)cal.threshold(5, 10, 0.9);
+    cal.save_cache(donor);
+    std::ifstream in{donor};
+    std::string header;
+    std::string body;
+    std::getline(in, header);
+    std::getline(in, body);
+    const auto colon = body.find(':');
+    std::ofstream out{path};
+    out << header << '\n' << key_text << body.substr(colon) << '\n';
+    std::remove(donor.c_str());
+    return path;
+}
+
+}  // namespace
+
+TEST(Calibrator, LoadRejectsInvalidKeysWithLineNumbers) {
+    // A corrupt or hand-edited file must not poison lookups: zero fields,
+    // off-grid window counts, and out-of-range p buckets are all rejected,
+    // and the error names the offending line.
+    const struct {
+        const char* key_text;
+        const char* reason;
+    } cases[] = {
+        {"0 10 230", "windows == 0"},
+        {"5 0 230", "m == 0"},
+        {"15 10 230", "off the geometric window grid"},  // grid: ...14, 16...
+        {"4096 10 230", "beyond windows_cap"},
+        {"5 10 999", "p bucket beyond p_grid"},
+    };
+    for (const auto& test_case : cases) {
+        Calibrator donor;
+        const auto path = write_cache_with_key(donor, test_case.key_text);
+        Calibrator cal;
+        try {
+            cal.load_cache(path);
+            FAIL() << "accepted " << test_case.reason;
+        } catch (const std::runtime_error& error) {
+            EXPECT_NE(std::string{error.what()}.find("line 2"), std::string::npos)
+                << "no line number for " << test_case.reason << ": " << error.what();
+        }
+        EXPECT_EQ(cal.cache_size(), 0u) << test_case.reason;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Calibrator, LoadRejectsDuplicateKeys) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "hpr_cal_dup.cache").string();
+    Calibrator donor;
+    (void)donor.threshold(5, 10, 0.9);
+    donor.save_cache(path);
+    {
+        // Append a copy of the only body line: same key twice.
+        std::ifstream in{path};
+        std::string header;
+        std::string body;
+        std::getline(in, header);
+        std::getline(in, body);
+        in.close();
+        std::ofstream out{path, std::ios::app};
+        out << body << '\n';
+    }
+    Calibrator cal;
+    try {
+        cal.load_cache(path);
+        FAIL() << "accepted a duplicate key";
+    } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string{error.what()}.find("line 3"), std::string::npos)
+            << error.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Calibrator, LoadRejectsTruncatedSamples) {
+    Calibrator donor;
+    const auto path =
+        (std::filesystem::temp_directory_path() / "hpr_cal_trunc.cache").string();
+    (void)donor.threshold(5, 10, 0.9);
+    donor.save_cache(path);
+    {
+        std::ifstream in{path};
+        std::string header;
+        std::string body;
+        std::getline(in, header);
+        std::getline(in, body);
+        in.close();
+        // Drop the last sample: the replication count no longer matches.
+        body = body.substr(0, body.rfind(' '));
+        std::ofstream out{path};
+        out << header << '\n' << body << '\n';
+    }
+    Calibrator cal;
+    EXPECT_THROW(cal.load_cache(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
 TEST(Calibrator, DistanceKindIsRespected) {
     CalibrationConfig ks;
     ks.kind = DistanceKind::kKolmogorovSmirnov;

@@ -1,0 +1,84 @@
+// Unit tests for the worker pool behind parallel calibration
+// (stats/thread_pool.h).
+
+#include "stats/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hpr::stats {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+    ThreadPool pool{3};
+    EXPECT_EQ(pool.workers(), 3u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+    ThreadPool pool{0};
+    EXPECT_EQ(pool.workers(), 0u);
+    std::vector<int> hits(64, 0);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPool, EmptyLoopIsANoop) {
+    ThreadPool pool{2};
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+    ThreadPool pool{2};
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](std::size_t i) {
+                                       ++ran;
+                                       if (i == 3) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // Remaining indices are abandoned once poisoned, so not all 100 ran
+    // (the thrower itself did).
+    EXPECT_GE(ran.load(), 1);
+    // The pool survives a failed job and keeps serving.
+    std::atomic<int> after{0};
+    pool.parallel_for(10, [&](std::size_t) { ++after; });
+    EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+    // precalibrate fans keys across the pool and each key fans its
+    // replication chunks across the SAME pool; the caller-participates
+    // design must make progress even when every worker is occupied.
+    ThreadPool pool{2};
+    std::atomic<int> leaves{0};
+    pool.parallel_for(8, [&](std::size_t) {
+        pool.parallel_for(8, [&](std::size_t) { ++leaves; });
+    });
+    EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(ThreadPool, ConcurrentJobsFromManyThreads) {
+    ThreadPool pool{3};
+    std::atomic<int> total{0};
+    std::vector<std::thread> callers;
+    callers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        callers.emplace_back([&] {
+            for (int round = 0; round < 5; ++round) {
+                pool.parallel_for(50, [&](std::size_t) { ++total; });
+            }
+        });
+    }
+    for (auto& caller : callers) caller.join();
+    EXPECT_EQ(total.load(), 4 * 5 * 50);
+}
+
+}  // namespace
+}  // namespace hpr::stats
