@@ -92,5 +92,6 @@ void adaptive_ablation() {
 int main() {
     bonferroni_ablation();
     adaptive_ablation();
+    hpr::bench::print_metrics();
     return 0;
 }

@@ -47,5 +47,6 @@ int main() {
         "attack_window", attack_windows, series);
     std::printf("\n(each functional is calibrated to its own 95%% null "
                 "quantile; the paper's L1 is not special)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

@@ -55,5 +55,6 @@ int main() {
         "retrieval_fraction", fractions, {detect, fp});
     std::printf("\n(iid subsampling keeps honest structure intact; rigid attack "
                 "signatures blur as the sample thins)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

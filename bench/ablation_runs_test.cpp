@@ -79,5 +79,6 @@ int main() {
     }
     std::printf("\n(the runs test needs no Monte-Carlo calibration; it sees "
                 "spacing anomalies, the window tests see count anomalies)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

@@ -42,5 +42,6 @@ int main() {
         window_sizes, {detection, detection40, fp, eps});
     std::printf("\n(the paper's choice m=10 balances reaction time against "
                 "support coarseness)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

@@ -4,11 +4,17 @@
 // Shared output helpers for the figure-reproduction benches.  Every bench
 // prints one table whose rows/series mirror what the paper's figure
 // plots, in a grep-friendly "fig<k>: <x> <series>=<value> ..." format
-// plus a human-readable aligned table.
+// plus a human-readable aligned table, and finishes with a snapshot of
+// the process-wide metrics registry so operational counters (calibration
+// hits/misses, screening verdicts, pool queue behavior) land next to the
+// figure's timings in the same log.
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace hpr::bench {
 
@@ -36,6 +42,15 @@ inline void print_figure(const std::string& figure, const std::string& x_label,
         }
         std::printf("\n");
     }
+    std::fflush(stdout);
+}
+
+/// Dump the process-wide metrics registry (Prometheus text) accumulated
+/// while the bench ran.  Call once at the end of main so every fig /
+/// ablation bench reports counters alongside its timings.
+inline void print_metrics(const char* heading = "metrics accumulated by this bench") {
+    std::printf("\n--- %s ---\n%s", heading,
+                hpr::obs::to_prometheus(hpr::obs::default_registry()).c_str());
     std::fflush(stdout);
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "sim/attack_cost.h"
 #include "sim/collusion_cost.h"
 #include "sim/economics.h"
@@ -84,5 +85,6 @@ int main() {
         std::printf("  prep of %2zu genuine goods -> fee >= %.1f\n", prep_goods,
                     sim::deterrent_join_cost(economics, prep_goods));
     }
+    hpr::bench::print_metrics();
     return 0;
 }

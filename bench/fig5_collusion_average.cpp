@@ -60,5 +60,6 @@ int main() {
                 kTrials);
     std::printf("(runs where screening locked the attacker out entirely: %zu)\n",
                 g_lockouts);
+    hpr::bench::print_metrics();
     return 0;
 }

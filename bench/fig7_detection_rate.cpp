@@ -36,5 +36,6 @@ int main() {
     hpr::bench::print_figure("Fig.7  detection rate vs attack window size",
                              "attack_window", windows, {multi, single, floor});
     std::printf("\n(0.1*N attacks per N transactions, history 800, 200 trials/point)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

@@ -36,5 +36,6 @@ int main() {
         "history_size", sizes, {p90, p95, p80});
     std::printf("\n(window 10, 2000 Monte-Carlo replications per point, exact "
                 "per-k calibration)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

@@ -93,5 +93,6 @@ int main() {
             "history_size", sizes, {naive_ms, opt_ms});
     }
     std::printf("\n(window 10, step 20, warmed calibration cache, means of repeated runs)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

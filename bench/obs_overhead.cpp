@@ -1,0 +1,156 @@
+// Instrumentation-overhead budget check for the assessment hot path.
+//
+//   build/bench/obs_overhead [--quick] [--budget <percent>]
+//
+// Measures TwoPhaseAssessor::assess on a large warmed history three ways:
+//
+//   baseline   — the exact pre-instrumentation pipeline, hand-inlined
+//                from uninstrumented components (MultiTest::test + trust
+//                evaluation + the verdict decision): what assess() cost
+//                before src/obs/ existed, i.e. "instrumentation compiled
+//                out";
+//   enabled    — assess() with the metrics registry recording (the
+//                production default);
+//   disabled   — assess() with the global kill switch off (every site
+//                reduced to a relaxed load + branch).
+//
+// Rounds of the contenders are interleaved (A B C A B C ...) so slow
+// drift (thermal, scheduler) hits all three alike, and each contender is
+// summarized by its MINIMUM round time — the standard noise-robust
+// estimator, since noise only ever adds time.  Exits nonzero when the
+// enabled-vs-baseline overhead exceeds the budget (default 2%), making
+// this binary a CI guard: instrumentation added to the hot path later
+// must stay inside the budget or fail the build visibly.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_common.h"
+#include "core/multi_test.h"
+#include "core/two_phase.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "repsys/trust.h"
+#include "sim/generators.h"
+
+namespace {
+
+using namespace hpr;
+
+constexpr std::size_t kHistorySize = 20000;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    double budget_percent = 2.0;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[a], "--budget") == 0 && a + 1 < argc) {
+            budget_percent = std::atof(argv[++a]);
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--budget <percent>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // One shared calibrator so every contender answers thresholds from
+    // the same warmed cache; an honest history so the full suffix ladder
+    // runs (the most instrumentation-dense path: one threshold lookup —
+    // and thus one cache-hit counter bump — per ladder stage).
+    const auto calibrator = core::make_calibrator({});
+    stats::Rng rng{97};
+    const auto history = sim::honest_history(kHistorySize, 0.9, rng);
+    const auto feedbacks = history.view();
+
+    const std::shared_ptr<const repsys::TrustFunction> trust{
+        repsys::make_trust_function("beta")};
+    core::TwoPhaseConfig config;
+    config.test.stop_on_failure = false;  // deterministic full-ladder work
+    const core::TwoPhaseAssessor assessor{config, trust, calibrator};
+
+    // The pre-instrumentation pipeline, reconstructed from components that
+    // carry no obs sites of their own: screening + trust + verdict.
+    core::MultiTestConfig multi_config = config.test;
+    const core::MultiTest multi{multi_config, calibrator};
+    const auto baseline_assess = [&] {
+        core::Assessment assessment;
+        assessment.screening = multi.test(feedbacks);
+        if (!assessment.screening.passed) {
+            assessment.verdict = core::Verdict::kSuspicious;
+            return assessment;
+        }
+        assessment.trust = trust->evaluate(feedbacks);
+        assessment.verdict = assessment.screening.sufficient
+                                 ? core::Verdict::kAssessed
+                                 : core::Verdict::kInsufficientHistory;
+        return assessment;
+    };
+
+    // Warm the calibration cache and fault in every code path once.
+    (void)baseline_assess();
+    if (assessor.assess(feedbacks).verdict != baseline_assess().verdict) {
+        std::fprintf(stderr, "verdict mismatch between assess() and baseline\n");
+        return 2;
+    }
+
+    const int rounds = quick ? 7 : 15;
+    const int iterations = quick ? 3 : 8;
+    double baseline_s = 1e300;
+    double enabled_s = 1e300;
+    double disabled_s = 1e300;
+    volatile bool sink = false;  // keep the assessments observable
+    for (int r = 0; r < rounds; ++r) {
+        {
+            const obs::Stopwatch watch;
+            for (int i = 0; i < iterations; ++i) sink = baseline_assess().acceptable(0.5);
+            baseline_s = std::min(baseline_s, watch.seconds() / iterations);
+        }
+        {
+            obs::set_enabled(true);
+            const obs::Stopwatch watch;
+            for (int i = 0; i < iterations; ++i) {
+                sink = assessor.assess(feedbacks).acceptable(0.5);
+            }
+            enabled_s = std::min(enabled_s, watch.seconds() / iterations);
+        }
+        {
+            obs::set_enabled(false);
+            const obs::Stopwatch watch;
+            for (int i = 0; i < iterations; ++i) {
+                sink = assessor.assess(feedbacks).acceptable(0.5);
+            }
+            disabled_s = std::min(disabled_s, watch.seconds() / iterations);
+            obs::set_enabled(true);
+        }
+    }
+    (void)sink;
+
+    const double enabled_overhead = (enabled_s / baseline_s - 1.0) * 100.0;
+    const double disabled_overhead = (disabled_s / baseline_s - 1.0) * 100.0;
+    std::printf("=== obs overhead on TwoPhaseAssessor::assess "
+                "(%zu-transaction history, %d rounds x %d iters, min) ===\n",
+                kHistorySize, rounds, iterations);
+    std::printf("  baseline (uninstrumented pipeline): %10.3f ms\n",
+                baseline_s * 1e3);
+    std::printf("  instrumentation enabled:            %10.3f ms  (%+.2f%%)\n",
+                enabled_s * 1e3, enabled_overhead);
+    std::printf("  instrumentation disabled (switch):  %10.3f ms  (%+.2f%%)\n",
+                disabled_s * 1e3, disabled_overhead);
+    std::printf("  budget: %.2f%%\n", budget_percent);
+    hpr::bench::print_metrics();
+
+    if (enabled_overhead > budget_percent) {
+        std::fprintf(stderr,
+                     "FAIL: enabled instrumentation overhead %.2f%% exceeds the "
+                     "%.2f%% budget\n",
+                     enabled_overhead, budget_percent);
+        return 1;
+    }
+    std::printf("\nPASS: overhead within budget\n");
+    return 0;
+}

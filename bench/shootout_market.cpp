@@ -65,5 +65,6 @@ int main() {
     }
     std::printf("\n(population: honest 0.97/0.93/0.90, hibernating attacker, "
                 "periodic 2-in-20 attacker; threshold 0.85, 3%% exploration)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

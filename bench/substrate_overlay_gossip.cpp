@@ -109,5 +109,6 @@ int main() {
     routing_bench();
     availability_bench();
     gossip_bench();
+    hpr::bench::print_metrics();
     return 0;
 }

@@ -86,5 +86,6 @@ int main() {
         {bad_lenient, bad_strict, share_lenient, share_strict});
     std::printf("\n(strict policy starves short-lived identities at the price of "
                 "also starving honest newcomers - the paper's §7 trade-off)\n");
+    hpr::bench::print_metrics();
     return 0;
 }

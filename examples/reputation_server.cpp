@@ -3,15 +3,20 @@
 // server live (flagging mid-stream, recovering after sustained good
 // service), and on demand the service answers with two-phase assessments
 // plus the EigenTrust / credibility-weighted related-work baselines.
+// Every layer records into the process-wide obs registry; the run ends
+// with a metrics dump — Prometheus text by default, or a JSON snapshot
+// with `--json` — exactly what a real deployment would expose on a
+// /metrics endpoint.
 //
-//   build/examples/reputation_server
+//   build/examples/reputation_server [--json]
 //
 // Exercises: repsys::FeedbackStore, core::OnlineScreener,
 // core::TwoPhaseAssessor, repsys::EigenTrust,
-// repsys::CredibilityWeightedTrust, core::ChangePointDetector.
+// repsys::CredibilityWeightedTrust, core::ChangePointDetector,
+// obs::Registry + exporters.
 
-#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,7 +36,8 @@ struct Population {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const bool json_metrics = argc > 1 && std::strcmp(argv[1], "--json") == 0;
     const std::vector<Population> servers{
         {1, "honest premium (p=0.97)", 0.97, 0},
         {2, "honest budget (p=0.90)", 0.90, 0},
@@ -49,14 +55,14 @@ int main() {
         // history can hit, p̂ in the range this population produces.  In a
         // real deployment this cache ships with the binary
         // (Calibrator::save_cache / load_cache) instead.
-        const auto warm_begin = std::chrono::steady_clock::now();
+        const obs::Stopwatch warm_watch;
         const std::size_t warmed =
             core::warm_calibration(*calibrator, 10, 1000 / 10, 0.55, 1.0);
-        const double warm_s = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() - warm_begin)
-                                  .count();
-        std::printf("warm start: %zu calibration keys in %.1fs on %zu threads\n\n",
-                    warmed, warm_s, calibrator->threads());
+        const double warm_s = warm_watch.seconds();
+        std::printf("warm start: %zu calibration keys in %.1fs on %zu threads "
+                    "(%.0f keys/s)\n\n",
+                    warmed, warm_s, calibrator->threads(),
+                    warm_s > 0.0 ? static_cast<double>(warmed) / warm_s : 0.0);
     }
     core::OnlineScreenerConfig screener_config;
     screener_config.test.bonferroni = true;
@@ -151,6 +157,17 @@ int main() {
     for (const auto& s : servers) {
         std::printf("  %-8u %12.4f %14.4f\n", s.id, eigen.score(s.id),
                     credibility.at(s.id));
+    }
+
+    // The /metrics endpoint of a real deployment: everything the layers
+    // above recorded — calibration cache behavior, worker-pool queueing,
+    // screening verdicts and phase latencies, store ingest levels.
+    if (json_metrics) {
+        std::printf("\n--- metrics (json) ---\n%s\n",
+                    obs::to_json(obs::default_registry()).c_str());
+    } else {
+        std::printf("\n--- metrics (prometheus) ---\n%s",
+                    obs::to_prometheus(obs::default_registry()).c_str());
     }
     return 0;
 }

@@ -2,7 +2,33 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace hpr::core {
+
+namespace {
+
+/// Streaming-screening metrics, shared by every screener in the process.
+struct ScreenerMetrics {
+    obs::Counter& evaluations;
+    obs::Counter& flagged;
+    obs::Counter& recovered;
+};
+
+ScreenerMetrics& screener_metrics() {
+    auto& registry = obs::default_registry();
+    static ScreenerMetrics metrics{
+        registry.counter("hpr_screener_evaluations_total",
+                         "Suffix-ladder evaluations across all online screeners"),
+        registry.counter("hpr_screener_flagged_total",
+                         "Streams flagged suspicious (after patience failures)"),
+        registry.counter("hpr_screener_recovered_total",
+                         "Flagged streams cleared (after recovery passes)"),
+    };
+    return metrics;
+}
+
+}  // namespace
 
 const char* to_string(StreamState state) noexcept {
     switch (state) {
@@ -73,6 +99,7 @@ void OnlineScreener::evaluate() {
     }
 
     ++evaluations_;
+    screener_metrics().evaluations.increment();
     last_evaluation_passed_ = all_passed;
     if (all_passed) {
         ++passing_streak_;
@@ -82,6 +109,7 @@ void OnlineScreener::evaluate() {
         passing_streak_ = 0;
     }
 
+    const StreamState before = state_;
     switch (state_) {
         case StreamState::kInsufficient:
             if (all_passed) {
@@ -97,6 +125,13 @@ void OnlineScreener::evaluate() {
         case StreamState::kSuspicious:
             if (passing_streak_ >= config_.recovery) state_ = StreamState::kClear;
             break;
+    }
+    if (state_ != before) {
+        if (state_ == StreamState::kSuspicious) {
+            screener_metrics().flagged.increment();
+        } else if (before == StreamState::kSuspicious) {
+            screener_metrics().recovered.increment();
+        }
     }
 }
 

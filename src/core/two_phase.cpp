@@ -2,7 +2,52 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace hpr::core {
+
+namespace {
+
+/// Serving-path metrics, shared by every assessor in the process.
+struct AssessMetrics {
+    obs::Counter& total;
+    obs::Counter& suspicious;
+    obs::Counter& assessed;
+    obs::Counter& insufficient;
+    obs::Histogram& phase1_seconds;
+    obs::Histogram& phase2_seconds;
+};
+
+AssessMetrics& assess_metrics() {
+    auto& registry = obs::default_registry();
+    static AssessMetrics metrics{
+        registry.counter("hpr_assessments_total", "Two-phase assessments served"),
+        registry.counter("hpr_assessments_suspicious_total",
+                         "Assessments that ended with verdict=suspicious"),
+        registry.counter("hpr_assessments_assessed_total",
+                         "Assessments that ended with verdict=assessed"),
+        registry.counter("hpr_assessments_insufficient_total",
+                         "Assessments that ended with verdict=insufficient-history"),
+        registry.histogram("hpr_assess_phase1_seconds",
+                           "Phase-1 screening latency (behavior + runs tests)"),
+        registry.histogram("hpr_assess_phase2_seconds",
+                           "Phase-2 trust-function latency"),
+    };
+    return metrics;
+}
+
+void count_verdict(Verdict verdict) {
+    switch (verdict) {
+        case Verdict::kSuspicious: assess_metrics().suspicious.increment(); break;
+        case Verdict::kAssessed: assess_metrics().assessed.increment(); break;
+        case Verdict::kInsufficientHistory:
+            assess_metrics().insufficient.increment();
+            break;
+    }
+}
+
+}  // namespace
 
 const char* to_string(ScreeningMode mode) noexcept {
     switch (mode) {
@@ -75,31 +120,39 @@ MultiTestResult TwoPhaseAssessor::screen(
 }
 
 Assessment TwoPhaseAssessor::assess(std::span<const repsys::Feedback> feedbacks) const {
+    AssessMetrics& metrics = assess_metrics();
+    metrics.total.increment();
     Assessment assessment;
-    assessment.screening = screen(feedbacks);
-    if (!assessment.screening.passed) {
+    {
+        obs::ScopedTimer phase1{metrics.phase1_seconds};
+        assessment.screening = screen(feedbacks);
+        if (assessment.screening.passed && config_.require_runs_test &&
+            config_.mode != ScreeningMode::kNone) {
+            if (config_.collusion_resilient) {
+                const auto reordered = reorder_by_issuer(feedbacks);
+                assessment.runs =
+                    runs_.test(std::span<const repsys::Feedback>{reordered});
+            } else {
+                assessment.runs = runs_.test(feedbacks);
+            }
+        }
+    }
+    if (!assessment.screening.passed || (assessment.runs && !assessment.runs->passed)) {
         // Fig. 2: "Alert ('Destination peer is suspicious'); Abort".
         assessment.verdict = Verdict::kSuspicious;
+        count_verdict(assessment.verdict);
         return assessment;
     }
-    if (config_.require_runs_test && config_.mode != ScreeningMode::kNone) {
-        if (config_.collusion_resilient) {
-            const auto reordered = reorder_by_issuer(feedbacks);
-            assessment.runs = runs_.test(std::span<const repsys::Feedback>{reordered});
-        } else {
-            assessment.runs = runs_.test(feedbacks);
-        }
-        if (!assessment.runs->passed) {
-            assessment.verdict = Verdict::kSuspicious;
-            return assessment;
-        }
+    {
+        obs::ScopedTimer phase2{metrics.phase2_seconds};
+        assessment.trust = trust_->evaluate(feedbacks);
     }
-    assessment.trust = trust_->evaluate(feedbacks);
     if (config_.mode == ScreeningMode::kNone || assessment.screening.sufficient) {
         assessment.verdict = Verdict::kAssessed;
     } else {
         assessment.verdict = Verdict::kInsufficientHistory;
     }
+    count_verdict(assessment.verdict);
     return assessment;
 }
 

@@ -6,6 +6,7 @@
 ///
 /// The library reproduces Zhang, Wei & Yu, "On the Modeling of Honest
 /// Players in Reputation Systems" (ICDCS 2008 / JCST 2009):
+///  * hpr::obs     — in-process metrics registry, timers and exporters;
 ///  * hpr::stats   — distributions, distances, Monte-Carlo calibration;
 ///  * hpr::repsys  — feedbacks, histories, trust functions;
 ///  * hpr::core    — behavior testing and the two-phase assessor;
@@ -25,6 +26,9 @@
 #include "core/temporal.h"
 #include "core/two_phase.h"
 #include "core/window_stats.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "repsys/credibility.h"
 #include "repsys/eigentrust.h"
 #include "repsys/evidential.h"

@@ -1,0 +1,126 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace hpr::obs {
+
+namespace {
+
+/// Shortest round-trip formatting for doubles (printf %.17g is exact but
+/// ugly; %g at 12 significant digits is plenty for metric readout).
+std::string format_double(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.12g", value);
+    return buffer;
+}
+
+void append_prometheus_histogram(std::ostringstream& out, const Registry::Entry& entry) {
+    const HistogramSnapshot snap = entry.histogram->snapshot();
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+        cumulative += snap.counts[b];
+        const std::string le =
+            b < snap.bounds.size() ? format_double(snap.bounds[b]) : "+Inf";
+        out << entry.name << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+    }
+    out << entry.name << "_sum " << format_double(snap.sum) << '\n';
+    out << entry.name << "_count " << snap.count << '\n';
+}
+
+void json_escape_into(std::ostringstream& out, const std::string& text) {
+    for (const char c : text) {
+        switch (c) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            default: out << c; break;
+        }
+    }
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+    std::ostringstream out;
+    registry.visit([&out](const Registry::Entry& entry) {
+        if (!entry.help.empty()) {
+            out << "# HELP " << entry.name << ' ' << entry.help << '\n';
+        }
+        out << "# TYPE " << entry.name << ' ' << to_string(entry.kind) << '\n';
+        switch (entry.kind) {
+            case MetricKind::kCounter:
+                out << entry.name << ' ' << entry.counter->value() << '\n';
+                break;
+            case MetricKind::kGauge:
+                out << entry.name << ' ' << entry.gauge->value() << '\n';
+                break;
+            case MetricKind::kHistogram:
+                append_prometheus_histogram(out, entry);
+                break;
+        }
+    });
+    return out.str();
+}
+
+std::string to_json(const Registry& registry) {
+    std::ostringstream counters;
+    std::ostringstream gauges;
+    std::ostringstream histograms;
+    bool first_counter = true;
+    bool first_gauge = true;
+    bool first_histogram = true;
+    registry.visit([&](const Registry::Entry& entry) {
+        switch (entry.kind) {
+            case MetricKind::kCounter: {
+                if (!first_counter) counters << ',';
+                first_counter = false;
+                counters << '"';
+                json_escape_into(counters, entry.name);
+                counters << "\":" << entry.counter->value();
+                break;
+            }
+            case MetricKind::kGauge: {
+                if (!first_gauge) gauges << ',';
+                first_gauge = false;
+                gauges << '"';
+                json_escape_into(gauges, entry.name);
+                gauges << "\":" << entry.gauge->value();
+                break;
+            }
+            case MetricKind::kHistogram: {
+                if (!first_histogram) histograms << ',';
+                first_histogram = false;
+                const HistogramSnapshot snap = entry.histogram->snapshot();
+                histograms << '"';
+                json_escape_into(histograms, entry.name);
+                histograms << "\":{\"count\":" << snap.count
+                           << ",\"sum\":" << format_double(snap.sum)
+                           << ",\"mean\":" << format_double(snap.mean())
+                           << ",\"p50\":" << format_double(snap.quantile(0.50))
+                           << ",\"p95\":" << format_double(snap.quantile(0.95))
+                           << ",\"p99\":" << format_double(snap.quantile(0.99))
+                           << ",\"buckets\":[";
+                std::uint64_t cumulative = 0;
+                for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+                    cumulative += snap.counts[b];
+                    if (b != 0) histograms << ',';
+                    histograms << "[\""
+                               << (b < snap.bounds.size()
+                                       ? format_double(snap.bounds[b])
+                                       : std::string{"+Inf"})
+                               << "\"," << cumulative << ']';
+                }
+                histograms << "]}";
+                break;
+            }
+        }
+    });
+    std::ostringstream out;
+    out << "{\"counters\":{" << counters.str() << "},\"gauges\":{" << gauges.str()
+        << "},\"histograms\":{" << histograms.str() << "}}";
+    return out.str();
+}
+
+}  // namespace hpr::obs

@@ -1,0 +1,33 @@
+#ifndef HPR_OBS_EXPORT_H
+#define HPR_OBS_EXPORT_H
+
+/// \file export.h
+/// Registry exporters: render every metric of a Registry as
+///
+///  * Prometheus text exposition format (to_prometheus) — counters carry
+///    `# TYPE <name> counter` headers, histograms expand into the standard
+///    `_bucket{le="..."}` / `_sum` / `_count` series, so the output can be
+///    scraped verbatim; or
+///  * a single JSON object (to_json) — machine-readable snapshots for
+///    benches and tests, with p50/p95/p99 precomputed per histogram.
+///
+/// Both render a point-in-time snapshot; neither blocks recording.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hpr::obs {
+
+/// Prometheus text exposition (version 0.0.4) of every metric, in name
+/// order.  `help` strings become `# HELP` lines when non-empty.
+[[nodiscard]] std::string to_prometheus(const Registry& registry);
+
+/// JSON object `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+/// Histograms carry count, sum, mean, p50/p95/p99 and the cumulative
+/// bucket table.
+[[nodiscard]] std::string to_json(const Registry& registry);
+
+}  // namespace hpr::obs
+
+#endif  // HPR_OBS_EXPORT_H

@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpr::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+bool valid_name(std::string_view name) {
+    if (name.empty()) return false;
+    const auto alpha_or_underscore = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    };
+    if (!alpha_or_underscore(name.front())) return false;
+    return std::all_of(name.begin(), name.end(), [&](char c) {
+        return alpha_or_underscore(c) || (c >= '0' && c <= '9');
+    });
+}
+
+}  // namespace
+
+void set_enabled(bool enabled) noexcept {
+    g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+double HistogramSnapshot::quantile(double q) const {
+    if (!(q >= 0.0 && q <= 1.0)) {
+        throw std::invalid_argument("HistogramSnapshot::quantile: q must be in [0, 1]");
+    }
+    if (count == 0) return 0.0;
+    // Rank of the target observation (1-based, rounded up like Prometheus).
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        cumulative += counts[b];
+        if (cumulative < target) continue;
+        if (b >= bounds.size()) return bounds.back();  // overflow bucket: clamp
+        const double hi = bounds[b];
+        const double lo = b == 0 ? 0.0 : bounds[b - 1];
+        const std::uint64_t before = cumulative - counts[b];
+        const double within =
+            static_cast<double>(target - before) / static_cast<double>(counts[b]);
+        return lo + (hi - lo) * within;
+    }
+    return bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    if (bounds_.empty()) {
+        throw std::invalid_argument("Histogram: need at least one bucket bound");
+    }
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (!std::isfinite(bounds_[i]) || bounds_[i] <= 0.0) {
+            throw std::invalid_argument("Histogram: bounds must be positive and finite");
+        }
+        if (i > 0 && bounds_[i] <= bounds_[i - 1]) {
+            throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+        }
+    }
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+    if (!enabled()) return;
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + value, std::memory_order_relaxed)) {
+    }
+}
+
+void Histogram::reset() noexcept {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+    HistogramSnapshot snap;
+    snap.bounds = bounds_;
+    snap.counts.resize(bounds_.size() + 1);
+    snap.count = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        snap.count += snap.counts[i];
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+const std::vector<double>& default_latency_buckets() {
+    // Intentionally leaked, like default_registry(): metrics may be
+    // registered during static destruction (e.g. ~Calibrator of a
+    // process-lifetime calibrator resolving its metrics for the first
+    // time), which must not read an already-destroyed vector.
+    static const std::vector<double>& kBuckets = *[] {
+        auto* bounds = new std::vector<double>;
+        for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+            bounds->push_back(decade);
+            bounds->push_back(decade * 2.5);
+            bounds->push_back(decade * 5.0);
+        }
+        bounds->push_back(10.0);
+        return bounds;
+    }();
+    return kBuckets;
+}
+
+const char* to_string(MetricKind kind) noexcept {
+    switch (kind) {
+        case MetricKind::kCounter: return "counter";
+        case MetricKind::kGauge: return "gauge";
+        case MetricKind::kHistogram: return "histogram";
+    }
+    return "unknown";
+}
+
+Registry::Slot& Registry::slot_for(std::string_view name, std::string_view help,
+                                   MetricKind kind, std::vector<double>* bounds) {
+    if (!valid_name(name)) {
+        throw std::invalid_argument("Registry: invalid metric name '" +
+                                    std::string{name} + "'");
+    }
+    const std::scoped_lock lock{mutex_};
+    const auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+        if (it->second.kind != kind) {
+            throw std::invalid_argument(
+                "Registry: metric '" + std::string{name} + "' already registered as " +
+                to_string(it->second.kind) + ", requested " + to_string(kind));
+        }
+        return it->second;
+    }
+    Slot slot;
+    slot.help = std::string{help};
+    slot.kind = kind;
+    switch (kind) {
+        case MetricKind::kCounter: slot.counter = std::make_unique<Counter>(); break;
+        case MetricKind::kGauge: slot.gauge = std::make_unique<Gauge>(); break;
+        case MetricKind::kHistogram:
+            slot.histogram = std::make_unique<Histogram>(
+                bounds != nullptr && !bounds->empty() ? std::move(*bounds)
+                                                      : default_latency_buckets());
+            break;
+    }
+    return metrics_.emplace(std::string{name}, std::move(slot)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+    return *slot_for(name, help, MetricKind::kCounter, nullptr).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+    return *slot_for(name, help, MetricKind::kGauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds) {
+    return *slot_for(name, help, MetricKind::kHistogram, &bounds).histogram;
+}
+
+void Registry::visit(const std::function<void(const Entry&)>& fn) const {
+    // Copy the directory under the lock, then call out without it: metric
+    // objects have stable addresses and their reads are atomic, so fn may
+    // take as long as it likes (exporters do) without blocking writers
+    // that register new metrics.
+    std::vector<Entry> entries;
+    {
+        const std::scoped_lock lock{mutex_};
+        entries.reserve(metrics_.size());
+        for (const auto& [name, slot] : metrics_) {
+            entries.push_back(Entry{name, slot.help, slot.kind, slot.counter.get(),
+                                    slot.gauge.get(), slot.histogram.get()});
+        }
+    }
+    for (const Entry& entry : entries) fn(entry);
+}
+
+std::size_t Registry::size() const {
+    const std::scoped_lock lock{mutex_};
+    return metrics_.size();
+}
+
+bool Registry::contains(std::string_view name) const {
+    const std::scoped_lock lock{mutex_};
+    return metrics_.find(name) != metrics_.end();
+}
+
+void Registry::reset_values() {
+    const std::scoped_lock lock{mutex_};
+    for (auto& [name, slot] : metrics_) {
+        switch (slot.kind) {
+            case MetricKind::kCounter: slot.counter->reset(); break;
+            case MetricKind::kGauge: slot.gauge->reset(); break;
+            case MetricKind::kHistogram: slot.histogram->reset(); break;
+        }
+    }
+}
+
+Registry& default_registry() {
+    static Registry* registry = new Registry();  // never destroyed: metrics
+    return *registry;  // must outlive static-destruction-order users
+}
+
+}  // namespace hpr::obs

@@ -1,0 +1,82 @@
+#ifndef HPR_OBS_TIMER_H
+#define HPR_OBS_TIMER_H
+
+/// \file timer.h
+/// Steady-clock timing helpers shared by instrumentation sites, benches
+/// and examples, so "how long did this take" is spelled one way across the
+/// codebase instead of hand-rolled std::chrono arithmetic at every site.
+///
+///  * Stopwatch   — elapsed seconds since construction / restart();
+///  * ScopedTimer — RAII span: records its lifetime into a Histogram on
+///                  destruction.  Zero clock reads when instrumentation is
+///                  globally disabled.
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace hpr::obs {
+
+/// Monotonic elapsed-time measurement (never affected by wall-clock
+/// adjustments).
+class Stopwatch {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    Stopwatch() : start_(Clock::now()) {}
+
+    /// Seconds since construction or the last restart().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    void restart() { start_ = Clock::now(); }
+
+private:
+    Clock::time_point start_;
+};
+
+/// RAII latency span: observes the enclosed scope's duration (in seconds)
+/// into a histogram when the scope exits.
+///
+///     void serve() {
+///         obs::ScopedTimer span{request_latency_histogram};
+///         ...;
+///     }
+///
+/// When the global kill switch is off at construction, the span takes no
+/// clock reading at all — the whole object degenerates to a null-pointer
+/// store, keeping disabled instrumentation equivalent to compiled-out
+/// code.
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram& histogram) noexcept
+        : histogram_(enabled() ? &histogram : nullptr),
+          start_(histogram_ != nullptr ? Stopwatch::Clock::now()
+                                       : Stopwatch::Clock::time_point{}) {}
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    ~ScopedTimer() { stop(); }
+
+    /// End the span early (idempotent; the destructor becomes a no-op).
+    void stop() noexcept {
+        if (histogram_ == nullptr) return;
+        histogram_->observe(
+            std::chrono::duration<double>(Stopwatch::Clock::now() - start_).count());
+        histogram_ = nullptr;
+    }
+
+    /// Abandon the span without recording (e.g. on an exceptional path the
+    /// caller does not want in a latency histogram).
+    void cancel() noexcept { histogram_ = nullptr; }
+
+private:
+    Histogram* histogram_;
+    Stopwatch::Clock::time_point start_;
+};
+
+}  // namespace hpr::obs
+
+#endif  // HPR_OBS_TIMER_H

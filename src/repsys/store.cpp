@@ -4,13 +4,47 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "repsys/io.h"
 
 namespace hpr::repsys {
 
+namespace {
+
+/// Ingest-path metrics, shared by every store in the process.  The level
+/// gauges are written last-writer-wins per mutation, which is exact for
+/// the intended deployment shape (one store per serving process); the
+/// history-length gauge is a high-water mark across all entities.
+struct StoreMetrics {
+    obs::Counter& ingested;
+    obs::Counter& evicted;
+    obs::Gauge& servers;
+    obs::Gauge& history_length_max;
+};
+
+StoreMetrics& store_metrics() {
+    auto& registry = obs::default_registry();
+    static StoreMetrics metrics{
+        registry.counter("hpr_store_ingest_total", "Feedbacks accepted into a store"),
+        registry.counter("hpr_store_evicted_total",
+                         "Feedbacks dropped by retention eviction"),
+        registry.gauge("hpr_store_servers", "Servers with at least one feedback"),
+        registry.gauge("hpr_store_history_length_max",
+                       "High-water mark of a single server's history length"),
+    };
+    return metrics;
+}
+
+}  // namespace
+
 void FeedbackStore::submit(const Feedback& feedback) {
-    logs_[feedback.server].append(feedback);
+    TransactionHistory& log = logs_[feedback.server];
+    log.append(feedback);
     ++total_;
+    StoreMetrics& metrics = store_metrics();
+    metrics.ingested.increment();
+    metrics.servers.set(static_cast<std::int64_t>(logs_.size()));
+    metrics.history_length_max.set_max(static_cast<std::int64_t>(log.size()));
 }
 
 void FeedbackStore::submit(const std::vector<Feedback>& feedbacks) {
@@ -102,6 +136,8 @@ std::size_t FeedbackStore::evict_before(Timestamp cutoff) {
         ++it;
     }
     total_ -= removed;
+    store_metrics().evicted.increment(removed);
+    store_metrics().servers.set(static_cast<std::int64_t>(logs_.size()));
     return removed;
 }
 

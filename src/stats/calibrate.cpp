@@ -8,7 +8,41 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace hpr::stats {
+
+namespace {
+
+/// Process-wide calibration metrics (aggregated over every Calibrator
+/// instance).  Resolved once; recording afterwards is lock-free.
+struct CalibrationMetrics {
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& joins;
+    obs::Gauge& cache_entries;
+    obs::Histogram& compute_seconds;
+};
+
+CalibrationMetrics& calibration_metrics() {
+    auto& registry = obs::default_registry();
+    static CalibrationMetrics metrics{
+        registry.counter("hpr_calibration_cache_hits_total",
+                         "Threshold lookups answered from the memo cache"),
+        registry.counter("hpr_calibration_cache_misses_total",
+                         "Cold lookups that ran a Monte-Carlo null computation"),
+        registry.counter("hpr_calibration_single_flight_joins_total",
+                         "Lookups that joined an in-flight computation"),
+        registry.gauge("hpr_calibration_cache_entries",
+                       "Memoized null samples across live calibrators"),
+        registry.histogram("hpr_calibration_compute_seconds",
+                           "Wall time of one per-key Monte-Carlo null computation"),
+    };
+    return metrics;
+}
+
+}  // namespace
 
 double sorted_quantile(const std::vector<double>& sorted, double q) {
     if (sorted.empty()) {
@@ -49,6 +83,12 @@ Calibrator::Calibrator(CalibrationConfig config) : config_(config) {
     if (!(config_.windows_grid_ratio >= 1.0)) {
         throw std::invalid_argument("Calibrator: windows_grid_ratio must be >= 1");
     }
+}
+
+Calibrator::~Calibrator() {
+    // This instance's memoized entries disappear with it; keep the
+    // process-wide gauge an honest aggregate over live calibrators.
+    calibration_metrics().cache_entries.sub(static_cast<std::int64_t>(cache_.size()));
 }
 
 std::size_t Calibrator::threads() const noexcept {
@@ -107,6 +147,8 @@ Calibrator::Key Calibrator::make_key(std::size_t windows, std::uint32_t m,
 
 std::vector<double> Calibrator::compute_null(const Key& key) const {
     compute_count_.fetch_add(1, std::memory_order_relaxed);
+    calibration_metrics().misses.increment();
+    obs::ScopedTimer span{calibration_metrics().compute_seconds};
     const double p = static_cast<double>(key.p_bucket) / static_cast<double>(config_.p_grid);
     const Binomial reference{key.m, p};
     const auto& ref_pmf = reference.pmf_table();
@@ -153,9 +195,15 @@ const std::vector<double>& Calibrator::null_for(const Key& key) {
     bool leader = false;
     {
         const std::scoped_lock lock{mutex_};
-        if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+        if (const auto it = cache_.find(key); it != cache_.end()) {
+            hit_count_.fetch_add(1, std::memory_order_relaxed);
+            calibration_metrics().hits.increment();
+            return it->second;
+        }
         if (const auto it = inflight_.find(key); it != inflight_.end()) {
             flight = it->second;  // join the computation already under way
+            join_count_.fetch_add(1, std::memory_order_relaxed);
+            calibration_metrics().joins.increment();
         } else {
             leader = true;
             flight = promise.get_future().share();
@@ -168,6 +216,7 @@ const std::vector<double>& Calibrator::null_for(const Key& key) {
         const std::scoped_lock lock{mutex_};
         const auto* stored = &cache_.emplace(key, std::move(null)).first->second;
         inflight_.erase(key);
+        calibration_metrics().cache_entries.add(1);
         promise.set_value(stored);
         return *stored;
     } catch (...) {
@@ -234,8 +283,20 @@ std::size_t Calibrator::compute_count() const noexcept {
     return compute_count_.load(std::memory_order_relaxed);
 }
 
+CalibratorStats Calibrator::stats() const {
+    const std::scoped_lock lock{mutex_};
+    CalibratorStats snapshot;
+    snapshot.hits = hit_count_.load(std::memory_order_relaxed);
+    snapshot.misses = compute_count_.load(std::memory_order_relaxed);
+    snapshot.single_flight_joins = join_count_.load(std::memory_order_relaxed);
+    snapshot.in_flight = inflight_.size();
+    snapshot.cache_entries = cache_.size();
+    return snapshot;
+}
+
 void Calibrator::clear_cache() {
     const std::scoped_lock lock{mutex_};
+    calibration_metrics().cache_entries.sub(static_cast<std::int64_t>(cache_.size()));
     cache_.clear();
 }
 
@@ -332,9 +393,11 @@ void Calibrator::load_cache(const std::string& path) {
         loaded.emplace(key, std::move(values));
     }
     const std::scoped_lock lock{mutex_};
+    std::int64_t fresh = 0;
     for (auto& [key, values] : loaded) {
-        cache_.insert_or_assign(key, std::move(values));
+        if (cache_.insert_or_assign(key, std::move(values)).second) ++fresh;
     }
+    calibration_metrics().cache_entries.add(fresh);
 }
 
 }  // namespace hpr::stats

@@ -81,6 +81,18 @@ struct CalibrationConfig {
     std::size_t threads = 0;
 };
 
+/// Point-in-time cache behavior of a Calibrator (see Calibrator::stats()).
+/// Lets callers assert cache behavior directly instead of parsing
+/// exporter text; the obs registry mirrors the same quantities as
+/// process-wide aggregates across all calibrator instances.
+struct CalibratorStats {
+    std::size_t hits = 0;    ///< lookups answered from the memo cache
+    std::size_t misses = 0;  ///< cold lookups that ran Monte-Carlo (flight leaders)
+    std::size_t single_flight_joins = 0;  ///< lookups that waited on an in-flight run
+    std::size_t in_flight = 0;      ///< keys being computed right now
+    std::size_t cache_entries = 0;  ///< distinct keys memoized
+};
+
 /// Memoizing Monte-Carlo calibrator. Thread-safe; concurrent misses of
 /// the same key share one computation (single-flight).
 class Calibrator {
@@ -92,6 +104,7 @@ public:
     static constexpr std::size_t kChunkReplications = 32;
 
     explicit Calibrator(CalibrationConfig config = {});
+    ~Calibrator();
 
     /// Threshold ε at the calibrator's default confidence.
     ///
@@ -139,6 +152,11 @@ public:
     /// racing one cold key must bump this exactly once.
     [[nodiscard]] std::size_t compute_count() const noexcept;
 
+    /// Snapshot of this instance's cache behavior: hit/miss/join counts,
+    /// keys currently in flight, and the memo size.  hits + misses +
+    /// single_flight_joins equals the number of completed lookups.
+    [[nodiscard]] CalibratorStats stats() const;
+
     /// Drop all memoized null samples.
     void clear_cache();
 
@@ -180,6 +198,8 @@ private:
     std::map<Key, std::shared_future<const std::vector<double>*>> inflight_;
 
     mutable std::atomic<std::size_t> compute_count_{0};
+    mutable std::atomic<std::size_t> hit_count_{0};
+    mutable std::atomic<std::size_t> join_count_{0};
     mutable std::once_flag pool_once_;
     mutable std::unique_ptr<ThreadPool> pool_;
 };

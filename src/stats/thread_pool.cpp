@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
 namespace hpr::stats {
+
+namespace {
+
+/// Process-wide pool metrics (aggregated over every ThreadPool instance).
+struct PoolMetrics {
+    obs::Counter& jobs;
+    obs::Gauge& queue_depth;
+    obs::Histogram& job_seconds;
+};
+
+PoolMetrics& pool_metrics() {
+    auto& registry = obs::default_registry();
+    static PoolMetrics metrics{
+        registry.counter("hpr_threadpool_jobs_total",
+                         "parallel_for jobs submitted to any worker pool"),
+        registry.gauge("hpr_threadpool_queue_depth",
+                       "Jobs currently queued or running on worker pools"),
+        registry.histogram("hpr_threadpool_job_seconds",
+                           "Wall time of one parallel_for call (submit to completion)"),
+    };
+    return metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
     threads_.reserve(workers);
@@ -50,6 +77,7 @@ void ThreadPool::worker_loop() {
             if (job->next.load(std::memory_order_relaxed) >= job->count) {
                 // Fully claimed; retire it from the queue and look again.
                 jobs_.pop_front();
+                pool_metrics().queue_depth.sub(1);
                 continue;
             }
             ++job->running;
@@ -66,6 +94,8 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
     if (count == 0) return;
+    pool_metrics().jobs.increment();
+    obs::ScopedTimer span{pool_metrics().job_seconds};
     if (threads_.empty() || count == 1) {
         for (std::size_t i = 0; i < count; ++i) body(i);
         return;
@@ -74,6 +104,7 @@ void ThreadPool::parallel_for(std::size_t count,
     {
         const std::scoped_lock lock{mutex_};
         jobs_.push_back(job);
+        pool_metrics().queue_depth.add(1);
     }
     work_cv_.notify_all();
 
@@ -86,6 +117,7 @@ void ThreadPool::parallel_for(std::size_t count,
     });
     if (const auto it = std::find(jobs_.begin(), jobs_.end(), job); it != jobs_.end()) {
         jobs_.erase(it);
+        pool_metrics().queue_depth.sub(1);
     }
     const std::exception_ptr error = job->error;
     lock.unlock();

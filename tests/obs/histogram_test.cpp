@@ -1,0 +1,185 @@
+// Histogram correctness: percentile readout against a sorted-sample
+// reference, inclusive bucket-boundary placement, empty readout, and
+// multi-threaded recording with value conservation.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace hpr::obs {
+namespace {
+
+/// Index of the bucket (inclusive upper bounds; bounds.size() = overflow)
+/// a value lands in — mirrors the recording rule.
+std::size_t bucket_index(const std::vector<double>& bounds, double value) {
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+        if (value <= bounds[b]) return b;
+    }
+    return bounds.size();
+}
+
+/// The rank-based reference quantile the histogram estimate approximates:
+/// the ceil(q*n)-th smallest sample.
+double sorted_reference(std::vector<double> samples, double q) {
+    std::sort(samples.begin(), samples.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    return samples[std::max<std::size_t>(rank, 1) - 1];
+}
+
+TEST(Histogram, QuantilesTrackSortedReferenceOnUniformSamples) {
+    // Fine linear buckets over the sample range: the interpolated estimate
+    // must land within one bucket width of the exact sorted-sample rank.
+    std::vector<double> bounds;
+    for (int b = 1; b <= 50; ++b) bounds.push_back(0.02 * b);
+    Histogram hist{bounds};
+
+    stats::Rng rng{2024};
+    std::vector<double> samples;
+    samples.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.uniform();
+        samples.push_back(v);
+        hist.observe(v);
+    }
+
+    const HistogramSnapshot snap = hist.snapshot();
+    for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double ref = sorted_reference(samples, q);
+        EXPECT_NEAR(snap.quantile(q), ref, 0.02 + 1e-12)
+            << "quantile " << q;
+    }
+}
+
+TEST(Histogram, QuantilesLandInTheReferenceBucketOnExponentialSamples) {
+    // Geometric latency buckets + a skewed distribution: the estimate and
+    // the sorted-sample reference use the same rank, so they must resolve
+    // to the same bucket, and the estimate stays inside that bucket.
+    Histogram hist{default_latency_buckets()};
+    const std::vector<double>& bounds = hist.bounds();
+
+    stats::Rng rng{77};
+    std::vector<double> samples;
+    samples.reserve(20000);
+    for (int i = 0; i < 20000; ++i) {
+        // Exponential with mean 50 ms — spans several bucket decades.
+        const double v = -0.05 * std::log(1.0 - rng.uniform());
+        samples.push_back(v);
+        hist.observe(v);
+    }
+
+    const HistogramSnapshot snap = hist.snapshot();
+    for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double ref = sorted_reference(samples, q);
+        const double est = snap.quantile(q);
+        const std::size_t bucket = bucket_index(bounds, ref);
+        ASSERT_LT(bucket, bounds.size()) << "test samples must stay finite";
+        const double lower = bucket == 0 ? 0.0 : bounds[bucket - 1];
+        EXPECT_GE(est, lower) << "quantile " << q;
+        EXPECT_LE(est, bounds[bucket]) << "quantile " << q;
+    }
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+    Histogram hist{{1.0, 2.0, 3.0}};
+    hist.observe(0.5);  // -> bucket 0
+    hist.observe(1.0);  // boundary: still bucket 0 (le semantics)
+    hist.observe(1.5);  // -> bucket 1
+    hist.observe(2.0);  // boundary: bucket 1
+    hist.observe(3.0);  // boundary: bucket 2
+    hist.observe(3.5);  // above the last bound -> overflow
+
+    const HistogramSnapshot snap = hist.snapshot();
+    ASSERT_EQ(snap.counts.size(), 4u);
+    EXPECT_EQ(snap.counts[0], 2u);
+    EXPECT_EQ(snap.counts[1], 2u);
+    EXPECT_EQ(snap.counts[2], 1u);
+    EXPECT_EQ(snap.counts[3], 1u);
+    EXPECT_EQ(snap.count, 6u);
+    EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 3.5);
+}
+
+TEST(Histogram, OverflowQuantileClampsToLargestFiniteBound) {
+    Histogram hist{{1.0, 2.0}};
+    hist.observe(10.0);
+    hist.observe(20.0);
+    EXPECT_DOUBLE_EQ(hist.snapshot().quantile(0.99), 2.0);
+}
+
+TEST(Histogram, EmptyReadout) {
+    const Histogram hist{{1.0, 2.0}};
+    const HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+    EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+    for (const auto c : snap.counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(Histogram, QuantileRejectsOutOfRangeProbability) {
+    Histogram hist{{1.0}};
+    hist.observe(0.5);
+    const HistogramSnapshot snap = hist.snapshot();
+    EXPECT_THROW((void)snap.quantile(-0.01), std::invalid_argument);
+    EXPECT_THROW((void)snap.quantile(1.01), std::invalid_argument);
+}
+
+TEST(Histogram, RejectsMalformedBounds) {
+    EXPECT_THROW(Histogram{std::vector<double>{}}, std::invalid_argument);
+    EXPECT_THROW((Histogram{{1.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW((Histogram{{2.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW((Histogram{{-1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Histogram, ConcurrentRecordingConservesEveryObservation) {
+    // 8 threads, each recording 5000 observations cycling over 8 exactly
+    // representable values: afterwards nothing may be lost or double
+    // counted — total count, per-bucket counts and the sum must all equal
+    // the arithmetic of what was recorded.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    Histogram hist{{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0}};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist] {
+            for (int i = 0; i < kPerThread; ++i) {
+                hist.observe(0.25 * ((i % 8) + 1));
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    const HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+    std::uint64_t bucket_total = 0;
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+        bucket_total += snap.counts[b];
+        if (b < 8) {
+            // 5000 % 8 == 0: every value hits its bucket exactly
+            // kPerThread / 8 times per thread.
+            EXPECT_EQ(snap.counts[b],
+                      static_cast<std::uint64_t>(kThreads * kPerThread / 8))
+                << "bucket " << b;
+        } else {
+            EXPECT_EQ(snap.counts[b], 0u) << "bucket " << b;
+        }
+    }
+    EXPECT_EQ(bucket_total, snap.count);
+    // Per thread: 625 of each value 0.25..2.0 sums to 625 * 0.25 * 36,
+    // exactly representable in binary floating point.
+    EXPECT_DOUBLE_EQ(snap.sum, kThreads * 625 * 0.25 * 36);
+}
+
+}  // namespace
+}  // namespace hpr::obs

@@ -316,6 +316,17 @@ TEST(Calibrator, SingleFlightColdKeyComputesOnce) {
     EXPECT_EQ(cal.compute_count(), 1u);
     EXPECT_EQ(cal.cache_size(), 1u);
     for (const double r : results) EXPECT_EQ(r, results.front());
+
+    // The stats() snapshot tells the same story without poking internals:
+    // one miss did the work, the other eleven lookups either joined the
+    // flight or hit the cache just after the leader published, and
+    // nothing is left in flight.
+    const CalibratorStats stats = cal.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits + stats.single_flight_joins,
+              static_cast<std::size_t>(kThreads) - 1u);
+    EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_EQ(stats.cache_entries, 1u);
 }
 
 TEST(Calibrator, ParallelMatchesSerialBitIdentical) {
