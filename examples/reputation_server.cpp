@@ -6,16 +6,21 @@
 // Every layer records into the process-wide obs registry; the run ends
 // with a metrics dump — Prometheus text by default, or a JSON snapshot
 // with `--json` — exactly what a real deployment would expose on a
-// /metrics endpoint.
+// /metrics endpoint.  With `--trace-dump` the decision tracer is switched
+// on as well and the run additionally emits the retained DecisionRecords
+// as JSONL — the audit trail a forensics pipeline (examples/trace_query)
+// consumes.
 //
-//   build/examples/reputation_server [--json]
+//   build/examples/reputation_server [--json] [--trace-dump[=N]]
+//                                    [--trace-sample=R]
 //
 // Exercises: repsys::FeedbackStore, core::OnlineScreener,
 // core::TwoPhaseAssessor, repsys::EigenTrust,
 // repsys::CredibilityWeightedTrust, core::ChangePointDetector,
-// obs::Registry + exporters.
+// obs::Registry + exporters, obs::Tracer.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -34,10 +39,52 @@ struct Population {
     std::size_t flip_after;  // ...until this many transactions (0 = never flips)
 };
 
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--trace-dump[=N]] [--trace-sample=R]\n"
+                 "  --json            emit the metrics dump as JSON\n"
+                 "  --trace-dump[=N]  enable decision tracing and dump the last N\n"
+                 "                    retained DecisionRecords as JSONL (default: all)\n"
+                 "  --trace-sample=R  trace sampling rate in [0,1] (default 1)\n",
+                 argv0);
+    return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    const bool json_metrics = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+    bool json_metrics = false;
+    bool trace_dump = false;
+    long trace_dump_last = -1;  // -1 = every retained record
+    double trace_sample = 1.0;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            json_metrics = true;
+        } else if (std::strcmp(arg, "--trace-dump") == 0) {
+            trace_dump = true;
+        } else if (std::strncmp(arg, "--trace-dump=", 13) == 0) {
+            trace_dump = true;
+            char* end = nullptr;
+            trace_dump_last = std::strtol(arg + 13, &end, 10);
+            if (end == arg + 13 || *end != '\0' || trace_dump_last < 0) {
+                return usage(argv[0]);
+            }
+        } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+            char* end = nullptr;
+            trace_sample = std::strtod(arg + 15, &end);
+            if (end == arg + 15 || *end != '\0' || !(trace_sample >= 0.0) ||
+                trace_sample > 1.0) {
+                return usage(argv[0]);
+            }
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (trace_dump) {
+        obs::default_tracer().set_sample_rate(trace_sample);
+        obs::default_tracer().set_enabled(true);
+    }
     const std::vector<Population> servers{
         {1, "honest premium (p=0.97)", 0.97, 0},
         {2, "honest budget (p=0.90)", 0.90, 0},
@@ -68,7 +115,9 @@ int main(int argc, char** argv) {
     screener_config.test.bonferroni = true;
     std::map<repsys::EntityId, core::OnlineScreener> monitors;
     for (const auto& s : servers) {
-        monitors.emplace(s.id, core::OnlineScreener{screener_config, calibrator});
+        auto [it, inserted] =
+            monitors.emplace(s.id, core::OnlineScreener{screener_config, calibrator});
+        it->second.set_entity(s.id);  // label this stream's decision traces
     }
 
     stats::Rng rng{4242};
@@ -168,6 +217,22 @@ int main(int argc, char** argv) {
     } else {
         std::printf("\n--- metrics (prometheus) ---\n%s",
                     obs::to_prometheus(obs::default_registry()).c_str());
+    }
+
+    // The forensics feed: every retained DecisionRecord, oldest first,
+    // one JSON object per line.  Pipe into examples/trace_query to answer
+    // "why was server S flagged?".
+    if (trace_dump) {
+        const auto records = obs::default_tracer().ring().drain();
+        std::size_t begin = 0;
+        if (trace_dump_last >= 0 &&
+            static_cast<std::size_t>(trace_dump_last) < records.size()) {
+            begin = records.size() - static_cast<std::size_t>(trace_dump_last);
+        }
+        std::printf("\n--- decision traces (jsonl) ---\n");
+        for (std::size_t i = begin; i < records.size(); ++i) {
+            std::printf("%s\n", obs::to_jsonl(records[i]).c_str());
+        }
     }
     return 0;
 }

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace hpr::core {
 
 std::vector<repsys::Feedback> reorder_by_issuer(
     std::span<const repsys::Feedback> feedbacks) {
+    obs::TraceSpan span{"reorder"};
     struct Group {
         std::size_t count = 0;
         std::size_t first_index = 0;  // index of the client's first feedback
@@ -42,6 +45,24 @@ std::vector<repsys::Feedback> reorder_by_issuer(
     for (const repsys::EntityId client : order) {
         const auto& bucket = buckets[client];
         reordered.insert(reordered.end(), bucket.begin(), bucket.end());
+    }
+
+    if (auto* trace = obs::TraceContext::current()) {
+        obs::ReorderSummary& summary = trace->record()->reorder;
+        // An assessment may reorder more than once (screening + runs
+        // test); the permutation is identical each time, so keep the
+        // first summary.
+        if (!summary.applied && !feedbacks.empty()) {
+            summary.applied = true;
+            summary.issuers = order.size();
+            summary.largest_group = groups.at(order.front()).count;
+            std::size_t displaced = 0;
+            for (std::size_t i = 0; i < feedbacks.size(); ++i) {
+                if (!(reordered[i] == feedbacks[i])) ++displaced;
+            }
+            summary.displaced_fraction = static_cast<double>(displaced) /
+                                         static_cast<double>(feedbacks.size());
+        }
     }
     return reordered;
 }

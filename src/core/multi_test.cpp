@@ -3,8 +3,25 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace hpr::core {
 namespace {
+
+/// Append evidence of one ladder stage to the active trace, if any.
+void trace_stage(obs::TraceContext* trace, const BehaviorTestResult& result,
+                 std::size_t suffix_length) {
+    if (trace == nullptr) return;
+    obs::StageEvidence evidence;
+    evidence.suffix_length = suffix_length;
+    evidence.windows = result.windows;
+    evidence.p_hat = result.p_hat;
+    evidence.distance = result.distance;
+    evidence.epsilon = result.threshold;
+    evidence.sufficient = result.sufficient;
+    evidence.passed = result.passed;
+    trace->record()->stages.push_back(evidence);
+}
 
 /// Number of suffix stages for a history of n transactions: suffix
 /// lengths n, n-step, ... while at least min_windows complete windows
@@ -79,10 +96,17 @@ MultiTestResult MultiTest::test_incremental(const Sequence& seq, IsGood is_good)
         }
     };
 
+    obs::TraceSpan ladder{"phase1/ladder"};
+    obs::TraceContext* trace = obs::TraceContext::current();
+    const bool span_stages = trace != nullptr && trace->span_stages();
+    if (trace != nullptr) trace->record()->stages.reserve(stages);
+
     const double confidence = stage_confidence(config_, stages);
     for (std::size_t stage = 0; stage < stages; ++stage) {
+        obs::TraceSpan stage_span{"phase1/stage", span_stages};
         add_windows_upto(windows_of(stage));
         const BehaviorTestResult stage_result = single_.test(counts, confidence);
+        trace_stage(trace, stage_result, n - (stages - 1 - stage) * step);
         ++result.stages_run;
         if (stage_result.sufficient && stage_result.margin() < result.min_margin) {
             result.min_margin = stage_result.margin();
@@ -124,11 +148,18 @@ MultiTestResult MultiTest::test_naive_impl(std::size_t n, Subspan suffix) const 
     }
     result.sufficient = true;
 
+    obs::TraceSpan ladder{"phase1/ladder"};
+    obs::TraceContext* trace = obs::TraceContext::current();
+    const bool span_stages = trace != nullptr && trace->span_stages();
+    if (trace != nullptr) trace->record()->stages.reserve(stages);
+
     const double confidence = stage_confidence(config_, stages);
     for (std::size_t stage = 0; stage < stages; ++stage) {
+        obs::TraceSpan stage_span{"phase1/stage", span_stages};
         const std::size_t suffix_len = n - (stages - 1 - stage) * step;
         const BehaviorTestResult stage_result = single_.test(
             compute_window_stats(suffix(suffix_len), m).distribution(), confidence);
+        trace_stage(trace, stage_result, suffix_len);
         ++result.stages_run;
         if (stage_result.sufficient && stage_result.margin() < result.min_margin) {
             result.min_margin = stage_result.margin();

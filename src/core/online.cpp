@@ -1,8 +1,10 @@
 #include "core/online.h"
 
+#include <limits>
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hpr::core {
 
@@ -72,6 +74,15 @@ void OnlineScreener::observe(bool good) {
 }
 
 void OnlineScreener::evaluate() {
+    obs::TraceContext trace{obs::default_tracer(), entity_, "online_screener"};
+    const std::uint32_t m = config_.test.base.window_size;
+    if (obs::DecisionRecord* record = trace.record()) {
+        record->mode = "multi";
+        record->window_size = m;
+        record->history_length = transactions_;
+        record->p_hat = p_hat();
+    }
+
     // The §3.3 suffix ladder over complete windows: suffixes of
     // k, k - step, k - 2*step, ... windows (newest last in storage).
     const std::size_t total = window_good_counts_.size();
@@ -83,18 +94,39 @@ void OnlineScreener::evaluate() {
             : 0.0;
 
     bool all_passed = true;
-    stats::EmpiricalDistribution counts{config_.test.base.window_size};
+    double min_margin = std::numeric_limits<double>::infinity();
+    bool any_sufficient = false;
+    stats::EmpiricalDistribution counts{m};
     std::size_t added = 0;
-    for (std::size_t stage = 0; stage < stages; ++stage) {
-        const std::size_t want = total - (stages - 1 - stage) * step_windows_;
-        while (added < want) {
-            counts.add(window_good_counts_[total - 1 - added]);  // newest first
-            ++added;
-        }
-        const BehaviorTestResult result = single_.test(counts, confidence);
-        if (!result.passed) {
-            all_passed = false;
-            if (config_.test.stop_on_failure) break;
+    {
+        obs::TraceSpan ladder{"phase1/ladder"};
+        for (std::size_t stage = 0; stage < stages; ++stage) {
+            const std::size_t want = total - (stages - 1 - stage) * step_windows_;
+            while (added < want) {
+                counts.add(window_good_counts_[total - 1 - added]);  // newest first
+                ++added;
+            }
+            const BehaviorTestResult result = single_.test(counts, confidence);
+            if (obs::DecisionRecord* record = trace.record()) {
+                obs::StageEvidence evidence;
+                evidence.suffix_length = want * m;
+                evidence.windows = result.windows;
+                evidence.p_hat = result.p_hat;
+                evidence.distance = result.distance;
+                evidence.epsilon = result.threshold;
+                evidence.sufficient = result.sufficient;
+                evidence.passed = result.passed;
+                record->stages.push_back(evidence);
+                if (!result.passed && !record->failed) record->failed = evidence;
+            }
+            if (result.sufficient) {
+                any_sufficient = true;
+                if (result.margin() < min_margin) min_margin = result.margin();
+            }
+            if (!result.passed) {
+                all_passed = false;
+                if (config_.test.stop_on_failure) break;
+            }
         }
     }
 
@@ -131,6 +163,14 @@ void OnlineScreener::evaluate() {
             screener_metrics().flagged.increment();
         } else if (before == StreamState::kSuspicious) {
             screener_metrics().recovered.increment();
+        }
+    }
+    if (obs::DecisionRecord* record = trace.record()) {
+        record->verdict = to_string(state_);
+        if (any_sufficient) record->min_margin = min_margin;
+        if (state_ != before) {
+            record->transition =
+                state_ == StreamState::kSuspicious ? "flagged" : "recovered";
         }
     }
 }

@@ -90,12 +90,18 @@ public:
     /// p̂ over all complete windows.
     [[nodiscard]] double p_hat() const noexcept;
 
+    /// The entity this screener monitors, for decision traces (obs/trace.h).
+    /// Optional: screeners are keyed externally, so the default is 0.
+    void set_entity(repsys::EntityId entity) noexcept { entity_ = entity; }
+    [[nodiscard]] repsys::EntityId entity() const noexcept { return entity_; }
+
     [[nodiscard]] const OnlineScreenerConfig& config() const noexcept { return config_; }
 
 private:
     void evaluate();
 
     OnlineScreenerConfig config_;
+    repsys::EntityId entity_ = 0;
     BehaviorTest single_;
     std::size_t step_windows_;  ///< suffix step in windows
 

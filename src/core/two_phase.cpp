@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace hpr::core {
 
@@ -44,6 +45,48 @@ void count_verdict(Verdict verdict) {
         case Verdict::kInsufficientHistory:
             assess_metrics().insufficient.increment();
             break;
+    }
+}
+
+/// Trace evidence for one behavior-test evaluation.
+obs::StageEvidence to_evidence(const BehaviorTestResult& result,
+                               std::size_t suffix_length) {
+    obs::StageEvidence evidence;
+    evidence.suffix_length = suffix_length;
+    evidence.windows = result.windows;
+    evidence.p_hat = result.p_hat;
+    evidence.distance = result.distance;
+    evidence.epsilon = result.threshold;
+    evidence.sufficient = result.sufficient;
+    evidence.passed = result.passed;
+    return evidence;
+}
+
+/// Fill the trace record from a finished assessment (only sampled
+/// assessments reach here, so the extra field copies are off the common
+/// path).
+void finalize_trace(obs::DecisionRecord& record, const Assessment& assessment) {
+    record.verdict = to_string(assessment.verdict);
+    // The record-level p̂ comes from the longest suffix the ladder actually
+    // evaluated rather than a separate full-history pass: rescanning a
+    // 20k-transaction history just for the trace costs more than the rest
+    // of the instrumentation combined.
+    if (!record.stages.empty()) record.p_hat = record.stages.back().p_hat;
+    record.trust = assessment.trust;
+    if (assessment.screening.sufficient) {
+        record.min_margin = assessment.screening.min_margin;
+    }
+    if (assessment.screening.failure) {
+        record.failed =
+            to_evidence(*assessment.screening.failure,
+                        assessment.screening.failed_suffix_length.value_or(
+                            assessment.screening.failure->transactions_used));
+    }
+    if (assessment.runs) {
+        record.runs.evaluated = true;
+        record.runs.passed = assessment.runs->passed;
+        record.runs.z = assessment.runs->z;
+        record.runs.z_threshold = assessment.runs->z_threshold;
     }
 }
 
@@ -98,6 +141,10 @@ MultiTestResult TwoPhaseAssessor::screen(
                 config_.collusion_resilient
                     ? collusion_.test_single(feedbacks)
                     : multi_.single().test(feedbacks);
+            if (auto* trace = obs::TraceContext::current()) {
+                trace->record()->stages.push_back(
+                    to_evidence(single, feedbacks.size()));
+            }
             MultiTestResult wrapped;
             wrapped.passed = single.passed;
             wrapped.sufficient = single.sufficient;
@@ -122,12 +169,25 @@ MultiTestResult TwoPhaseAssessor::screen(
 Assessment TwoPhaseAssessor::assess(std::span<const repsys::Feedback> feedbacks) const {
     AssessMetrics& metrics = assess_metrics();
     metrics.total.increment();
+    obs::TraceContext trace{obs::default_tracer(),
+                            feedbacks.empty() ? 0 : feedbacks.front().server,
+                            "two_phase"};
+    if (obs::DecisionRecord* record = trace.record()) {
+        record->mode = to_string(config_.mode);
+        record->collusion_resilient = config_.collusion_resilient;
+        record->window_size = config_.test.base.window_size;
+        record->history_length = feedbacks.size();
+    }
     Assessment assessment;
     {
         obs::ScopedTimer phase1{metrics.phase1_seconds};
-        assessment.screening = screen(feedbacks);
+        {
+            obs::TraceSpan span{"phase1/screen"};
+            assessment.screening = screen(feedbacks);
+        }
         if (assessment.screening.passed && config_.require_runs_test &&
             config_.mode != ScreeningMode::kNone) {
+            obs::TraceSpan span{"phase1/runs"};
             if (config_.collusion_resilient) {
                 const auto reordered = reorder_by_issuer(feedbacks);
                 assessment.runs =
@@ -141,10 +201,14 @@ Assessment TwoPhaseAssessor::assess(std::span<const repsys::Feedback> feedbacks)
         // Fig. 2: "Alert ('Destination peer is suspicious'); Abort".
         assessment.verdict = Verdict::kSuspicious;
         count_verdict(assessment.verdict);
+        if (obs::DecisionRecord* record = trace.record()) {
+            finalize_trace(*record, assessment);
+        }
         return assessment;
     }
     {
         obs::ScopedTimer phase2{metrics.phase2_seconds};
+        obs::TraceSpan span{"phase2/trust"};
         assessment.trust = trust_->evaluate(feedbacks);
     }
     if (config_.mode == ScreeningMode::kNone || assessment.screening.sufficient) {
@@ -153,6 +217,9 @@ Assessment TwoPhaseAssessor::assess(std::span<const repsys::Feedback> feedbacks)
         assessment.verdict = Verdict::kInsufficientHistory;
     }
     count_verdict(assessment.verdict);
+    if (obs::DecisionRecord* record = trace.record()) {
+        finalize_trace(*record, assessment);
+    }
     return assessment;
 }
 

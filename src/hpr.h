@@ -29,6 +29,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "repsys/credibility.h"
 #include "repsys/eigentrust.h"
 #include "repsys/evidential.h"

@@ -17,44 +17,83 @@ std::string format_double(double value) {
 }
 
 void append_prometheus_histogram(std::ostringstream& out, const Registry::Entry& entry) {
+    const std::string name = escape_prometheus(entry.name);
     const HistogramSnapshot snap = entry.histogram->snapshot();
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < snap.counts.size(); ++b) {
         cumulative += snap.counts[b];
         const std::string le =
             b < snap.bounds.size() ? format_double(snap.bounds[b]) : "+Inf";
-        out << entry.name << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
+        out << name << "_bucket{le=\"" << le << "\"} " << cumulative << '\n';
     }
-    out << entry.name << "_sum " << format_double(snap.sum) << '\n';
-    out << entry.name << "_count " << snap.count << '\n';
+    out << name << "_sum " << format_double(snap.sum) << '\n';
+    out << name << "_count " << snap.count << '\n';
 }
 
-void json_escape_into(std::ostringstream& out, const std::string& text) {
-    for (const char c : text) {
-        switch (c) {
-            case '"': out << "\\\""; break;
-            case '\\': out << "\\\\"; break;
-            case '\n': out << "\\n"; break;
-            default: out << c; break;
-        }
-    }
+void json_escape_into(std::ostringstream& out, std::string_view text) {
+    out << escape_json(text);
 }
 
 }  // namespace
 
+std::string escape_prometheus(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default: out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string escape_json(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buffer;
+                } else {
+                    out += c;
+                }
+                break;
+        }
+    }
+    return out;
+}
+
 std::string to_prometheus(const Registry& registry) {
     std::ostringstream out;
     registry.visit([&out](const Registry::Entry& entry) {
+        // Registry::valid_name rejects anything outside
+        // [a-zA-Z_][a-zA-Z0-9_]*, but escape anyway: exposition is
+        // line-oriented, and an embedded newline (however it got there)
+        // would otherwise inject arbitrary sample lines into the scrape.
+        const std::string name = escape_prometheus(entry.name);
         if (!entry.help.empty()) {
-            out << "# HELP " << entry.name << ' ' << entry.help << '\n';
+            out << "# HELP " << name << ' ' << escape_prometheus(entry.help) << '\n';
         }
-        out << "# TYPE " << entry.name << ' ' << to_string(entry.kind) << '\n';
+        out << "# TYPE " << name << ' ' << to_string(entry.kind) << '\n';
         switch (entry.kind) {
             case MetricKind::kCounter:
-                out << entry.name << ' ' << entry.counter->value() << '\n';
+                out << name << ' ' << entry.counter->value() << '\n';
                 break;
             case MetricKind::kGauge:
-                out << entry.name << ' ' << entry.gauge->value() << '\n';
+                out << name << ' ' << entry.gauge->value() << '\n';
                 break;
             case MetricKind::kHistogram:
                 append_prometheus_histogram(out, entry);

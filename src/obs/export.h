@@ -14,14 +14,28 @@
 /// Both render a point-in-time snapshot; neither blocks recording.
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 
 namespace hpr::obs {
 
 /// Prometheus text exposition (version 0.0.4) of every metric, in name
-/// order.  `help` strings become `# HELP` lines when non-empty.
+/// order.  `help` strings become `# HELP` lines when non-empty; names and
+/// help text are passed through escape_prometheus() so a stray newline or
+/// backslash can never corrupt the line-oriented exposition.
 [[nodiscard]] std::string to_prometheus(const Registry& registry);
+
+/// Escape text for the Prometheus exposition format: `\\` -> `\\\\` and
+/// newline -> `\\n`, per the HELP-line escaping rules.  Registry enforces
+/// `[a-zA-Z_][a-zA-Z0-9_]*` names, but the exporter escapes defensively
+/// anyway so it stays safe for callers that format ad-hoc text.
+[[nodiscard]] std::string escape_prometheus(std::string_view text);
+
+/// Escape text for embedding inside a JSON string literal: quotes,
+/// backslashes, and all control characters (< 0x20) as `\\uOOXX` or the
+/// short forms `\\n` `\\r` `\\t` `\\b` `\\f`.
+[[nodiscard]] std::string escape_json(std::string_view text);
 
 /// JSON object `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
 /// Histograms carry count, sum, mean, p50/p95/p99 and the cumulative

@@ -215,6 +215,13 @@ public:
     /// metrics themselves stay registered and their addresses stable.
     void reset_values();
 
+    /// Test/bench entry point for clearing process-global metric state:
+    /// zeroes counters and gauges and clears histogram buckets so a test
+    /// or bench lane starts from a clean slate instead of measuring
+    /// carry-over.  Semantically reset_values(); the explicit name marks
+    /// call sites that deliberately break counter monotonicity.
+    void reset_for_tests() { reset_values(); }
+
 private:
     struct Slot {
         std::string help;

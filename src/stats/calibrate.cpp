@@ -10,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace hpr::stats {
 
@@ -149,6 +150,10 @@ std::vector<double> Calibrator::compute_null(const Key& key) const {
     compute_count_.fetch_add(1, std::memory_order_relaxed);
     calibration_metrics().misses.increment();
     obs::ScopedTimer span{calibration_metrics().compute_seconds};
+    // Cold-key Monte-Carlo runs dominate first-contact assessment latency;
+    // make them visible in the decision trace (the single-flight leader
+    // computes on the assessing thread, so the context is reachable here).
+    obs::TraceSpan trace_span{"calibrate/compute"};
     const double p = static_cast<double>(key.p_bucket) / static_cast<double>(config_.p_grid);
     const Binomial reference{key.m, p};
     const auto& ref_pmf = reference.pmf_table();

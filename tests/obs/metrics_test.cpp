@@ -237,6 +237,60 @@ TEST(Exporters, PrometheusTextCarriesTypesValuesAndCumulativeBuckets) {
     EXPECT_EQ(text.find("# HELP x_queue_depth"), std::string::npos);
 }
 
+TEST(Registry, ResetForTestsClearsProcessGlobalCarryOver) {
+    Registry registry;
+    Counter& c = registry.counter("rft_total");
+    Gauge& g = registry.gauge("rft_level");
+    Histogram& h = registry.histogram("rft_seconds", "", {1.0});
+    c.increment(11);
+    g.set(-3);
+    h.observe(0.25);
+
+    registry.reset_for_tests();
+    EXPECT_EQ(registry.size(), 3u) << "registrations must survive the reset";
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    c.increment();  // the same metric objects keep recording afterwards
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Exporters, EscapePrometheusNeutralizesNewlinesAndBackslashes) {
+    EXPECT_EQ(escape_prometheus("plain_name"), "plain_name");
+    EXPECT_EQ(escape_prometheus("evil\nname"), "evil\\nname");
+    EXPECT_EQ(escape_prometheus("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(escape_prometheus("a\nb\\c\n"), "a\\nb\\\\c\\n");
+    EXPECT_EQ(escape_prometheus(""), "");
+}
+
+TEST(Exporters, EscapeJsonHandlesQuotesAndControlCharacters) {
+    EXPECT_EQ(escape_json("plain"), "plain");
+    EXPECT_EQ(escape_json("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(escape_json("tab\there"), "tab\\there");
+    EXPECT_EQ(escape_json(std::string{"nul\x01" "byte"}), "nul\\u0001byte");
+    EXPECT_EQ(escape_json("line\nbreak\r"), "line\\nbreak\\r");
+}
+
+TEST(Exporters, PrometheusEscapesHelpTextDefensively) {
+    // Registry rejects invalid metric *names*, so in practice the attack
+    // surface is the free-form help string: an embedded newline would
+    // otherwise inject arbitrary exposition lines into a scrape.
+    Registry registry;
+    registry
+        .counter("esc_total",
+                 "line one\ninjected_metric 999\nwith back\\slash")
+        .increment(5);
+
+    const std::string text = to_prometheus(registry);
+    EXPECT_NE(text.find("# HELP esc_total line one\\ninjected_metric 999\\n"
+                        "with back\\\\slash\n"),
+              std::string::npos);
+    // The injected sample line must NOT appear at line start anywhere.
+    EXPECT_EQ(text.find("\ninjected_metric 999"), std::string::npos);
+    EXPECT_NE(text.find("esc_total 5\n"), std::string::npos);
+}
+
 TEST(Exporters, JsonCarriesSectionsAndPrecomputedPercentiles) {
     Registry registry;
     registry.counter("j_total").increment(7);
