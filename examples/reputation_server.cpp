@@ -12,10 +12,11 @@
 // consumes.
 //
 //   build/examples/reputation_server [--json] [--trace-dump[=N]]
-//                                    [--trace-sample=R]
+//                                    [--trace-sample=R] [--threads=N]
+//                                    [--shards=N]
 //
-// Exercises: repsys::FeedbackStore, core::OnlineScreener,
-// core::TwoPhaseAssessor, repsys::EigenTrust,
+// Exercises: repsys::FeedbackStore (sharded), core::OnlineScreener,
+// serve::BatchAssessor over core::TwoPhaseAssessor, repsys::EigenTrust,
 // repsys::CredibilityWeightedTrust, core::ChangePointDetector,
 // obs::Registry + exporters, obs::Tracer.
 
@@ -42,11 +43,14 @@ struct Population {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--json] [--trace-dump[=N]] [--trace-sample=R]\n"
+                 "          [--threads=N] [--shards=N]\n"
                  "  --json            emit the metrics dump as JSON\n"
                  "  --trace-dump[=N]  enable decision tracing and dump the last N\n"
                  "                    retained DecisionRecords as JSONL (default: all)\n"
-                 "  --trace-sample=R  trace sampling rate in [0,1] (default 1)\n",
-                 argv0);
+                 "  --trace-sample=R  trace sampling rate in [0,1] (default 1)\n"
+                 "  --threads=N       batch-assessment threads (default: hardware)\n"
+                 "  --shards=N        feedback-store lock stripes (default: %zu)\n",
+                 argv0, hpr::repsys::FeedbackStore::kDefaultShards);
     return 2;
 }
 
@@ -57,10 +61,22 @@ int main(int argc, char** argv) {
     bool trace_dump = false;
     long trace_dump_last = -1;  // -1 = every retained record
     double trace_sample = 1.0;
+    std::size_t threads = 0;  // 0 = hardware concurrency
+    std::size_t shards = repsys::FeedbackStore::kDefaultShards;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--json") == 0) {
             json_metrics = true;
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            char* end = nullptr;
+            const long value = std::strtol(arg + 10, &end, 10);
+            if (end == arg + 10 || *end != '\0' || value < 0) return usage(argv[0]);
+            threads = static_cast<std::size_t>(value);
+        } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+            char* end = nullptr;
+            const long value = std::strtol(arg + 9, &end, 10);
+            if (end == arg + 9 || *end != '\0' || value < 1) return usage(argv[0]);
+            shards = static_cast<std::size_t>(value);
         } else if (std::strcmp(arg, "--trace-dump") == 0) {
             trace_dump = true;
         } else if (std::strncmp(arg, "--trace-dump=", 13) == 0) {
@@ -92,9 +108,9 @@ int main(int argc, char** argv) {
         {4, "hibernating attacker (flips at tx 700)", 0.96, 700},
     };
 
-    // Live ingestion: every feedback goes to the store and to that
-    // server's streaming screener.
-    repsys::FeedbackStore store;
+    // Live ingestion: every feedback goes to the sharded store and to
+    // that server's streaming screener.
+    repsys::FeedbackStore store{shards};
     const auto calibrator = core::make_calibrator({});
     {
         // Warm-start the shared calibrator across its worker pool before
@@ -158,22 +174,26 @@ int main(int argc, char** argv) {
         std::printf("\n");
     }
 
-    // On-demand batch assessment (what a client asks before transacting).
-    core::TwoPhaseConfig assess_config;
-    assess_config.mode = core::ScreeningMode::kMulti;
-    assess_config.test.bonferroni = true;
-    const core::TwoPhaseAssessor assessor{
-        assess_config,
+    // On-demand batch assessment (what a client asks before transacting):
+    // every known server fanned across the worker pool in one call.
+    serve::BatchAssessorConfig batch_config;
+    batch_config.assessment.mode = core::ScreeningMode::kMulti;
+    batch_config.assessment.test.bonferroni = true;
+    batch_config.threads = threads;
+    const serve::BatchAssessor batch_assessor{
+        batch_config,
         std::shared_ptr<const repsys::TrustFunction>{
             repsys::make_trust_function("beta")},
         calibrator};
-    std::printf("\ntwo-phase assessment (beta trust function):\n");
-    for (const auto& s : servers) {
-        const auto assessment = assessor.assess(store.history(s.id));
-        std::printf("  server %u: verdict=%-12s trust=%s\n", s.id,
-                    core::to_string(assessment.verdict),
-                    assessment.trust ? std::to_string(*assessment.trust).c_str()
-                                     : "(withheld)");
+    std::printf("\ntwo-phase assessment (beta trust function, %zu shards, "
+                "%zu threads):\n",
+                store.shard_count(), batch_assessor.threads());
+    for (const auto& result : batch_assessor.assess_all(store)) {
+        std::printf("  server %u: verdict=%-12s trust=%s\n", result.server,
+                    core::to_string(result.assessment.verdict),
+                    result.assessment.trust
+                        ? std::to_string(*result.assessment.trust).c_str()
+                        : "(withheld)");
     }
 
     // Regime report for the quality-drop server (paper §4: false alerts

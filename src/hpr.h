@@ -10,6 +10,7 @@
 ///  * hpr::stats   — distributions, distances, Monte-Carlo calibration;
 ///  * hpr::repsys  — feedbacks, histories, trust functions;
 ///  * hpr::core    — behavior testing and the two-phase assessor;
+///  * hpr::serve   — sharded-store batch assessment (the serving core);
 ///  * hpr::sim     — workload generators and the paper's experiments.
 
 #include "core/behavior_test.h"
@@ -39,6 +40,7 @@
 #include "repsys/store.h"
 #include "repsys/trust.h"
 #include "repsys/types.h"
+#include "serve/batch_assessor.h"
 #include "sim/attack_cost.h"
 #include "sim/clients.h"
 #include "sim/collusion_cost.h"

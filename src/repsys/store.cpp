@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "repsys/io.h"
@@ -14,12 +15,15 @@ namespace {
 /// Ingest-path metrics, shared by every store in the process.  The level
 /// gauges are written last-writer-wins per mutation, which is exact for
 /// the intended deployment shape (one store per serving process); the
-/// history-length gauge is a high-water mark across all entities.
+/// history-length and shard-occupancy gauges are high-water marks.
 struct StoreMetrics {
     obs::Counter& ingested;
     obs::Counter& evicted;
+    obs::Counter& shard_contention;
     obs::Gauge& servers;
     obs::Gauge& history_length_max;
+    obs::Gauge& shards;
+    obs::Gauge& shard_occupancy_max;
 };
 
 StoreMetrics& store_metrics() {
@@ -28,51 +32,217 @@ StoreMetrics& store_metrics() {
         registry.counter("hpr_store_ingest_total", "Feedbacks accepted into a store"),
         registry.counter("hpr_store_evicted_total",
                          "Feedbacks dropped by retention eviction"),
+        registry.counter("hpr_store_shard_contention_total",
+                         "Shard lock acquisitions that found the lock held"),
         registry.gauge("hpr_store_servers", "Servers with at least one feedback"),
         registry.gauge("hpr_store_history_length_max",
                        "High-water mark of a single server's history length"),
+        registry.gauge("hpr_store_shards", "Lock stripes of the store"),
+        registry.gauge("hpr_store_shard_occupancy_max",
+                       "High-water mark of servers resident in a single shard"),
     };
     return metrics;
 }
 
 }  // namespace
 
+FeedbackStore::FeedbackStore(std::size_t shard_count) {
+    if (shard_count == 0) shard_count = 1;
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+    store_metrics().shards.set(static_cast<std::int64_t>(shard_count));
+}
+
+FeedbackStore::FeedbackStore(const FeedbackStore& other)
+    : FeedbackStore(other.shards_.size()) {
+    std::size_t total = 0;
+    std::int64_t servers = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const auto lock = lock_shard(*other.shards_[i]);
+        shards_[i]->logs = other.shards_[i]->logs;
+        servers += static_cast<std::int64_t>(shards_[i]->logs.size());
+        for (const auto& [server, log] : shards_[i]->logs) total += log.size();
+    }
+    total_.store(total, std::memory_order_relaxed);
+    server_count_.store(servers, std::memory_order_relaxed);
+}
+
+FeedbackStore& FeedbackStore::operator=(const FeedbackStore& other) {
+    if (this != &other) {
+        FeedbackStore copy{other};
+        *this = std::move(copy);
+    }
+    return *this;
+}
+
+FeedbackStore::FeedbackStore(FeedbackStore&& other) noexcept
+    : shards_(std::move(other.shards_)),
+      total_(other.total_.load(std::memory_order_relaxed)),
+      server_count_(other.server_count_.load(std::memory_order_relaxed)) {
+    other.shards_.clear();
+    other.total_.store(0, std::memory_order_relaxed);
+    other.server_count_.store(0, std::memory_order_relaxed);
+}
+
+FeedbackStore& FeedbackStore::operator=(FeedbackStore&& other) noexcept {
+    if (this != &other) {
+        shards_ = std::move(other.shards_);
+        total_.store(other.total_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        server_count_.store(other.server_count_.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+        other.shards_.clear();
+        other.total_.store(0, std::memory_order_relaxed);
+        other.server_count_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+}
+
+std::unique_lock<std::mutex> FeedbackStore::lock_shard(const Shard& shard) const {
+    std::unique_lock<std::mutex> lock{shard.mutex, std::try_to_lock};
+    if (!lock.owns_lock()) {
+        store_metrics().shard_contention.increment();
+        lock.lock();
+    }
+    return lock;
+}
+
+void FeedbackStore::publish_level_metrics() const {
+    StoreMetrics& metrics = store_metrics();
+    metrics.servers.set(server_count_.load(std::memory_order_relaxed));
+}
+
 void FeedbackStore::submit(const Feedback& feedback) {
-    TransactionHistory& log = logs_[feedback.server];
-    log.append(feedback);
-    ++total_;
+    Shard& shard = shard_for(feedback.server);
+    std::size_t log_size = 0;
+    std::size_t shard_servers = 0;
+    {
+        const auto lock = lock_shard(shard);
+        auto [it, inserted] = shard.logs.try_emplace(feedback.server);
+        it->second.append(feedback);  // throws on time regression, state intact
+        log_size = it->second.size();
+        shard_servers = shard.logs.size();
+        if (inserted) server_count_.fetch_add(1, std::memory_order_relaxed);
+        total_.fetch_add(1, std::memory_order_relaxed);
+    }
     StoreMetrics& metrics = store_metrics();
     metrics.ingested.increment();
-    metrics.servers.set(static_cast<std::int64_t>(logs_.size()));
-    metrics.history_length_max.set_max(static_cast<std::int64_t>(log.size()));
+    metrics.history_length_max.set_max(static_cast<std::int64_t>(log_size));
+    metrics.shard_occupancy_max.set_max(static_cast<std::int64_t>(shard_servers));
+    publish_level_metrics();
 }
 
 void FeedbackStore::submit(const std::vector<Feedback>& feedbacks) {
-    for (const Feedback& f : feedbacks) submit(f);
+    if (feedbacks.empty()) return;
+    // One routing pass: per-shard index lists, batch order preserved.
+    std::vector<std::vector<std::size_t>> groups(shards_.size());
+    for (std::size_t i = 0; i < feedbacks.size(); ++i) {
+        groups[shard_of(feedbacks[i].server)].push_back(i);
+    }
+    StoreMetrics& metrics = store_metrics();
+    std::size_t max_log = 0;
+    std::size_t max_occupancy = 0;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+        const auto& group = groups[s];
+        if (group.empty()) continue;
+        Shard& shard = *shards_[s];
+        const auto lock = lock_shard(shard);
+        // Validate the whole slice before touching the shard: a feedback
+        // must not precede its server's latest time, counting both the
+        // resident log and earlier feedbacks of this very batch.
+        std::map<EntityId, Timestamp> pending_last;
+        for (const std::size_t i : group) {
+            const Feedback& f = feedbacks[i];
+            auto [it, inserted] = pending_last.try_emplace(f.server);
+            if (inserted) {
+                const auto log = shard.logs.find(f.server);
+                if (log == shard.logs.end() || log->second.empty()) {
+                    it->second = f.time;  // first feedback sets the clock
+                } else {
+                    it->second = log->second.feedbacks().back().time;
+                }
+            }
+            if (f.time < it->second) {
+                throw std::invalid_argument(
+                    "FeedbackStore::submit: batch feedback at t=" +
+                    std::to_string(f.time) + " precedes server " +
+                    std::to_string(f.server) + "'s latest feedback at t=" +
+                    std::to_string(it->second) +
+                    " (shard slice rejected whole)");
+            }
+            it->second = f.time;
+        }
+        // Apply: validated above, so no append can throw mid-slice.
+        std::size_t new_servers = 0;
+        for (const std::size_t i : group) {
+            const Feedback& f = feedbacks[i];
+            auto [it, inserted] = shard.logs.try_emplace(f.server);
+            if (inserted) ++new_servers;
+            it->second.append(f);
+            if (it->second.size() > max_log) max_log = it->second.size();
+        }
+        if (shard.logs.size() > max_occupancy) max_occupancy = shard.logs.size();
+        total_.fetch_add(group.size(), std::memory_order_relaxed);
+        if (new_servers > 0) {
+            server_count_.fetch_add(static_cast<std::int64_t>(new_servers),
+                                    std::memory_order_relaxed);
+        }
+        metrics.ingested.increment(group.size());
+    }
+    metrics.history_length_max.set_max(static_cast<std::int64_t>(max_log));
+    metrics.shard_occupancy_max.set_max(static_cast<std::int64_t>(max_occupancy));
+    publish_level_metrics();
 }
 
 std::vector<EntityId> FeedbackStore::servers() const {
     std::vector<EntityId> ids;
-    ids.reserve(logs_.size());
-    for (const auto& [server, log] : logs_) ids.push_back(server);
+    ids.reserve(server_count());
+    for (const auto& shard : shards_) {
+        const auto lock = lock_shard(*shard);
+        for (const auto& [server, log] : shard->logs) ids.push_back(server);
+    }
+    std::sort(ids.begin(), ids.end());
     return ids;
 }
 
+bool FeedbackStore::contains(EntityId server) const {
+    const Shard& shard = shard_for(server);
+    const auto lock = lock_shard(shard);
+    return shard.logs.find(server) != shard.logs.end();
+}
+
 const TransactionHistory& FeedbackStore::history(EntityId server) const {
-    const auto it = logs_.find(server);
-    if (it == logs_.end()) {
+    const Shard& shard = shard_for(server);
+    const auto lock = lock_shard(shard);
+    const auto it = shard.logs.find(server);
+    if (it == shard.logs.end()) {
         throw std::out_of_range("FeedbackStore::history: unknown server " +
                                 std::to_string(server));
     }
-    return it->second;
+    return it->second;  // node-stable; see the concurrency contract
+}
+
+TransactionHistory FeedbackStore::history_snapshot(EntityId server) const {
+    const Shard& shard = shard_for(server);
+    const auto lock = lock_shard(shard);
+    const auto it = shard.logs.find(server);
+    if (it == shard.logs.end()) {
+        throw std::out_of_range("FeedbackStore::history_snapshot: unknown server " +
+                                std::to_string(server));
+    }
+    return it->second;  // copied while the lock is held
 }
 
 std::vector<Feedback> FeedbackStore::between(EntityId server, Timestamp from,
                                              Timestamp to) const {
     std::vector<Feedback> result;
     if (from > to) return result;
-    const auto it = logs_.find(server);
-    if (it == logs_.end()) return result;
+    const Shard& shard = shard_for(server);
+    const auto lock = lock_shard(shard);
+    const auto it = shard.logs.find(server);
+    if (it == shard.logs.end()) return result;
     const auto& feedbacks = it->second.feedbacks();
     // Per-server logs are time-ordered: binary-search the range bounds.
     const auto lower = std::lower_bound(
@@ -87,9 +257,12 @@ std::vector<Feedback> FeedbackStore::between(EntityId server, Timestamp from,
 
 std::vector<Feedback> FeedbackStore::issued_by(EntityId client) const {
     std::vector<Feedback> result;
-    for (const auto& [server, log] : logs_) {
-        for (const Feedback& f : log.feedbacks()) {
-            if (f.client == client) result.push_back(f);
+    for (const auto& shard : shards_) {
+        const auto lock = lock_shard(*shard);
+        for (const auto& [server, log] : shard->logs) {
+            for (const Feedback& f : log.feedbacks()) {
+                if (f.client == client) result.push_back(f);
+            }
         }
     }
     std::stable_sort(result.begin(), result.end(),
@@ -107,8 +280,10 @@ std::vector<Feedback> FeedbackStore::sample_history(EntityId server, double frac
             "FeedbackStore::sample_history: fraction must be in [0, 1]");
     }
     std::vector<Feedback> result;
-    const auto it = logs_.find(server);
-    if (it == logs_.end()) return result;
+    const Shard& shard = shard_for(server);
+    const auto lock = lock_shard(shard);
+    const auto it = shard.logs.find(server);
+    if (it == shard.logs.end()) return result;
     stats::Rng rng{seed ^ (static_cast<std::uint64_t>(server) * 0x9e3779b9ULL)};
     for (const Feedback& f : it->second.feedbacks()) {
         if (rng.bernoulli(fraction)) result.push_back(f);
@@ -118,26 +293,34 @@ std::vector<Feedback> FeedbackStore::sample_history(EntityId server, double frac
 
 std::size_t FeedbackStore::evict_before(Timestamp cutoff) {
     std::size_t removed = 0;
-    for (auto it = logs_.begin(); it != logs_.end();) {
-        const auto& feedbacks = it->second.feedbacks();
-        const auto keep_from = std::lower_bound(
-            feedbacks.begin(), feedbacks.end(), cutoff,
-            [](const Feedback& f, Timestamp t) { return f.time < t; });
-        const auto dropped = static_cast<std::size_t>(keep_from - feedbacks.begin());
-        if (dropped > 0) {
-            removed += dropped;
-            std::vector<Feedback> kept{keep_from, feedbacks.end()};
-            if (kept.empty()) {
-                it = logs_.erase(it);
-                continue;
+    std::int64_t forgotten = 0;
+    for (const auto& shard_ptr : shards_) {
+        Shard& shard = *shard_ptr;
+        const auto lock = lock_shard(shard);
+        for (auto it = shard.logs.begin(); it != shard.logs.end();) {
+            const auto& feedbacks = it->second.feedbacks();
+            const auto keep_from = std::lower_bound(
+                feedbacks.begin(), feedbacks.end(), cutoff,
+                [](const Feedback& f, Timestamp t) { return f.time < t; });
+            const auto dropped =
+                static_cast<std::size_t>(keep_from - feedbacks.begin());
+            if (dropped > 0) {
+                removed += dropped;
+                std::vector<Feedback> kept{keep_from, feedbacks.end()};
+                if (kept.empty()) {
+                    it = shard.logs.erase(it);
+                    ++forgotten;
+                    continue;
+                }
+                it->second = TransactionHistory{std::move(kept)};
             }
-            it->second = TransactionHistory{std::move(kept)};
+            ++it;
         }
-        ++it;
     }
-    total_ -= removed;
+    total_.fetch_sub(removed, std::memory_order_relaxed);
+    if (forgotten > 0) server_count_.fetch_sub(forgotten, std::memory_order_relaxed);
     store_metrics().evicted.increment(removed);
-    store_metrics().servers.set(static_cast<std::int64_t>(logs_.size()));
+    publish_level_metrics();
     return removed;
 }
 
@@ -148,16 +331,20 @@ void FeedbackStore::save(const std::string& directory) const {
         throw std::runtime_error("FeedbackStore::save: cannot create '" + directory +
                                  "': " + ec.message());
     }
-    for (const auto& [server, log] : logs_) {
-        const auto path =
-            (std::filesystem::path{directory} / (std::to_string(server) + ".csv"))
-                .string();
-        save_csv(path, log);
+    for (const auto& shard : shards_) {
+        const auto lock = lock_shard(*shard);
+        for (const auto& [server, log] : shard->logs) {
+            const auto path =
+                (std::filesystem::path{directory} / (std::to_string(server) + ".csv"))
+                    .string();
+            save_csv(path, log);
+        }
     }
 }
 
-FeedbackStore FeedbackStore::load(const std::string& directory) {
-    FeedbackStore store;
+FeedbackStore FeedbackStore::load(const std::string& directory,
+                                  std::size_t shard_count) {
+    FeedbackStore store{shard_count};
     if (!std::filesystem::is_directory(directory)) {
         throw std::runtime_error("FeedbackStore::load: '" + directory +
                                  "' is not a directory");
@@ -165,9 +352,12 @@ FeedbackStore FeedbackStore::load(const std::string& directory) {
     for (const auto& entry : std::filesystem::directory_iterator(directory)) {
         if (!entry.is_regular_file() || entry.path().extension() != ".csv") continue;
         TransactionHistory log = load_csv(entry.path().string());
-        store.total_ += log.size();
         if (log.empty()) continue;
-        store.logs_.emplace(log[0].server, std::move(log));
+        const EntityId server = log[0].server;
+        Shard& shard = store.shard_for(server);
+        store.total_.fetch_add(log.size(), std::memory_order_relaxed);
+        store.server_count_.fetch_add(1, std::memory_order_relaxed);
+        shard.logs.emplace(server, std::move(log));
     }
     return store;
 }

@@ -12,13 +12,48 @@
 /// answers time-range and client queries, and persists to / restores from
 /// a directory of CSV logs.
 ///
+/// The store is **sharded and thread-safe**: server ids map onto N
+/// lock-striped shards through a splitmix64 mix, so concurrent submitters
+/// of different servers almost never contend, and a batch submit groups
+/// its feedbacks per shard to take each shard lock exactly once.  The
+/// concurrency contract, per method:
+///
+///  * `submit` (single and batch), `evict_before`, `contains`,
+///    `history_snapshot`, `servers`, `between`, `issued_by`,
+///    `sample_history`, `size`, `server_count`, `save` — safe to call
+///    from any number of threads concurrently;
+///  * `history()` returns a reference into the store.  The referenced
+///    history has a stable address (shard maps are node-based) but is NOT
+///    safe to read while another thread appends to or evicts *the same
+///    server* — concurrent readers must use `history_snapshot()`, which
+///    copies under the shard lock and is consistent by construction;
+///  * multi-shard readers (`servers`, `size`, `issued_by`, `save`) lock
+///    one shard at a time, so their result is per-shard consistent: a
+///    feedback submitted concurrently may or may not be included, but
+///    every included per-server history is a valid prefix of the log.
+///
+/// Batch ingest is all-or-nothing *per shard*: each shard's slice of the
+/// batch is validated (per-server time ordering, including order within
+/// the batch itself) before any of it is applied, so a mid-batch
+/// out-of-order timestamp rejects that entire shard's slice.  Shards are
+/// processed in ascending shard-index order; slices applied to earlier
+/// shards before the failing one stay applied (the exception reports the
+/// first violation).
+///
 /// It also supports the paper's practical note that "our scheme can be
 /// equally applied to systems where only portions of feedbacks can be
 /// retrieved": `sample_history` returns a deterministic subsample of a
 /// server's history for bandwidth-limited deployments.
+///
+/// Shard occupancy and lock contention are exported through the obs
+/// registry (`hpr_store_shards`, `hpr_store_shard_occupancy_max`,
+/// `hpr_store_shard_contention_total` — docs/scaling.md).
 
+#include <atomic>
 #include <cstddef>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,34 +63,73 @@
 
 namespace hpr::repsys {
 
-/// In-memory feedback registry for a population of servers.
+/// In-memory feedback registry for a population of servers, lock-striped
+/// across shards for concurrent ingest and assessment.
 class FeedbackStore {
 public:
+    /// Default shard count: enough stripes that 8 submitting threads
+    /// rarely collide, cheap enough that single-threaded callers do not
+    /// notice the extra indirection.
+    static constexpr std::size_t kDefaultShards = 16;
+
+    /// \param shard_count  lock stripes (>= 1; clamped up to 1).
+    explicit FeedbackStore(std::size_t shard_count = kDefaultShards);
+
+    /// Deep copy (locks each source shard in turn; the copy is private to
+    /// the caller and needs no locks until shared).
+    FeedbackStore(const FeedbackStore& other);
+    FeedbackStore& operator=(const FeedbackStore& other);
+    FeedbackStore(FeedbackStore&& other) noexcept;
+    FeedbackStore& operator=(FeedbackStore&& other) noexcept;
+
     /// Ingest one feedback (routed to the feedback's server).
     /// \throws std::invalid_argument if it is older than the server's
     /// latest recorded feedback (per-server logs are time-ordered).
     void submit(const Feedback& feedback);
 
-    /// Ingest a batch (each routed independently).
+    /// Ingest a batch: feedbacks are grouped per shard in one pass and
+    /// each shard lock is taken exactly once.  Validation is
+    /// all-or-nothing per shard (see the file comment).
     void submit(const std::vector<Feedback>& feedbacks);
 
     /// Number of servers with at least one feedback.
-    [[nodiscard]] std::size_t server_count() const noexcept { return logs_.size(); }
+    [[nodiscard]] std::size_t server_count() const noexcept {
+        return static_cast<std::size_t>(
+            server_count_.load(std::memory_order_relaxed));
+    }
 
     /// Total feedbacks across all servers.
-    [[nodiscard]] std::size_t size() const noexcept { return total_; }
+    [[nodiscard]] std::size_t size() const noexcept {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    /// Number of lock stripes.
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+    /// The shard a server id maps to (stable for the store's lifetime;
+    /// exposed for tests and for shard-aware batch planning).
+    [[nodiscard]] std::size_t shard_of(EntityId server) const noexcept {
+        std::uint64_t state = static_cast<std::uint64_t>(server) + 0x517cc1b727220a95ULL;
+        return stats::splitmix64(state) % shards_.size();
+    }
 
     /// Ids of all known servers, ascending.
     [[nodiscard]] std::vector<EntityId> servers() const;
 
     /// Whether any feedback exists for `server`.
-    [[nodiscard]] bool contains(EntityId server) const noexcept {
-        return logs_.find(server) != logs_.end();
-    }
+    [[nodiscard]] bool contains(EntityId server) const;
 
-    /// Full history of a server.
+    /// Full history of a server, by reference.  Stable address, but not
+    /// safe against concurrent mutation of the same server — concurrent
+    /// readers use history_snapshot().
     /// \throws std::out_of_range for unknown servers.
     [[nodiscard]] const TransactionHistory& history(EntityId server) const;
+
+    /// Consistent copy of a server's history, taken under the shard lock:
+    /// always a valid time-ordered prefix-complete log, no matter what
+    /// other threads are submitting or evicting.
+    /// \throws std::out_of_range for unknown servers.
+    [[nodiscard]] TransactionHistory history_snapshot(EntityId server) const;
 
     /// Feedbacks of a server within [from, to] inclusive, time-ordered.
     /// Empty for unknown servers.
@@ -85,11 +159,34 @@ public:
 
     /// Load a store persisted with save().
     /// \throws std::runtime_error on I/O or parse failure.
-    [[nodiscard]] static FeedbackStore load(const std::string& directory);
+    [[nodiscard]] static FeedbackStore load(const std::string& directory,
+                                            std::size_t shard_count = kDefaultShards);
 
 private:
-    std::map<EntityId, TransactionHistory> logs_;
-    std::size_t total_ = 0;
+    /// One lock stripe: a mutex and the logs of every server that hashes
+    /// onto it.  Heap-allocated so the store stays movable.
+    struct Shard {
+        mutable std::mutex mutex;
+        std::map<EntityId, TransactionHistory> logs;
+    };
+
+    /// Lock a shard, counting contended acquisitions.
+    [[nodiscard]] std::unique_lock<std::mutex> lock_shard(const Shard& shard) const;
+
+    [[nodiscard]] Shard& shard_for(EntityId server) noexcept {
+        return *shards_[shard_of(server)];
+    }
+    [[nodiscard]] const Shard& shard_for(EntityId server) const noexcept {
+        return *shards_[shard_of(server)];
+    }
+
+    /// Publish the mutation-level gauges (last writer wins, like the
+    /// pre-sharding store: exact for the one-store-per-process shape).
+    void publish_level_metrics() const;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::size_t> total_{0};
+    std::atomic<std::int64_t> server_count_{0};
 };
 
 }  // namespace hpr::repsys

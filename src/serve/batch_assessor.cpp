@@ -1,0 +1,175 @@
+#include "serve/batch_assessor.h"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/timer.h"
+
+namespace hpr::serve {
+
+namespace {
+
+/// Batch-serving metrics, shared by every BatchAssessor in the process.
+struct ServeMetrics {
+    obs::Counter& batches;
+    obs::Counter& batch_servers;
+    obs::Counter& observes;
+    obs::Counter& shortcuts;
+    obs::Histogram& batch_seconds;
+    obs::Gauge& threads;
+};
+
+ServeMetrics& serve_metrics() {
+    auto& registry = obs::default_registry();
+    static ServeMetrics metrics{
+        registry.counter("hpr_serving_batches_total",
+                         "Batch assessment requests served"),
+        registry.counter("hpr_serving_batch_servers_total",
+                         "Servers assessed through the batch path"),
+        registry.counter("hpr_serving_incremental_observes_total",
+                         "Feedbacks streamed into incremental screeners"),
+        registry.counter("hpr_serving_incremental_shortcuts_total",
+                         "Assessments answered from a standing screener state"),
+        registry.histogram("hpr_serving_batch_seconds",
+                           "Whole-batch assessment latency"),
+        registry.gauge("hpr_serving_threads",
+                       "Executors (pool workers + caller) of a batch assessor"),
+    };
+    return metrics;
+}
+
+std::size_t resolve_threads(std::size_t configured) {
+    if (configured != 0) return configured;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+/// One lock stripe of the incremental screener bank.
+struct BatchAssessor::ScreenerStripe {
+    mutable std::mutex mutex;
+    std::map<repsys::EntityId, core::OnlineScreener> screeners;
+};
+
+BatchAssessor::BatchAssessor(BatchAssessorConfig config,
+                             std::shared_ptr<const repsys::TrustFunction> trust,
+                             std::shared_ptr<stats::Calibrator> calibrator)
+    : config_(config),
+      assessor_(config.assessment, std::move(trust), std::move(calibrator)),
+      threads_(resolve_threads(config.threads)),
+      pool_(threads_ - 1) {
+    if (config_.incremental) {
+        const std::size_t stripes =
+            config_.screener_stripes == 0 ? 1 : config_.screener_stripes;
+        stripes_.reserve(stripes);
+        for (std::size_t i = 0; i < stripes; ++i) {
+            stripes_.push_back(std::make_unique<ScreenerStripe>());
+        }
+    }
+    serve_metrics().threads.set(static_cast<std::int64_t>(threads_));
+}
+
+BatchAssessor::~BatchAssessor() = default;
+
+BatchAssessor::ScreenerStripe& BatchAssessor::stripe_for(
+    repsys::EntityId server) const {
+    std::uint64_t state = static_cast<std::uint64_t>(server) + 0x9e3779b97f4a7c15ULL;
+    return *stripes_[stats::splitmix64(state) % stripes_.size()];
+}
+
+void BatchAssessor::observe(const repsys::Feedback& feedback) {
+    if (stripes_.empty()) return;
+    ScreenerStripe& stripe = stripe_for(feedback.server);
+    const std::lock_guard<std::mutex> lock{stripe.mutex};
+    auto it = stripe.screeners.find(feedback.server);
+    if (it == stripe.screeners.end()) {
+        core::OnlineScreenerConfig screener_config;
+        screener_config.test = config_.assessment.test;
+        screener_config.patience = config_.patience;
+        screener_config.recovery = config_.recovery;
+        it = stripe.screeners
+                 .emplace(feedback.server,
+                          core::OnlineScreener{screener_config,
+                                               assessor_.calibrator()})
+                 .first;
+        it->second.set_entity(feedback.server);
+    }
+    it->second.observe(feedback);
+    serve_metrics().observes.increment();
+}
+
+core::StreamState BatchAssessor::stream_state(repsys::EntityId server) const {
+    if (stripes_.empty()) return core::StreamState::kInsufficient;
+    const ScreenerStripe& stripe = stripe_for(server);
+    const std::lock_guard<std::mutex> lock{stripe.mutex};
+    const auto it = stripe.screeners.find(server);
+    return it == stripe.screeners.end() ? core::StreamState::kInsufficient
+                                        : it->second.state();
+}
+
+std::size_t BatchAssessor::tracked_streams() const {
+    std::size_t total = 0;
+    for (const auto& stripe : stripes_) {
+        const std::lock_guard<std::mutex> lock{stripe->mutex};
+        total += stripe->screeners.size();
+    }
+    return total;
+}
+
+core::Assessment BatchAssessor::assess_one(const repsys::FeedbackStore& store,
+                                           repsys::EntityId server) const {
+    if (config_.incremental) {
+        // The standing screener state replaces the O(n) phase-1 rescan
+        // once the stream has been judged at least once; insufficient
+        // streams fall through to the full scan below.
+        switch (stream_state(server)) {
+            case core::StreamState::kSuspicious: {
+                serve_metrics().shortcuts.increment();
+                core::Assessment assessment;
+                assessment.verdict = core::Verdict::kSuspicious;
+                assessment.screening.passed = false;
+                assessment.screening.sufficient = true;
+                return assessment;
+            }
+            case core::StreamState::kClear: {
+                serve_metrics().shortcuts.increment();
+                core::Assessment assessment;
+                assessment.verdict = core::Verdict::kAssessed;
+                assessment.screening.passed = true;
+                assessment.screening.sufficient = true;
+                assessment.trust =
+                    assessor_.trust_function().evaluate(
+                        store.history_snapshot(server).view());
+                return assessment;
+            }
+            case core::StreamState::kInsufficient: break;
+        }
+    }
+    return assessor_.assess(store.history_snapshot(server));
+}
+
+std::vector<ServerAssessment> BatchAssessor::assess(
+    const repsys::FeedbackStore& store,
+    const std::vector<repsys::EntityId>& servers) const {
+    ServeMetrics& metrics = serve_metrics();
+    metrics.batches.increment();
+    metrics.batch_servers.increment(servers.size());
+    std::vector<ServerAssessment> results(servers.size());
+    const obs::ScopedTimer timer{metrics.batch_seconds};
+    pool_.parallel_for(servers.size(), [&](std::size_t i) {
+        results[i].server = servers[i];
+        results[i].assessment = assess_one(store, servers[i]);
+    });
+    return results;
+}
+
+std::vector<ServerAssessment> BatchAssessor::assess_all(
+    const repsys::FeedbackStore& store) const {
+    return assess(store, store.servers());
+}
+
+}  // namespace hpr::serve

@@ -1,0 +1,138 @@
+#ifndef HPR_SERVE_BATCH_ASSESSOR_H
+#define HPR_SERVE_BATCH_ASSESSOR_H
+
+/// \file batch_assessor.h
+/// Parallel batch assessment: the serving core that keeps the paper's
+/// two-phase screening ahead of community-scale interaction rates.
+///
+/// A reputation server answering "which of these servers can be trusted
+/// right now?" for a large population cannot afford one thread walking
+/// one history at a time — the assessment layer has to keep up with the
+/// whole community's transaction rate.  BatchAssessor fans a set of
+/// server ids across a stats::ThreadPool: each worker takes a
+/// snapshot-consistent copy of its server's history from the sharded
+/// FeedbackStore (so assessment never blocks ingest beyond one shard
+/// lock) and runs the shared TwoPhaseAssessor on it.  Results are
+/// deterministic: the pool decides only which thread assesses a server,
+/// never what the assessment computes, so verdicts are bit-identical to
+/// a sequential loop at any thread count.
+///
+/// The optional **incremental mode** keeps one core::OnlineScreener per
+/// observed server (lock-striped like the store).  Feedbacks stream in
+/// through observe() at O(1) amortized per feedback; assess() then
+/// answers from the screener's standing state — suspicious streams are
+/// rejected without the O(n) history rescan, clear streams only pay
+/// phase 2 — and falls back to the full two-phase scan while a stream
+/// has not accumulated enough windows to be judged.  Incremental
+/// verdicts follow the streaming semantics (start-anchored windows,
+/// patience/recovery hysteresis), so they are intentionally NOT
+/// bit-identical to batch screening; equivalence tests pin the default
+/// full mode only.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/online.h"
+#include "core/two_phase.h"
+#include "repsys/store.h"
+#include "repsys/trust.h"
+#include "stats/calibrate.h"
+#include "stats/thread_pool.h"
+
+namespace hpr::serve {
+
+/// Tuning knobs of the batch assessment layer.
+struct BatchAssessorConfig {
+    /// The per-server assessment everything fans out to.
+    core::TwoPhaseConfig assessment{};
+
+    /// Total assessing threads (pool workers + the participating caller).
+    /// 0 = one per hardware thread.  Purely a speed knob: results are
+    /// bit-identical at any thread count.
+    std::size_t threads = 0;
+
+    /// Keep an OnlineScreener per observed server and let assess()
+    /// shortcut from its standing state (see the file comment).
+    bool incremental = false;
+
+    /// Hysteresis of the incremental screeners (their test config is
+    /// taken from `assessment.test`).
+    std::size_t patience = 2;
+    std::size_t recovery = 2;
+
+    /// Lock stripes of the incremental screener bank.
+    std::size_t screener_stripes = 16;
+};
+
+/// One server's assessment out of a batch.
+struct ServerAssessment {
+    repsys::EntityId server = 0;
+    core::Assessment assessment;
+};
+
+/// Thread-parallel assessment of server populations against a
+/// FeedbackStore.  Thread-safe: any number of threads may call assess /
+/// observe concurrently (the underlying calibration cache is shared and
+/// thread-safe, the screener bank is lock-striped).
+class BatchAssessor {
+public:
+    /// \param trust  phase-2 trust function (must not be null).
+    /// \throws std::invalid_argument if trust is null.
+    BatchAssessor(BatchAssessorConfig config,
+                  std::shared_ptr<const repsys::TrustFunction> trust,
+                  std::shared_ptr<stats::Calibrator> calibrator = nullptr);
+
+    ~BatchAssessor();  // out of line: ScreenerStripe is incomplete here
+
+    /// Assess the given servers against the store, fanning across the
+    /// pool.  Results arrive in the order of `servers`.
+    /// \throws std::out_of_range if any id is unknown to the store.
+    [[nodiscard]] std::vector<ServerAssessment> assess(
+        const repsys::FeedbackStore& store,
+        const std::vector<repsys::EntityId>& servers) const;
+
+    /// Assess every server the store knows (ascending id order).
+    [[nodiscard]] std::vector<ServerAssessment> assess_all(
+        const repsys::FeedbackStore& store) const;
+
+    /// Incremental mode: feed one live feedback to its server's screener
+    /// (created on first sight).  O(1) amortized.  No-op when the config
+    /// did not enable incremental mode.
+    void observe(const repsys::Feedback& feedback);
+
+    /// Standing stream state of a server's screener; kInsufficient for
+    /// servers never observed (or when incremental mode is off).
+    [[nodiscard]] core::StreamState stream_state(repsys::EntityId server) const;
+
+    /// Number of servers with a live screener.
+    [[nodiscard]] std::size_t tracked_streams() const;
+
+    /// Resolved executor count (pool workers + the caller).
+    [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+    [[nodiscard]] const BatchAssessorConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const core::TwoPhaseAssessor& assessor() const noexcept {
+        return assessor_;
+    }
+
+private:
+    struct ScreenerStripe;
+
+    /// Assess one server: incremental shortcut when possible, else the
+    /// full two-phase scan of a shard-consistent snapshot.
+    [[nodiscard]] core::Assessment assess_one(const repsys::FeedbackStore& store,
+                                              repsys::EntityId server) const;
+
+    [[nodiscard]] ScreenerStripe& stripe_for(repsys::EntityId server) const;
+
+    BatchAssessorConfig config_;
+    core::TwoPhaseAssessor assessor_;
+    std::size_t threads_;
+    mutable stats::ThreadPool pool_;
+    std::vector<std::unique_ptr<ScreenerStripe>> stripes_;  ///< empty unless incremental
+};
+
+}  // namespace hpr::serve
+
+#endif  // HPR_SERVE_BATCH_ASSESSOR_H

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "stats/binomial.h"
+
 namespace hpr::stats {
 namespace {
 
@@ -47,7 +49,7 @@ double beta_continued_fraction(double a, double b, double x) {
 }  // namespace
 
 double log_beta(double a, double b) {
-    return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+    return log_gamma(a) + log_gamma(b) - log_gamma(a + b);
 }
 
 double reg_incomplete_beta(double a, double b, double x) {

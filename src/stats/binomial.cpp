@@ -7,11 +7,16 @@
 
 namespace hpr::stats {
 
+double log_gamma(double x) {
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+}
+
 double log_choose(std::uint32_t n, std::uint32_t k) {
     if (k > n) return -std::numeric_limits<double>::infinity();
-    return std::lgamma(static_cast<double>(n) + 1.0) -
-           std::lgamma(static_cast<double>(k) + 1.0) -
-           std::lgamma(static_cast<double>(n - k) + 1.0);
+    return log_gamma(static_cast<double>(n) + 1.0) -
+           log_gamma(static_cast<double>(k) + 1.0) -
+           log_gamma(static_cast<double>(n - k) + 1.0);
 }
 
 Binomial::Binomial(std::uint32_t n, double p) : n_(n), p_(p) {

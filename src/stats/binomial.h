@@ -16,6 +16,12 @@
 
 namespace hpr::stats {
 
+/// Natural log of Γ(x), thread-safe.  std::lgamma writes the
+/// process-global `signgam` on glibc — a data race when concurrent
+/// assessment threads evaluate tail bounds — so every lgamma use in the
+/// library goes through this lgamma_r-backed wrapper instead.
+[[nodiscard]] double log_gamma(double x);
+
 /// Natural log of the binomial coefficient C(n, k).
 [[nodiscard]] double log_choose(std::uint32_t n, std::uint32_t k);
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "stats/binomial.h"
+
 namespace hpr::stats {
 
 Multinomial::Multinomial(std::uint32_t n, std::vector<double> probabilities)
@@ -31,12 +33,12 @@ double Multinomial::log_pmf(const std::vector<std::uint32_t>& counts) const {
     }
     const std::uint64_t sum = std::accumulate(counts.begin(), counts.end(), 0ULL);
     if (sum != n_) return -std::numeric_limits<double>::infinity();
-    double logp = std::lgamma(static_cast<double>(n_) + 1.0);
+    double logp = log_gamma(static_cast<double>(n_) + 1.0);
     for (std::size_t j = 0; j < counts.size(); ++j) {
         if (counts[j] > 0 && p_[j] == 0.0) {
             return -std::numeric_limits<double>::infinity();
         }
-        logp -= std::lgamma(static_cast<double>(counts[j]) + 1.0);
+        logp -= log_gamma(static_cast<double>(counts[j]) + 1.0);
         if (counts[j] > 0) {
             logp += static_cast<double>(counts[j]) * std::log(p_[j]);
         }

@@ -411,5 +411,72 @@ TEST(TrustProperty, AccumulatorPrefixConsistencyFuzz) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Invariant 11: parallel batch assessment over the sharded store equals
+// the seed sequential path — one TwoPhaseAssessor walking history(id)
+// server by server — for random tapes, shard counts and thread counts.
+
+TEST(ServingProperty, BatchAssessorEqualsSequentialLoopFuzz) {
+    const auto trust = std::shared_ptr<const repsys::TrustFunction>{
+        repsys::make_trust_function("beta")};
+    stats::Rng rng{2011};
+    for (int trial = 0; trial < 5; ++trial) {
+        const std::size_t shard_count = 1 + rng.uniform_int(std::uint64_t{31});
+        const std::size_t threads = 1 + rng.uniform_int(std::uint64_t{8});
+
+        repsys::FeedbackStore store{shard_count};
+        std::vector<repsys::Feedback> batch;
+        for (repsys::EntityId server = 1; server <= 10; ++server) {
+            const auto length = rng.uniform_int(std::uint64_t{500});
+            const double p = 0.3 + 0.7 * rng.uniform();
+            for (std::size_t i = 0; i < length; ++i) {
+                batch.push_back(repsys::Feedback{
+                    static_cast<repsys::Timestamp>(i + 1), server,
+                    static_cast<repsys::EntityId>(200 + rng.uniform_int(std::uint64_t{19})),
+                    rng.bernoulli(p) ? repsys::Rating::kPositive
+                                     : repsys::Rating::kNegative});
+            }
+        }
+        store.submit(batch);
+
+        core::TwoPhaseConfig config;
+        config.mode = core::ScreeningMode::kMulti;
+        config.test.bonferroni = trial % 2 == 0;
+        config.test.collect_details = true;
+        const core::TwoPhaseAssessor sequential{config, trust, shared_cal()};
+        serve::BatchAssessorConfig batch_config;
+        batch_config.assessment = config;
+        batch_config.threads = threads;
+        const serve::BatchAssessor parallel{batch_config, trust, shared_cal()};
+
+        const auto results = parallel.assess_all(store);
+        const auto servers = store.servers();
+        ASSERT_EQ(results.size(), servers.size());
+        for (std::size_t i = 0; i < servers.size(); ++i) {
+            ASSERT_EQ(results[i].server, servers[i]);
+            const auto& got = results[i].assessment;
+            const auto want = sequential.assess(store.history(servers[i]));
+            ASSERT_EQ(got.verdict, want.verdict)
+                << "trial " << trial << " server " << servers[i]
+                << " shards=" << shard_count << " threads=" << threads;
+            ASSERT_EQ(got.trust.has_value(), want.trust.has_value());
+            if (want.trust) {
+                ASSERT_DOUBLE_EQ(*got.trust, *want.trust);
+            }
+            ASSERT_EQ(got.screening.passed, want.screening.passed);
+            ASSERT_EQ(got.screening.stages_run, want.screening.stages_run);
+            ASSERT_EQ(got.screening.failed_suffix_length,
+                      want.screening.failed_suffix_length);
+            ASSERT_EQ(got.screening.details.size(), want.screening.details.size());
+            for (std::size_t s = 0; s < want.screening.details.size(); ++s) {
+                ASSERT_DOUBLE_EQ(got.screening.details[s].distance,
+                                 want.screening.details[s].distance);
+                ASSERT_DOUBLE_EQ(got.screening.details[s].threshold,
+                                 want.screening.details[s].threshold);
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace hpr

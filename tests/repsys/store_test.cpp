@@ -115,6 +115,135 @@ TEST(FeedbackStore, EvictCanForgetServersEntirely) {
     EXPECT_FALSE(store.contains(10));
 }
 
+// --- sharding --------------------------------------------------------------
+
+/// First server id in [1, limit] mapping to the given shard, 0 if none.
+EntityId server_in_shard(const FeedbackStore& store, std::size_t shard,
+                         EntityId avoid = 0) {
+    for (EntityId id = 1; id <= 4096; ++id) {
+        if (id != avoid && store.shard_of(id) == shard) return id;
+    }
+    return 0;
+}
+
+TEST(FeedbackStoreSharding, ShardOfIsStableAndInRange) {
+    const FeedbackStore store{7};
+    EXPECT_EQ(store.shard_count(), 7u);
+    for (EntityId id = 1; id <= 500; ++id) {
+        const std::size_t shard = store.shard_of(id);
+        EXPECT_LT(shard, 7u);
+        EXPECT_EQ(store.shard_of(id), shard);  // pure function of the id
+    }
+    // The mix actually spreads: a contiguous id range touches every shard.
+    std::vector<bool> hit(7, false);
+    for (EntityId id = 1; id <= 500; ++id) hit[store.shard_of(id)] = true;
+    for (std::size_t s = 0; s < 7; ++s) EXPECT_TRUE(hit[s]) << "shard " << s;
+}
+
+TEST(FeedbackStoreSharding, ZeroShardCountClampsToOne) {
+    FeedbackStore store{0};
+    EXPECT_EQ(store.shard_count(), 1u);
+    store.submit(fb(1, 1, 2, true));
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(FeedbackStoreSharding, BatchRejectionIsAllOrNothingPerShard) {
+    FeedbackStore store{4};
+    // Two distinct servers on the same shard: the intra-batch time
+    // regression of `bad` must also roll back `good`'s slice.
+    const EntityId bad = server_in_shard(store, 2);
+    const EntityId good = server_in_shard(store, 2, bad);
+    ASSERT_NE(bad, 0u);
+    ASSERT_NE(good, 0u);
+    EXPECT_THROW(
+        store.submit({fb(1, good, 100, true), fb(5, bad, 100, true),
+                      fb(3, bad, 101, true)}),
+        std::invalid_argument);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_FALSE(store.contains(good));
+    EXPECT_FALSE(store.contains(bad));
+}
+
+TEST(FeedbackStoreSharding, EarlierShardsStayAppliedOnLaterRejection) {
+    FeedbackStore store{4};
+    const EntityId bad = server_in_shard(store, 3);
+    const EntityId early = server_in_shard(store, 0);
+    ASSERT_NE(bad, 0u);
+    ASSERT_NE(early, 0u);
+    // Shard 0 is processed (and applied) before shard 3 rejects.
+    EXPECT_THROW(
+        store.submit({fb(1, early, 100, true), fb(5, bad, 100, true),
+                      fb(3, bad, 101, true)}),
+        std::invalid_argument);
+    EXPECT_TRUE(store.contains(early));
+    EXPECT_FALSE(store.contains(bad));
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(FeedbackStoreSharding, BatchRejectsRegressionAgainstResidentLog) {
+    FeedbackStore store{4};
+    store.submit(fb(10, 1, 100, true));
+    EXPECT_THROW(store.submit({fb(9, 1, 100, true)}), std::invalid_argument);
+    EXPECT_EQ(store.history(1).size(), 1u);
+    // At-or-after the resident tail is fine (equal timestamps allowed).
+    store.submit({fb(10, 1, 101, true), fb(11, 1, 102, false)});
+    EXPECT_EQ(store.history(1).size(), 3u);
+}
+
+TEST(FeedbackStoreSharding, ShardCountDoesNotChangeContents) {
+    // The same tape, submitted single-feedback into a 1-shard store and
+    // batched into a 7-shard store, must yield bit-identical histories.
+    std::vector<Feedback> tape;
+    for (int i = 0; i < 200; ++i) {
+        tape.push_back(fb(static_cast<Timestamp>(i / 4 + 1),
+                          static_cast<EntityId>(1 + i % 9),
+                          static_cast<EntityId>(100 + i % 13), i % 5 != 0));
+    }
+    FeedbackStore sequential{1};
+    for (const auto& f : tape) sequential.submit(f);
+    FeedbackStore sharded{7};
+    sharded.submit(tape);
+    ASSERT_EQ(sharded.servers(), sequential.servers());
+    ASSERT_EQ(sharded.size(), sequential.size());
+    for (const auto server : sequential.servers()) {
+        ASSERT_EQ(sharded.history(server).feedbacks(),
+                  sequential.history(server).feedbacks());
+    }
+}
+
+TEST(FeedbackStoreSharding, SnapshotIsIndependentOfLaterWrites) {
+    FeedbackStore store{4};
+    store.submit({fb(1, 1, 100, true), fb(2, 1, 101, false)});
+    const TransactionHistory snapshot = store.history_snapshot(1);
+    store.submit(fb(3, 1, 102, true));
+    EXPECT_EQ(snapshot.size(), 2u);
+    EXPECT_EQ(store.history(1).size(), 3u);
+    // The snapshot was the then-current prefix.
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        EXPECT_EQ(snapshot[i], store.history(1)[i]);
+    }
+    EXPECT_THROW((void)store.history_snapshot(99), std::out_of_range);
+}
+
+TEST(FeedbackStoreSharding, CopyIsDeepAndMovePreservesContents) {
+    FeedbackStore original = sample_store();
+    FeedbackStore copy = original;
+    copy.submit(fb(9, 10, 100, true));
+    EXPECT_EQ(copy.history(10).size(), 4u);
+    EXPECT_EQ(original.history(10).size(), 3u);  // untouched
+
+    FeedbackStore moved = std::move(original);
+    EXPECT_EQ(moved.size(), 5u);
+    EXPECT_EQ(moved.servers(), (std::vector<EntityId>{10, 20}));
+
+    FeedbackStore assigned{2};
+    assigned = copy;
+    EXPECT_EQ(assigned.size(), copy.size());
+    EXPECT_EQ(assigned.shard_count(), copy.shard_count());
+    assigned = std::move(moved);
+    EXPECT_EQ(assigned.size(), 5u);
+}
+
 TEST(FeedbackStore, SaveLoadRoundTrip) {
     const FeedbackStore store = sample_store();
     const auto dir =

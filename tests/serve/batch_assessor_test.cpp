@@ -1,0 +1,251 @@
+// Equivalence suite for the parallel serving core (serve/batch_assessor.h).
+//
+// The load-bearing claim: the thread pool decides only WHICH thread
+// assesses a server, never WHAT the assessment computes — so BatchAssessor
+// must reproduce the seed sequential path (one TwoPhaseAssessor walking
+// store.history(id) server by server) bit for bit, at any thread count.
+
+#include "serve/batch_assessor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/two_phase.h"
+#include "repsys/store.h"
+#include "repsys/trust.h"
+#include "stats/rng.h"
+
+namespace hpr::serve {
+namespace {
+
+std::shared_ptr<stats::Calibrator> shared_cal() {
+    static auto cal = core::make_calibrator(core::BehaviorTestConfig{});
+    return cal;
+}
+
+std::shared_ptr<const repsys::TrustFunction> beta_trust() {
+    return std::shared_ptr<const repsys::TrustFunction>{
+        repsys::make_trust_function("beta")};
+}
+
+core::TwoPhaseConfig assessment_config() {
+    core::TwoPhaseConfig config;
+    config.mode = core::ScreeningMode::kMulti;
+    config.test.bonferroni = true;
+    config.test.collect_details = true;
+    return config;
+}
+
+/// A population every verdict class shows up in: honest servers of
+/// varying quality, one mid-stream quality drop, one newcomer too short
+/// to screen.
+repsys::FeedbackStore mixed_store() {
+    repsys::FeedbackStore store{8};
+    struct Spec {
+        repsys::EntityId id;
+        std::size_t length;
+        double p;
+        bool drops;
+    };
+    const std::vector<Spec> specs{
+        {1, 800, 0.97, false}, {2, 600, 0.85, false}, {3, 700, 0.95, true},
+        {4, 500, 0.70, false}, {5, 12, 0.90, false},  {6, 900, 0.92, true},
+    };
+    std::vector<repsys::Feedback> batch;
+    for (const auto& spec : specs) {
+        stats::Rng rng{0xabcd00ULL + spec.id};
+        for (std::size_t i = 0; i < spec.length; ++i) {
+            const double p =
+                (spec.drops && i >= spec.length / 2) ? spec.p * 0.5 : spec.p;
+            batch.push_back(repsys::Feedback{
+                static_cast<repsys::Timestamp>(i + 1), spec.id,
+                static_cast<repsys::EntityId>(100 + i % 23),
+                rng.bernoulli(p) ? repsys::Rating::kPositive
+                                 : repsys::Rating::kNegative});
+        }
+    }
+    store.submit(batch);
+    return store;
+}
+
+void expect_identical(const core::Assessment& got, const core::Assessment& want) {
+    ASSERT_EQ(got.verdict, want.verdict);
+    ASSERT_EQ(got.trust.has_value(), want.trust.has_value());
+    if (want.trust) {
+        ASSERT_DOUBLE_EQ(*got.trust, *want.trust);
+    }
+    ASSERT_EQ(got.screening.passed, want.screening.passed);
+    ASSERT_EQ(got.screening.sufficient, want.screening.sufficient);
+    ASSERT_EQ(got.screening.stages_run, want.screening.stages_run);
+    ASSERT_EQ(got.screening.failed_suffix_length,
+              want.screening.failed_suffix_length);
+    ASSERT_DOUBLE_EQ(got.screening.min_margin, want.screening.min_margin);
+    ASSERT_EQ(got.screening.details.size(), want.screening.details.size());
+    for (std::size_t s = 0; s < want.screening.details.size(); ++s) {
+        ASSERT_DOUBLE_EQ(got.screening.details[s].distance,
+                         want.screening.details[s].distance);
+        ASSERT_DOUBLE_EQ(got.screening.details[s].threshold,
+                         want.screening.details[s].threshold);
+        ASSERT_DOUBLE_EQ(got.screening.details[s].p_hat,
+                         want.screening.details[s].p_hat);
+    }
+}
+
+TEST(BatchAssessor, MatchesSequentialTwoPhasePath) {
+    const repsys::FeedbackStore store = mixed_store();
+    const core::TwoPhaseAssessor sequential{assessment_config(), beta_trust(),
+                                            shared_cal()};
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 4;
+    const BatchAssessor batch{config, beta_trust(), shared_cal()};
+
+    const auto results = batch.assess_all(store);
+    const auto servers = store.servers();
+    ASSERT_EQ(results.size(), servers.size());
+    bool saw_suspicious = false;
+    bool saw_assessed = false;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        ASSERT_EQ(results[i].server, servers[i]);
+        const auto reference = sequential.assess(store.history(servers[i]));
+        expect_identical(results[i].assessment, reference);
+        saw_suspicious |= reference.verdict == core::Verdict::kSuspicious;
+        saw_assessed |= reference.verdict == core::Verdict::kAssessed;
+    }
+    // The fixture must actually exercise both verdict branches.
+    EXPECT_TRUE(saw_suspicious);
+    EXPECT_TRUE(saw_assessed);
+}
+
+TEST(BatchAssessor, ThreadCountIsInvisibleInResults) {
+    const repsys::FeedbackStore store = mixed_store();
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 1;
+    const BatchAssessor one{config, beta_trust(), shared_cal()};
+    const auto reference = one.assess_all(store);
+    for (const std::size_t threads : {2u, 3u, 8u}) {
+        config.threads = threads;
+        const BatchAssessor many{config, beta_trust(), shared_cal()};
+        ASSERT_EQ(many.threads(), threads);
+        const auto results = many.assess_all(store);
+        ASSERT_EQ(results.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+            ASSERT_EQ(results[i].server, reference[i].server);
+            expect_identical(results[i].assessment, reference[i].assessment);
+        }
+    }
+}
+
+TEST(BatchAssessor, ResultsFollowRequestOrder) {
+    const repsys::FeedbackStore store = mixed_store();
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 2;
+    const BatchAssessor assessor{config, beta_trust(), shared_cal()};
+    const std::vector<repsys::EntityId> request{5, 1, 6, 1, 3};
+    const auto results = assessor.assess(store, request);
+    ASSERT_EQ(results.size(), request.size());
+    for (std::size_t i = 0; i < request.size(); ++i) {
+        EXPECT_EQ(results[i].server, request[i]);
+    }
+    // The duplicated server assesses identically both times.
+    expect_identical(results[1].assessment, results[3].assessment);
+}
+
+TEST(BatchAssessor, UnknownServerThrowsOutOfRange) {
+    const repsys::FeedbackStore store = mixed_store();
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 2;
+    const BatchAssessor assessor{config, beta_trust(), shared_cal()};
+    EXPECT_THROW((void)assessor.assess(store, {1, 999}), std::out_of_range);
+}
+
+TEST(BatchAssessor, NullTrustFunctionRejected) {
+    EXPECT_THROW(BatchAssessor(BatchAssessorConfig{}, nullptr, shared_cal()),
+                 std::invalid_argument);
+}
+
+TEST(BatchAssessor, EmptyRequestYieldsEmptyResult) {
+    const repsys::FeedbackStore store = mixed_store();
+    BatchAssessorConfig config;
+    config.threads = 2;
+    const BatchAssessor assessor{config, beta_trust(), shared_cal()};
+    EXPECT_TRUE(assessor.assess(store, {}).empty());
+}
+
+// --- incremental mode ------------------------------------------------------
+
+/// Streams a whole tape through observe() and ingests it into the store.
+void stream(repsys::FeedbackStore& store, BatchAssessor& assessor,
+            repsys::EntityId server, std::size_t length, double p_before,
+            double p_after) {
+    stats::Rng rng{0x5eedULL + server};
+    for (std::size_t i = 0; i < length; ++i) {
+        const double p = i < length / 2 ? p_before : p_after;
+        const repsys::Feedback feedback{
+            static_cast<repsys::Timestamp>(i + 1), server,
+            static_cast<repsys::EntityId>(300 + i % 7),
+            rng.bernoulli(p) ? repsys::Rating::kPositive
+                             : repsys::Rating::kNegative};
+        store.submit(feedback);
+        assessor.observe(feedback);
+    }
+}
+
+TEST(BatchAssessorIncremental, ShortcutsFromStandingScreenerState) {
+    repsys::FeedbackStore store{4};
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 2;
+    config.incremental = true;
+    BatchAssessor assessor{config, beta_trust(), shared_cal()};
+
+    stream(store, assessor, 1, 800, 0.96, 0.96);  // honest throughout
+    stream(store, assessor, 2, 800, 0.96, 0.05);  // flips mid-stream
+    stream(store, assessor, 3, 15, 0.90, 0.90);   // too short to judge
+    ASSERT_EQ(assessor.tracked_streams(), 3u);
+    ASSERT_EQ(assessor.stream_state(1), core::StreamState::kClear);
+    ASSERT_EQ(assessor.stream_state(2), core::StreamState::kSuspicious);
+    ASSERT_EQ(assessor.stream_state(3), core::StreamState::kInsufficient);
+    ASSERT_EQ(assessor.stream_state(99), core::StreamState::kInsufficient);
+
+    const auto results = assessor.assess(store, {1, 2, 3});
+
+    // Clear stream: phase 1 answered from the screener, phase 2 still the
+    // real trust function on the real history.
+    EXPECT_EQ(results[0].assessment.verdict, core::Verdict::kAssessed);
+    ASSERT_TRUE(results[0].assessment.trust.has_value());
+    EXPECT_DOUBLE_EQ(
+        *results[0].assessment.trust,
+        assessor.assessor().trust_function().evaluate(store.history(1).view()));
+
+    // Suspicious stream: rejected without a rescan, no trust value.
+    EXPECT_EQ(results[1].assessment.verdict, core::Verdict::kSuspicious);
+    EXPECT_FALSE(results[1].assessment.trust.has_value());
+    EXPECT_FALSE(results[1].assessment.screening.passed);
+    EXPECT_TRUE(results[1].assessment.screening.sufficient);
+
+    // Insufficient stream: falls through to the full two-phase scan.
+    const core::TwoPhaseAssessor sequential{assessment_config(), beta_trust(),
+                                            shared_cal()};
+    expect_identical(results[2].assessment, sequential.assess(store.history(3)));
+}
+
+TEST(BatchAssessorIncremental, ObserveIsNoOpWhenDisabled) {
+    repsys::FeedbackStore store{4};
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 1;  // incremental defaults to off
+    BatchAssessor assessor{config, beta_trust(), shared_cal()};
+    assessor.observe(repsys::Feedback{1, 1, 2, repsys::Rating::kPositive});
+    EXPECT_EQ(assessor.tracked_streams(), 0u);
+    EXPECT_EQ(assessor.stream_state(1), core::StreamState::kInsufficient);
+}
+
+}  // namespace
+}  // namespace hpr::serve
