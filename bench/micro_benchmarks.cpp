@@ -19,6 +19,9 @@
 #include "sim/generators.h"
 #include "sim/gossip.h"
 #include "sim/overlay.h"
+#include "stats/distance.h"
+#include "stats/empirical.h"
+#include "stats/reference_cache.h"
 
 namespace {
 
@@ -47,6 +50,61 @@ void BM_BinomialConstruct(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_BinomialConstruct)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_ReferenceModelCached(benchmark::State& state) {
+    // Steady-state cost of fetching a reference model from the shared
+    // cache (shared-lock map hit + recency stamp) vs BM_BinomialConstruct,
+    // which is what every ladder stage paid before the cache existed.
+    // Cycles 64 distinct exact-rational keys so the map lookup is real.
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    stats::ReferenceModelCache cache{1024};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t good = 800 + (i++ & 63);
+        benchmark::DoNotOptimize(cache.reference(n, good, 1000).get());
+    }
+}
+BENCHMARK(BM_ReferenceModelCached)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_ReferenceModelUncached(benchmark::State& state) {
+    // The miss path: every iteration constructs and caches a never-seen
+    // key (the cache is cleared once it nears capacity, off the clock).
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    stats::ReferenceModelCache cache{1 << 20};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        if ((i & 0xffff) == 0xffff) {
+            state.PauseTiming();
+            cache.clear();
+            state.ResumeTiming();
+        }
+        benchmark::DoNotOptimize(cache.reference(n, ++i, 1ULL << 52).get());
+    }
+}
+BENCHMARK(BM_ReferenceModelUncached)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_DistanceKernel(benchmark::State& state) {
+    // The branch-free distance kernels over a counts table and a cached
+    // pmf span: range(0) = support size (window size m), range(1) =
+    // DistanceKind.  This is the per-stage cost after the reference model
+    // is a cache hit.
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const auto kind = static_cast<stats::DistanceKind>(state.range(1));
+    const stats::Binomial reference{n, 0.9};
+    stats::Rng rng{99};
+    stats::EmpiricalDistribution counts{n};
+    for (int i = 0; i < 200; ++i) counts.add(reference.sample(rng));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stats::distance(counts, reference, kind));
+    }
+    state.SetLabel(stats::to_string(kind));
+}
+BENCHMARK(BM_DistanceKernel)
+    ->ArgsProduct({{10, 50, 200},
+                   {static_cast<long>(stats::DistanceKind::kL1),
+                    static_cast<long>(stats::DistanceKind::kL2),
+                    static_cast<long>(stats::DistanceKind::kChiSquare),
+                    static_cast<long>(stats::DistanceKind::kKolmogorovSmirnov)}});
 
 void BM_BinomialSample(benchmark::State& state) {
     const stats::Binomial b{10, 0.9};

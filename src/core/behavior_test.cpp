@@ -4,7 +4,42 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/scratch.h"
+#include "stats/reference_cache.h"
+
 namespace hpr::core {
+
+namespace {
+
+/// Largest integer count that converts to double exactly; the cache's
+/// bit-identity guarantee (reference_cache.h) needs exact conversions, so
+/// absurdly long histories fall back to fresh model construction.
+constexpr std::uint64_t kExactDoubleLimit = 1ULL << 53;
+
+/// Reduce a raw sequence to its newest-anchored window-count histogram in
+/// the calling thread's scratch slot — compute_window_stats semantics
+/// (window w covers [n-(w+1)m, n-wm), the oldest n mod m outcomes are
+/// dropped) without the per-call WindowStats allocations.
+template <typename Sequence, typename IsGood>
+const stats::EmpiricalDistribution& fill_window_counts(const Sequence& seq,
+                                                       std::uint32_t m,
+                                                       IsGood is_good) {
+    stats::EmpiricalDistribution& counts = assessment_scratch().window_counts;
+    counts.reset(m);
+    const std::size_t n = seq.size();
+    const std::size_t windows = n / m;
+    for (std::size_t w = 0; w < windows; ++w) {
+        const std::size_t begin = n - (w + 1) * m;
+        std::uint32_t good = 0;
+        for (std::size_t i = begin; i < begin + m; ++i) {
+            if (is_good(seq[i])) ++good;
+        }
+        counts.add(good);
+    }
+    return counts;
+}
+
+}  // namespace
 
 std::shared_ptr<stats::Calibrator> make_calibrator(const BehaviorTestConfig& config) {
     stats::CalibrationConfig cc;
@@ -65,14 +100,21 @@ BehaviorTest::BehaviorTest(BehaviorTestConfig config,
         throw std::invalid_argument("BehaviorTest: min_windows must be > 0");
     }
     if (!calibrator_) calibrator_ = make_calibrator(config_);
+    if (config_.use_reference_cache) {
+        reference_cache_ = config_.reference_cache
+                               ? config_.reference_cache.get()
+                               : &stats::ReferenceModelCache::process_wide();
+    }
 }
 
 BehaviorTestResult BehaviorTest::test(std::span<const repsys::Feedback> feedbacks) const {
-    return test(compute_window_stats(feedbacks, config_.window_size));
+    return test(fill_window_counts(feedbacks, config_.window_size,
+                                   [](const repsys::Feedback& f) { return f.good(); }));
 }
 
 BehaviorTestResult BehaviorTest::test(std::span<const std::uint8_t> outcomes) const {
-    return test(compute_window_stats(outcomes, config_.window_size));
+    return test(fill_window_counts(outcomes, config_.window_size,
+                                   [](std::uint8_t o) { return o != 0; }));
 }
 
 BehaviorTestResult BehaviorTest::test(const WindowStats& stats) const {
@@ -97,12 +139,20 @@ BehaviorTestResult BehaviorTest::test(const stats::EmpiricalDistribution& counts
         return result;
     }
     result.sufficient = true;
-    result.p_hat = result.transactions_used == 0
-                       ? 0.0
-                       : static_cast<double>(counts.value_sum()) /
-                             static_cast<double>(result.transactions_used);
-    const stats::Binomial reference{config_.window_size, result.p_hat};
-    result.distance = stats::distance(counts, reference.pmf_table(), config_.distance);
+    const std::uint64_t good = counts.value_sum();
+    const auto total = static_cast<std::uint64_t>(result.transactions_used);
+    result.p_hat = total == 0 ? 0.0
+                              : static_cast<double>(good) / static_cast<double>(total);
+    if (reference_cache_ != nullptr && total < kExactDoubleLimit) {
+        // Shared model, bit-identical to the fresh construction below: the
+        // cache keys on the exact rational good/total (reference_cache.h).
+        const auto reference =
+            reference_cache_->reference(config_.window_size, good, total);
+        result.distance = stats::distance(counts, *reference, config_.distance);
+    } else {
+        const stats::Binomial reference{config_.window_size, result.p_hat};
+        result.distance = stats::distance(counts, reference, config_.distance);
+    }
     const double confidence =
         confidence_override > 0.0 ? confidence_override : config_.confidence;
     result.threshold = calibrator_->threshold(counts.size(), config_.window_size,

@@ -74,9 +74,20 @@ public:
         return calibrator_;
     }
 
+    /// The reference-model cache this tester resolves against (null when
+    /// config().use_reference_cache is false).
+    [[nodiscard]] stats::ReferenceModelCache* reference_cache() const noexcept {
+        return reference_cache_;
+    }
+
 private:
     BehaviorTestConfig config_;
     std::shared_ptr<stats::Calibrator> calibrator_;
+
+    /// Resolved once in the constructor: the injected instance, the
+    /// process-wide cache, or null (disabled).  When the config carries an
+    /// injected instance, config_ keeps it alive.
+    stats::ReferenceModelCache* reference_cache_ = nullptr;
 };
 
 /// Build a calibrator matching a test config (confidence, replications,

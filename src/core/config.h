@@ -6,8 +6,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "stats/distance.h"
+
+namespace hpr::stats {
+class ReferenceModelCache;
+}  // namespace hpr::stats
 
 namespace hpr::core {
 
@@ -36,6 +41,18 @@ struct BehaviorTestConfig {
     /// thread).  Purely a speed knob: calibrated thresholds are
     /// bit-identical at any thread count.
     std::size_t calibration_threads = 0;
+
+    /// Reuse Binomial reference models through the shared
+    /// stats::ReferenceModelCache instead of rebuilding the pmf table on
+    /// every test.  Purely a speed knob: the cache keys on the *exact*
+    /// rational p̂, so cached results are bit-identical to fresh
+    /// construction (verdicts, distances and margins cannot change).
+    bool use_reference_cache = true;
+
+    /// Cache instance to use; null means the process-wide cache
+    /// (stats::ReferenceModelCache::process_wide()).  Benches and tests
+    /// inject a private instance to control capacity and observe stats.
+    std::shared_ptr<stats::ReferenceModelCache> reference_cache;
 };
 
 /// Parameters of multi-testing (paper §3.3): the single test is repeated

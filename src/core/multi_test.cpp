@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/scratch.h"
 #include "obs/trace.h"
 
 namespace hpr::core {
@@ -81,7 +82,11 @@ MultiTestResult MultiTest::test_incremental(const Sequence& seq, IsGood is_good)
         return suffix_len / m;
     };
 
-    stats::EmpiricalDistribution counts{m};
+    // This loop is the outermost ladder on this thread, so it owns the
+    // thread-local ladder slot (core/scratch.h); the single test below
+    // only borrows the histogram and never touches the arena itself.
+    stats::EmpiricalDistribution& counts = assessment_scratch().ladder_counts;
+    counts.reset(m);
     std::size_t added_windows = 0;
     const auto add_windows_upto = [&](std::size_t target) {
         while (added_windows < target) {
@@ -100,6 +105,7 @@ MultiTestResult MultiTest::test_incremental(const Sequence& seq, IsGood is_good)
     obs::TraceContext* trace = obs::TraceContext::current();
     const bool span_stages = trace != nullptr && trace->span_stages();
     if (trace != nullptr) trace->record()->stages.reserve(stages);
+    if (config_.collect_details) result.details.reserve(stages);
 
     const double confidence = stage_confidence(config_, stages);
     for (std::size_t stage = 0; stage < stages; ++stage) {

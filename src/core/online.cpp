@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/scratch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -96,7 +97,10 @@ void OnlineScreener::evaluate() {
     bool all_passed = true;
     double min_margin = std::numeric_limits<double>::infinity();
     bool any_sufficient = false;
-    stats::EmpiricalDistribution counts{m};
+    // Outermost ladder on this thread — it owns the thread-local ladder
+    // slot (core/scratch.h), reset per evaluation instead of reallocated.
+    stats::EmpiricalDistribution& counts = assessment_scratch().ladder_counts;
+    counts.reset(m);
     std::size_t added = 0;
     {
         obs::TraceSpan ladder{"phase1/ladder"};

@@ -1,0 +1,10 @@
+#include "core/scratch.h"
+
+namespace hpr::core {
+
+AssessmentScratch& assessment_scratch() noexcept {
+    thread_local AssessmentScratch scratch;
+    return scratch;
+}
+
+}  // namespace hpr::core

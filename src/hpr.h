@@ -24,6 +24,7 @@
 #include "core/online.h"
 #include "core/report.h"
 #include "core/runs_test.h"
+#include "core/scratch.h"
 #include "core/temporal.h"
 #include "core/two_phase.h"
 #include "core/window_stats.h"
@@ -60,6 +61,7 @@
 #include "stats/moments.h"
 #include "stats/multinomial.h"
 #include "stats/normal.h"
+#include "stats/reference_cache.h"
 #include "stats/rng.h"
 
 #endif  // HPR_HPR_H

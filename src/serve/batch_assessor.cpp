@@ -160,6 +160,11 @@ std::vector<ServerAssessment> BatchAssessor::assess(
     metrics.batch_servers.increment(servers.size());
     std::vector<ServerAssessment> results(servers.size());
     const obs::ScopedTimer timer{metrics.batch_seconds};
+    // Each pool worker screens with its own thread-local scratch arena
+    // (core/scratch.h) and the shared reference-model cache configured on
+    // config_.assessment.test.base, so steady-state screening neither
+    // allocates nor rebuilds Binomial tables — see docs/scaling.md
+    // ("Assessment hot path").
     pool_.parallel_for(servers.size(), [&](std::size_t i) {
         results[i].server = servers[i];
         results[i].assessment = assess_one(store, servers[i]);

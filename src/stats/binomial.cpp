@@ -50,6 +50,16 @@ Binomial::Binomial(std::uint32_t n, double p) : n_(n), p_(p) {
         cdf_[k] = std::min(acc, 1.0);
     }
     cdf_[n_] = 1.0;
+    // Upper tail accumulated downward from k = n: each sf_[k] is a sum of
+    // same-signed terms at its own magnitude, never a cancellation against
+    // 1.0, so P(X >= k) stays relatively accurate deep into the tail.
+    sf_.resize(n_ + 1, 0.0);
+    double tail = 0.0;
+    for (std::uint32_t k = n_ + 1; k-- > 0;) {
+        tail += pmf_[k];
+        sf_[k] = std::min(tail, 1.0);
+    }
+    sf_[0] = 1.0;
 }
 
 double Binomial::log_pmf(std::uint32_t k) const {

@@ -10,6 +10,7 @@
 /// compares empirical window statistics against this distribution.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "stats/rng.h"
@@ -51,9 +52,13 @@ public:
         return k < n_ ? cdf_[k] : 1.0;
     }
 
-    /// P(X >= k).
+    /// P(X >= k), read from a dedicated upper-tail table accumulated from
+    /// the top of the pmf.  The naive 1 - cdf(k-1) form loses all relative
+    /// precision once the tail drops below ~1e-16 (catastrophic
+    /// cancellation against a cdf that has rounded to 1); summing the pmf
+    /// from the top keeps deep tails accurate to their own scale.
     [[nodiscard]] double survival(std::uint32_t k) const noexcept {
-        return k == 0 ? 1.0 : 1.0 - cdf(k - 1);
+        return k <= n_ ? sf_[k] : 0.0;
     }
 
     /// Smallest k with P(X <= k) >= q, for q in [0, 1].
@@ -67,6 +72,20 @@ public:
     /// Full pmf table over {0..n} (size n+1).
     [[nodiscard]] const std::vector<double>& pmf_table() const noexcept { return pmf_; }
 
+    /// Borrowed contiguous views of the precomputed tables.  The distance
+    /// kernels (stats/distance.h) consume these directly, so shared cached
+    /// models (stats/reference_cache.h) are read without any copy.
+    [[nodiscard]] std::span<const double> pmf_span() const noexcept {
+        return {pmf_.data(), pmf_.size()};
+    }
+    [[nodiscard]] std::span<const double> cdf_span() const noexcept {
+        return {cdf_.data(), cdf_.size()};
+    }
+    /// survival_span()[k] = P(X >= k).
+    [[nodiscard]] std::span<const double> survival_span() const noexcept {
+        return {sf_.data(), sf_.size()};
+    }
+
     /// Draw one variate (inversion from the precomputed cdf; O(log n)).
     [[nodiscard]] std::uint32_t sample(Rng& rng) const;
 
@@ -78,6 +97,7 @@ private:
     double p_;
     std::vector<double> pmf_;  ///< pmf_[k] = P(X = k), k in {0..n}
     std::vector<double> cdf_;  ///< cdf_[k] = P(X <= k), k in {0..n}
+    std::vector<double> sf_;   ///< sf_[k] = P(X >= k), summed from the top
 };
 
 /// One Bernoulli(p) outcome per call without building a Binomial object.

@@ -195,11 +195,24 @@ std::vector<double> Calibrator::compute_null(const Key& key) const {
 }
 
 const std::vector<double>& Calibrator::null_for(const Key& key) {
+    {
+        // Hit fast path: no promise/future shared state (a heap
+        // allocation) is created and no writer is blocked.  Entries are
+        // never erased while the calibrator lives, so the returned
+        // reference stays valid after the lock is dropped.
+        const std::shared_lock lock{mutex_};
+        if (const auto it = cache_.find(key); it != cache_.end()) {
+            hit_count_.fetch_add(1, std::memory_order_relaxed);
+            calibration_metrics().hits.increment();
+            return it->second;
+        }
+    }
     std::promise<const std::vector<double>*> promise;
     std::shared_future<const std::vector<double>*> flight;
     bool leader = false;
     {
         const std::scoped_lock lock{mutex_};
+        // Re-check: the key may have landed between the two locks.
         if (const auto it = cache_.find(key); it != cache_.end()) {
             hit_count_.fetch_add(1, std::memory_order_relaxed);
             calibration_metrics().hits.increment();

@@ -49,6 +49,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -190,7 +191,9 @@ private:
     [[nodiscard]] ThreadPool& pool() const;
 
     CalibrationConfig config_;
-    mutable std::mutex mutex_;
+    /// Read-mostly: threshold hits take the shared side; misses,
+    /// warm-up and persistence take it exclusively.
+    mutable std::shared_mutex mutex_;
     std::map<Key, std::vector<double>> cache_;
 
     /// Keys being computed right now; followers wait on the future while

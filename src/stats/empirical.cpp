@@ -62,6 +62,14 @@ void EmpiricalDistribution::merge(const EmpiricalDistribution& other) {
     value_sq_sum_ += other.value_sq_sum_;
 }
 
+void EmpiricalDistribution::reset(std::uint32_t max_value) {
+    // assign keeps the allocation when the new support fits in capacity.
+    counts_.assign(static_cast<std::size_t>(max_value) + 1, 0);
+    total_ = 0;
+    value_sum_ = 0;
+    value_sq_sum_ = 0;
+}
+
 void EmpiricalDistribution::clear() noexcept {
     for (auto& c : counts_) c = 0;
     total_ = 0;

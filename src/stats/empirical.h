@@ -81,6 +81,12 @@ public:
     /// Drop all recorded samples (support is preserved).
     void clear() noexcept;
 
+    /// Drop all samples AND retarget the support to {0..max_value},
+    /// reusing the existing buffer when it is large enough.  The
+    /// scratch-arena primitive of the assessment hot path: a thread-local
+    /// histogram is reset per use instead of reallocated.
+    void reset(std::uint32_t max_value);
+
 private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;

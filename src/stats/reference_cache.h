@@ -1,0 +1,150 @@
+#ifndef HPR_STATS_REFERENCE_CACHE_H
+#define HPR_STATS_REFERENCE_CACHE_H
+
+/// \file reference_cache.h
+/// Shared read-mostly cache of Binomial reference models.
+///
+/// Every stage of every behavior test compares an empirical window-count
+/// distribution against B(m, p̂) (paper §3.2).  Constructing that reference
+/// costs O(m) lgamma/exp evaluations — cheap once, ruinous when the serving
+/// path rebuilds it for every suffix of every assessment.  Since p̂ is
+/// always the rational good_total / (k·m), the distinct reference models a
+/// deployment touches form a small, heavily re-hit set: cache them.
+///
+/// Two properties make the cache safe to put on the verdict path:
+///
+///  * **Exact keying.**  Keys are the window size m plus the rational p̂
+///    reduced to lowest terms — NOT a quantized bucket.  IEEE-754 division
+///    is correctly rounded, so (good/g) / (total/g) and good / total are
+///    the same double whenever the integers convert to double exactly
+///    (they are below 2^53 in any real workload; callers with larger
+///    totals must construct fresh models).  A cached model is therefore
+///    bit-identical to a freshly constructed one — verdicts, distances and
+///    margins cannot drift by even one ulp.
+///  * **Single-flight construction.**  Concurrent misses of the same key
+///    join one in-flight construction (the stats::Calibrator discipline)
+///    instead of each building the table.
+///
+/// Values are handed out as shared_ptr<const Binomial>, so an entry evicted
+/// while a reader still holds it simply outlives its cache slot.  The cache
+/// is bounded: inserting beyond `capacity` evicts the least-recently-used
+/// entry.  Hits take a shared lock and bump a per-entry atomic recency
+/// stamp; only misses and evictions take the exclusive lock.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "stats/binomial.h"
+
+namespace hpr::stats {
+
+/// Point-in-time behavior snapshot of a ReferenceModelCache (the obs
+/// registry mirrors the same quantities as process-wide aggregates).
+struct ReferenceModelCacheStats {
+    std::size_t hits = 0;    ///< lookups answered from the cache
+    std::size_t misses = 0;  ///< cold lookups that built a model (flight leaders)
+    std::size_t single_flight_joins = 0;  ///< lookups that waited on an in-flight build
+    std::size_t evictions = 0;      ///< entries dropped by the LRU bound
+    std::size_t in_flight = 0;      ///< keys being constructed right now
+    std::size_t entries = 0;        ///< models currently resident
+};
+
+/// Thread-safe LRU cache of immutable Binomial reference models keyed by
+/// (m, p̂ as an exact reduced rational).
+class ReferenceModelCache {
+public:
+    /// Default resident-model bound.  A key is (m, reduced p̂); a serving
+    /// deployment with one window size touches roughly one key per
+    /// distinct (good, total) pair its suffix ladders produce, so a few
+    /// thousand entries cover steady state with room to spare.
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+    /// \param capacity  maximum resident entries (minimum 1).
+    explicit ReferenceModelCache(std::size_t capacity = kDefaultCapacity);
+
+    /// The reference model B(m, good/total); total == 0 yields B(m, 0).
+    ///
+    /// Bit-identity with `Binomial{m, double(good)/double(total)}` is
+    /// guaranteed while good and total are exactly representable as
+    /// doubles (< 2^53).
+    /// \throws std::invalid_argument if good > total.
+    [[nodiscard]] std::shared_ptr<const Binomial> reference(std::uint32_t m,
+                                                            std::uint64_t good,
+                                                            std::uint64_t total);
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+    /// Snapshot of hit/miss/join/eviction counts and current occupancy.
+    [[nodiscard]] ReferenceModelCacheStats stats() const;
+
+    /// Drop every resident model (outstanding shared_ptrs stay valid).
+    void clear();
+
+    /// The process-wide cache used by assessors that are not handed a
+    /// dedicated instance (core::BehaviorTestConfig::reference_cache).
+    /// Leaked on purpose so it outlives every static-destruction-order
+    /// hazard, like obs::default_registry().
+    [[nodiscard]] static ReferenceModelCache& process_wide();
+
+private:
+    /// p̂ in lowest terms: num/den = good/total with gcd divided out
+    /// (0/1 when total == 0).  Exactness of the key is what makes cached
+    /// and fresh models bit-identical.
+    struct Key {
+        std::uint32_t m;
+        std::uint64_t num;
+        std::uint64_t den;
+        auto operator<=>(const Key&) const = default;
+    };
+
+    struct Entry {
+        Entry(std::shared_ptr<const Binomial> m, std::uint64_t stamp)
+            : model(std::move(m)), last_used(stamp) {}
+        std::shared_ptr<const Binomial> model;
+        std::atomic<std::uint64_t> last_used;  ///< recency stamp (global tick)
+    };
+
+    /// splitmix64-style mix of (m, num, den).  The hot path is one hash
+    /// plus one bucket probe — measurably cheaper than the pointer-chasing
+    /// compares of an ordered map at steady-state occupancy.
+    struct KeyHash {
+        [[nodiscard]] std::size_t operator()(const Key& key) const noexcept {
+            std::uint64_t h = key.num + 0x9e3779b97f4a7c15ULL * (key.den + key.m);
+            h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+            return static_cast<std::size_t>(h ^ (h >> 31));
+        }
+    };
+
+    [[nodiscard]] static Key make_key(std::uint32_t m, std::uint64_t good,
+                                      std::uint64_t total);
+    [[nodiscard]] std::uint64_t next_stamp() noexcept {
+        return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    /// Evict least-recently-used entries down to capacity.  Requires the
+    /// exclusive lock.
+    void evict_excess_locked();
+
+    std::size_t capacity_;
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<Key, Entry, KeyHash> cache_;
+
+    /// Keys being constructed right now; followers wait on the future
+    /// while the flight leader builds the table outside the lock.
+    std::unordered_map<Key, std::shared_future<std::shared_ptr<const Binomial>>, KeyHash>
+        inflight_;
+
+    std::atomic<std::uint64_t> tick_{0};
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+    std::atomic<std::size_t> joins_{0};
+    std::atomic<std::size_t> evictions_{0};
+};
+
+}  // namespace hpr::stats
+
+#endif  // HPR_STATS_REFERENCE_CACHE_H

@@ -1,0 +1,122 @@
+// Multi-threaded stress tests for the shared reference-model cache
+// (stats/reference_cache.h), meant to run under -DHPR_SANITIZE=thread as
+// well as plain builds.  Eight threads hammer a small cache through hits,
+// misses, single-flight joins and batch evictions, and every returned
+// model is checked for bit-exact correctness on the spot.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "stats/reference_cache.h"
+#include "stats/rng.h"
+
+namespace hpr::stats {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+
+TEST(ReferenceCacheStress, ConcurrentMixedLookupsStayExact) {
+    // Capacity far below the key space, so the run continuously evicts
+    // while readers hold shared locks and stamp bumps race the scans.
+    ReferenceModelCache cache{64};
+    constexpr std::size_t kLookups = 4000;
+    constexpr std::uint64_t kTotal = 499;  // prime: every key is distinct
+    std::atomic<std::size_t> failures{0};
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            Rng rng{0x5eedULL + t};
+            for (std::size_t i = 0; i < kLookups; ++i) {
+                // Zipf-ish reuse: half the lookups hit a small hot set so
+                // hits, misses and evictions all stay in play.
+                const std::uint64_t good =
+                    rng.bernoulli(0.5) ? rng.uniform_int(std::uint64_t{16})
+                                       : rng.uniform_int(kTotal + 1);
+                const auto model = cache.reference(10, good, kTotal);
+                const double expected =
+                    static_cast<double>(good) / static_cast<double>(kTotal);
+                if (model == nullptr || model->n() != 10 ||
+                    model->p() != expected ||
+                    model->pmf_span().size() != 11) {
+                    failures.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& worker : pool) worker.join();
+    EXPECT_EQ(failures.load(), 0u);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses + stats.single_flight_joins,
+              kThreads * kLookups);
+    EXPECT_LE(stats.entries, cache.capacity());
+    EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(ReferenceCacheStress, ColdKeyStampedeConstructsOnce) {
+    for (int round = 0; round < 20; ++round) {
+        ReferenceModelCache cache{16};
+        std::atomic<std::size_t> ready{0};
+        std::vector<std::shared_ptr<const Binomial>> models(kThreads);
+        std::vector<std::thread> pool;
+        pool.reserve(kThreads);
+        for (std::size_t t = 0; t < kThreads; ++t) {
+            pool.emplace_back([&, t] {
+                ready.fetch_add(1, std::memory_order_acq_rel);
+                while (ready.load(std::memory_order_acquire) < kThreads) {
+                    // spin: release all threads into the lookup together
+                }
+                models[t] = cache.reference(10, 173 + round, 200 + round);
+            });
+        }
+        for (auto& worker : pool) worker.join();
+        // Single-flight: exactly one construction; everyone else joined
+        // the flight or hit the landed entry, and all share one object.
+        const auto stats = cache.stats();
+        EXPECT_EQ(stats.misses, 1u) << "round " << round;
+        EXPECT_EQ(stats.hits + stats.single_flight_joins, kThreads - 1);
+        for (const auto& model : models) {
+            ASSERT_NE(model, nullptr);
+            EXPECT_EQ(model.get(), models.front().get());
+        }
+    }
+}
+
+TEST(ReferenceCacheStress, ClearRacesLookupsSafely) {
+    ReferenceModelCache cache{64};
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> failures{0};
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (std::size_t t = 0; t + 1 < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            Rng rng{0xabcdULL + t};
+            while (!stop.load(std::memory_order_acquire)) {
+                const std::uint64_t good = rng.uniform_int(std::uint64_t{97});
+                const auto model = cache.reference(10, good, 97);
+                const double expected = static_cast<double>(good) / 97.0;
+                if (model == nullptr || model->p() != expected) {
+                    failures.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    pool.emplace_back([&] {
+        for (int i = 0; i < 200; ++i) {
+            cache.clear();
+            std::this_thread::yield();
+        }
+        stop.store(true, std::memory_order_release);
+    });
+    for (auto& worker : pool) worker.join();
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(cache.stats().in_flight, 0u);
+}
+
+}  // namespace
+}  // namespace hpr::stats

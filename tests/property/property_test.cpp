@@ -179,6 +179,62 @@ TEST(CrossModuleProperty, BinomialSurvivalMatchesIncompleteBeta) {
 }
 
 // ---------------------------------------------------------------------------
+// Invariant 4b: screening through the shared reference-model cache is
+// bit-identical to fresh per-stage model construction — the property the
+// whole assessment fast path rests on (stats/reference_cache.h).  The
+// cache is deliberately tiny so the fuzz also crosses eviction churn, and
+// the trials include all-good histories, whose distance to B(m, 1) must
+// be exactly 0 under either path.
+
+TEST(ReferenceCacheProperty, CachedScreeningBitIdenticalToUncachedFuzz) {
+    core::MultiTestConfig cached_config;
+    cached_config.stop_on_failure = false;
+    cached_config.collect_details = true;
+    cached_config.base.reference_cache =
+        std::make_shared<stats::ReferenceModelCache>(32);
+    core::MultiTestConfig uncached_config = cached_config;
+    uncached_config.base.use_reference_cache = false;
+    uncached_config.base.reference_cache = nullptr;
+    const core::MultiTest cached{cached_config, shared_cal()};
+    const core::MultiTest uncached{uncached_config, shared_cal()};
+
+    stats::Rng rng{2045};
+    for (int trial = 0; trial < 24; ++trial) {
+        const auto n =
+            static_cast<std::size_t>(30 + rng.uniform_int(std::uint64_t{800}));
+        std::vector<std::uint8_t> outcomes;
+        if (trial % 6 == 5) {
+            outcomes.assign(n, std::uint8_t{1});  // degenerate p̂ = 1 exactly
+        } else {
+            const double p = 0.3 + 0.7 * rng.uniform();
+            outcomes = sim::honest_outcomes(n, p, rng);
+            if (trial % 3 == 2) {
+                outcomes.insert(outcomes.end(), 25, std::uint8_t{0});
+            }
+        }
+        const std::span<const std::uint8_t> view{outcomes};
+        const auto fast = cached.test(view);
+        const auto fresh = uncached.test(view);
+        ASSERT_EQ(fast.passed, fresh.passed) << "trial " << trial;
+        ASSERT_EQ(fast.sufficient, fresh.sufficient);
+        ASSERT_EQ(fast.stages_run, fresh.stages_run);
+        ASSERT_EQ(fast.failed_suffix_length, fresh.failed_suffix_length);
+        ASSERT_EQ(fast.min_margin, fresh.min_margin);  // exact, not NEAR
+        ASSERT_EQ(fast.details.size(), fresh.details.size());
+        for (std::size_t s = 0; s < fast.details.size(); ++s) {
+            ASSERT_EQ(fast.details[s].distance, fresh.details[s].distance)
+                << "trial " << trial << " stage " << s;
+            ASSERT_EQ(fast.details[s].threshold, fresh.details[s].threshold);
+            ASSERT_EQ(fast.details[s].p_hat, fresh.details[s].p_hat);
+            ASSERT_EQ(fast.details[s].passed, fresh.details[s].passed);
+        }
+    }
+    const auto stats = cached_config.base.reference_cache->stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.evictions, 0u);  // the fuzz really crossed eviction churn
+}
+
+// ---------------------------------------------------------------------------
 // Invariant 5: WindowStats bookkeeping is exact against the raw sequence.
 
 TEST(WindowStatsProperty, TotalsMatchRawSequenceFuzz) {

@@ -98,6 +98,47 @@ TEST(Binomial, PmfTableHasFullSupport) {
     EXPECT_EQ(b.pmf_table().size(), 11u);
 }
 
+TEST(Binomial, SurvivalDeepTailsMatchLogPmfSummation) {
+    // Regression for catastrophic cancellation: the 1 - cdf(k-1) form is
+    // pure rounding noise once the upper tail drops below ~1e-16, because
+    // the cdf has already rounded to 1.  The dedicated upper-tail table
+    // must instead agree with a summation of exp(log_pmf) terms — each
+    // computed in log space, so accurate at any magnitude — to relative
+    // precision, for every k of an n = 100 distribution.
+    for (const double p : {0.5, 0.9, 0.05}) {
+        const Binomial b{100, p};
+        for (std::uint32_t k = 0; k <= 100; ++k) {
+            double reference = 0.0;
+            for (std::uint32_t j = 100; j + 1 > k; --j) {
+                reference += std::exp(b.log_pmf(j));  // smallest terms first
+            }
+            ASSERT_NEAR(b.survival(k), reference, 1e-12 * reference)
+                << "n=100 p=" << p << " k=" << k;
+        }
+    }
+}
+
+TEST(Binomial, SurvivalResolvesTailsTheCdfComplementCannot) {
+    // The motivating case: P(X >= 95 | n=100, p=0.5) ~ 2e-18.  The
+    // complement form returns exactly 0 (the cdf is 1 to machine
+    // precision); the tail table keeps the mass to its own scale.
+    const Binomial b{100, 0.5};
+    EXPECT_EQ(1.0 - b.cdf(94), 0.0);
+    EXPECT_GT(b.survival(95), 0.0);
+    // Spot value cross-checked in exact arithmetic:
+    // sum_{k=95}^{100} C(100,k) / 2^100 = 79375496 / 2^100 = 6.2616...e-23.
+    EXPECT_NEAR(b.survival(95), 6.2616e-23, 0.001e-23);
+}
+
+TEST(Binomial, SurvivalIsMonotoneNonIncreasing) {
+    const Binomial b{100, 0.7};
+    for (std::uint32_t k = 1; k <= 100; ++k) {
+        ASSERT_LE(b.survival(k), b.survival(k - 1)) << "k=" << k;
+    }
+    EXPECT_EQ(b.survival(0), 1.0);
+    EXPECT_EQ(b.survival(101), 0.0);
+}
+
 class BinomialProperty : public ::testing::TestWithParam<std::tuple<std::uint32_t, double>> {};
 
 TEST_P(BinomialProperty, PmfSumsToOne) {
