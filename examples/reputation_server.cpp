@@ -1,25 +1,31 @@
-// A miniature reputation service: the feedback store ingests a mixed
-// population's transaction stream, a streaming screener monitors every
-// server live (flagging mid-stream, recovering after sustained good
-// service), and on demand the service answers with two-phase assessments
-// plus the EigenTrust / credibility-weighted related-work baselines.
-// Every layer records into the process-wide obs registry; the run ends
-// with a metrics dump — Prometheus text by default, or a JSON snapshot
-// with `--json` — exactly what a real deployment would expose on a
-// /metrics endpoint.  With `--trace-dump` the decision tracer is switched
-// on as well and the run additionally emits the retained DecisionRecords
-// as JSONL — the audit trail a forensics pipeline (examples/trace_query)
-// consumes.
+// A miniature reputation service, streaming-first: the feedback store
+// ingests a mixed population's transaction stream while the serving
+// layer's incremental screener bank (serve::BatchAssessor) monitors
+// every server live — flagging mid-stream, recovering after sustained
+// good service, each stream bounded to a retention horizon of complete
+// windows.  On demand the service answers assessments from the standing
+// stream states (the primary path), cross-checks them against the batch
+// two-phase oracle, and reports the EigenTrust / credibility-weighted
+// related-work baselines.  A retention pass at the end shows the
+// eviction tie-in: dropping cold history from the store also releases
+// the affected screeners.  Every layer records into the process-wide obs
+// registry; the run ends with a metrics dump — Prometheus text by
+// default, or a JSON snapshot with `--json`.  With `--trace-dump` the
+// decision tracer is switched on as well and the run additionally emits
+// the retained DecisionRecords as JSONL — the audit trail a forensics
+// pipeline (examples/trace_query) consumes.
 //
 //   build/examples/reputation_server [--json] [--trace-dump[=N]]
 //                                    [--trace-sample=R] [--threads=N]
-//                                    [--shards=N]
+//                                    [--shards=N] [--horizon=W]
 //
-// Exercises: repsys::FeedbackStore (sharded), core::OnlineScreener,
-// serve::BatchAssessor over core::TwoPhaseAssessor, repsys::EigenTrust,
+// Exercises: repsys::FeedbackStore (sharded), serve::BatchAssessor's
+// incremental screener bank over core::OnlineScreener,
+// core::TwoPhaseAssessor as the batch oracle, repsys::EigenTrust,
 // repsys::CredibilityWeightedTrust, core::ChangePointDetector,
 // obs::Registry + exporters, obs::Tracer.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,15 +49,46 @@ struct Population {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--json] [--trace-dump[=N]] [--trace-sample=R]\n"
-                 "          [--threads=N] [--shards=N]\n"
+                 "          [--threads=N] [--shards=N] [--horizon=W]\n"
                  "  --json            emit the metrics dump as JSON\n"
                  "  --trace-dump[=N]  enable decision tracing and dump the last N\n"
                  "                    retained DecisionRecords as JSONL (default: all)\n"
                  "  --trace-sample=R  trace sampling rate in [0,1] (default 1)\n"
                  "  --threads=N       batch-assessment threads (default: hardware)\n"
-                 "  --shards=N        feedback-store lock stripes (default: %zu)\n",
+                 "  --shards=N        feedback-store lock stripes (default: %zu)\n"
+                 "  --horizon=W       screener retention horizon in complete windows\n"
+                 "                    (default: 64; 0 = unbounded)\n",
                  argv0, hpr::repsys::FeedbackStore::kDefaultShards);
     return 2;
+}
+
+/// Strict decimal parse of a whole flag value into [min_value, ULONG_MAX],
+/// rejecting empty strings, trailing garbage, signs, and — via
+/// errno/ERANGE — values strtoul would otherwise silently saturate
+/// (e.g. --threads=99999999999999999999).  Returns false on any defect.
+bool parse_flag_size(const char* text, unsigned long min_value,
+                     std::size_t& out) {
+    if (*text == '\0' || *text == '-' || *text == '+') return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0') return false;
+    if (value < min_value || value > SIZE_MAX) return false;
+    out = static_cast<std::size_t>(value);
+    return true;
+}
+
+/// Strict parse of a flag value into a double in [0, 1], with the same
+/// no-garbage and no-overflow (errno/ERANGE) discipline.
+bool parse_flag_unit(const char* text, double& out) {
+    if (*text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (errno == ERANGE || end == text || *end != '\0') return false;
+    if (!(value >= 0.0) || value > 1.0) return false;
+    out = value;
+    return true;
 }
 
 }  // namespace
@@ -59,40 +96,30 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
     bool json_metrics = false;
     bool trace_dump = false;
-    long trace_dump_last = -1;  // -1 = every retained record
+    std::size_t trace_dump_last = SIZE_MAX;  // SIZE_MAX = every retained record
     double trace_sample = 1.0;
     std::size_t threads = 0;  // 0 = hardware concurrency
     std::size_t shards = repsys::FeedbackStore::kDefaultShards;
+    std::size_t horizon = 64;  // screener retention, in complete windows
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--json") == 0) {
             json_metrics = true;
         } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-            char* end = nullptr;
-            const long value = std::strtol(arg + 10, &end, 10);
-            if (end == arg + 10 || *end != '\0' || value < 0) return usage(argv[0]);
-            threads = static_cast<std::size_t>(value);
+            if (!parse_flag_size(arg + 10, 0, threads)) return usage(argv[0]);
         } else if (std::strncmp(arg, "--shards=", 9) == 0) {
-            char* end = nullptr;
-            const long value = std::strtol(arg + 9, &end, 10);
-            if (end == arg + 9 || *end != '\0' || value < 1) return usage(argv[0]);
-            shards = static_cast<std::size_t>(value);
+            if (!parse_flag_size(arg + 9, 1, shards)) return usage(argv[0]);
+        } else if (std::strncmp(arg, "--horizon=", 10) == 0) {
+            if (!parse_flag_size(arg + 10, 0, horizon)) return usage(argv[0]);
         } else if (std::strcmp(arg, "--trace-dump") == 0) {
             trace_dump = true;
         } else if (std::strncmp(arg, "--trace-dump=", 13) == 0) {
             trace_dump = true;
-            char* end = nullptr;
-            trace_dump_last = std::strtol(arg + 13, &end, 10);
-            if (end == arg + 13 || *end != '\0' || trace_dump_last < 0) {
+            if (!parse_flag_size(arg + 13, 0, trace_dump_last)) {
                 return usage(argv[0]);
             }
         } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
-            char* end = nullptr;
-            trace_sample = std::strtod(arg + 15, &end);
-            if (end == arg + 15 || *end != '\0' || !(trace_sample >= 0.0) ||
-                trace_sample > 1.0) {
-                return usage(argv[0]);
-            }
+            if (!parse_flag_unit(arg + 15, trace_sample)) return usage(argv[0]);
         } else {
             return usage(argv[0]);
         }
@@ -108,8 +135,6 @@ int main(int argc, char** argv) {
         {4, "hibernating attacker (flips at tx 700)", 0.96, 700},
     };
 
-    // Live ingestion: every feedback goes to the sharded store and to
-    // that server's streaming screener.
     repsys::FeedbackStore store{shards};
     const auto calibrator = core::make_calibrator({});
     {
@@ -127,15 +152,23 @@ int main(int argc, char** argv) {
                     warmed, warm_s, calibrator->threads(),
                     warm_s > 0.0 ? static_cast<double>(warmed) / warm_s : 0.0);
     }
-    core::OnlineScreenerConfig screener_config;
-    screener_config.test.bonferroni = true;
-    std::map<repsys::EntityId, core::OnlineScreener> monitors;
-    for (const auto& s : servers) {
-        auto [it, inserted] =
-            monitors.emplace(s.id, core::OnlineScreener{screener_config, calibrator});
-        it->second.set_entity(s.id);  // label this stream's decision traces
-    }
 
+    // The serving layer, streaming-first: every ingested feedback also
+    // updates its server's horizon-bounded screener in the bank, so
+    // assessments can later answer from standing stream state.
+    serve::BatchAssessorConfig serve_config;
+    serve_config.assessment.mode = core::ScreeningMode::kMulti;
+    serve_config.assessment.test.bonferroni = true;
+    serve_config.threads = threads;
+    serve_config.screener_horizon = horizon;
+    serve::BatchAssessor assessor{
+        serve_config,
+        std::shared_ptr<const repsys::TrustFunction>{
+            repsys::make_trust_function("beta")},
+        calibrator};
+
+    // Live ingestion: every feedback goes to the sharded store and to the
+    // serving layer's screener bank.
     stats::Rng rng{4242};
     std::map<repsys::EntityId, std::size_t> flagged_at;
     for (std::size_t tx = 0; tx < 1000; ++tx) {
@@ -152,49 +185,52 @@ int main(int argc, char** argv) {
                 static_cast<repsys::EntityId>(100 + rng.uniform_int(std::uint64_t{60})),
                 good ? repsys::Rating::kPositive : repsys::Rating::kNegative};
             store.submit(feedback);
-            auto& monitor = monitors.at(s.id);
-            const auto before = monitor.state();
-            monitor.observe(feedback);
+            const auto before = assessor.stream_state(s.id);
+            assessor.observe(feedback);
             if (before != core::StreamState::kSuspicious &&
-                monitor.state() == core::StreamState::kSuspicious &&
+                assessor.stream_state(s.id) == core::StreamState::kSuspicious &&
                 flagged_at.find(s.id) == flagged_at.end()) {
                 flagged_at[s.id] = tx + 1;
             }
         }
     }
 
-    std::printf("live monitoring after 1000 transactions per server:\n");
+    std::printf("live monitoring after 1000 transactions per server "
+                "(horizon: %zu windows, %zu streams, %zu bytes resident):\n",
+                horizon, assessor.tracked_streams(),
+                assessor.stream_memory_bytes());
     for (const auto& s : servers) {
-        const auto& monitor = monitors.at(s.id);
         std::printf("  %-42s state=%-12s", s.label.c_str(),
-                    core::to_string(monitor.state()));
+                    core::to_string(assessor.stream_state(s.id)));
         if (const auto it = flagged_at.find(s.id); it != flagged_at.end()) {
             std::printf(" first flagged at tx %zu", it->second);
         }
         std::printf("\n");
     }
 
-    // On-demand batch assessment (what a client asks before transacting):
-    // every known server fanned across the worker pool in one call.
-    serve::BatchAssessorConfig batch_config;
-    batch_config.assessment.mode = core::ScreeningMode::kMulti;
-    batch_config.assessment.test.bonferroni = true;
-    batch_config.threads = threads;
-    const serve::BatchAssessor batch_assessor{
-        batch_config,
-        std::shared_ptr<const repsys::TrustFunction>{
-            repsys::make_trust_function("beta")},
-        calibrator};
-    std::printf("\ntwo-phase assessment (beta trust function, %zu shards, "
-                "%zu threads):\n",
-                store.shard_count(), batch_assessor.threads());
-    for (const auto& result : batch_assessor.assess_all(store)) {
-        std::printf("  server %u: verdict=%-12s trust=%s\n", result.server,
-                    core::to_string(result.assessment.verdict),
-                    result.assessment.trust
-                        ? std::to_string(*result.assessment.trust).c_str()
-                        : "(withheld)");
+    // On-demand assessment (what a client asks before transacting):
+    // answered from the standing stream states, then cross-checked
+    // against the batch two-phase oracle over the full histories.
+    const auto streaming = assessor.assess_all(store);
+    const auto oracle = assessor.assess_batch(store, store.servers());
+    std::printf("\nassessment, streaming-first vs batch oracle (beta trust, "
+                "%zu shards, %zu threads):\n",
+                store.shard_count(), assessor.threads());
+    std::size_t agreements = 0;
+    for (std::size_t i = 0; i < streaming.size(); ++i) {
+        const auto& fast = streaming[i].assessment;
+        const auto& slow = oracle[i].assessment;
+        const bool fast_ok = fast.verdict != core::Verdict::kSuspicious;
+        const bool slow_ok = slow.verdict != core::Verdict::kSuspicious;
+        agreements += fast_ok == slow_ok;
+        std::printf("  server %u: streaming=%-12s oracle=%-12s trust=%s\n",
+                    streaming[i].server, core::to_string(fast.verdict),
+                    core::to_string(slow.verdict),
+                    fast.trust ? std::to_string(*fast.trust).c_str()
+                               : "(withheld)");
     }
+    std::printf("  accept/reject agreement: %zu/%zu\n", agreements,
+                streaming.size());
 
     // Regime report for the quality-drop server (paper §4: false alerts
     // "help us identify such factors" — the change-point detector makes
@@ -228,9 +264,23 @@ int main(int argc, char** argv) {
                     credibility.at(s.id));
     }
 
+    // Retention pass: evicting cold history from the store also releases
+    // the forgotten servers' screeners — the store's eviction machinery
+    // bounds the screener bank, not just the feedback logs.
+    {
+        std::vector<repsys::EntityId> forgotten;
+        const std::size_t evicted = store.evict_before(1001, &forgotten);
+        const std::size_t released = assessor.drop_streams(forgotten);
+        std::printf("\nretention: evicted %zu feedbacks, forgot %zu servers, "
+                    "released %zu screeners (%zu streams remain)\n",
+                    evicted, forgotten.size(), released,
+                    assessor.tracked_streams());
+    }
+
     // The /metrics endpoint of a real deployment: everything the layers
     // above recorded — calibration cache behavior, worker-pool queueing,
-    // screening verdicts and phase latencies, store ingest levels.
+    // screening verdicts and phase latencies, store ingest levels,
+    // screener-bank occupancy and eviction.
     if (json_metrics) {
         std::printf("\n--- metrics (json) ---\n%s\n",
                     obs::to_json(obs::default_registry()).c_str());
@@ -245,9 +295,8 @@ int main(int argc, char** argv) {
     if (trace_dump) {
         const auto records = obs::default_tracer().ring().drain();
         std::size_t begin = 0;
-        if (trace_dump_last >= 0 &&
-            static_cast<std::size_t>(trace_dump_last) < records.size()) {
-            begin = records.size() - static_cast<std::size_t>(trace_dump_last);
+        if (trace_dump_last < records.size()) {
+            begin = records.size() - trace_dump_last;
         }
         std::printf("\n--- decision traces (jsonl) ---\n");
         for (std::size_t i = begin; i < records.size(); ++i) {

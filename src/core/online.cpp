@@ -52,15 +52,20 @@ OnlineScreener::OnlineScreener(OnlineScreenerConfig config,
         throw std::invalid_argument(
             "OnlineScreener: patience and recovery must be positive");
     }
+    if (config_.max_windows != 0 &&
+        config_.max_windows < config_.test.base.min_windows) {
+        throw std::invalid_argument(
+            "OnlineScreener: max_windows must be 0 (unbounded) or >= min_windows");
+    }
+    // The ring never regrows: a bounded screener's memory footprint is
+    // fixed at construction (memory_bytes() relies on this).
+    if (config_.max_windows != 0) window_good_counts_.reserve(config_.max_windows);
 }
 
 double OnlineScreener::p_hat() const noexcept {
-    if (window_good_counts_.empty()) return 0.0;
-    std::uint64_t good = 0;
-    for (const std::uint32_t g : window_good_counts_) good += g;
-    return static_cast<double>(good) /
-           static_cast<double>(window_good_counts_.size() *
-                               config_.test.base.window_size);
+    if (retained_ == 0) return 0.0;
+    return static_cast<double>(retained_good_) /
+           static_cast<double>(retained_ * config_.test.base.window_size);
 }
 
 void OnlineScreener::observe(bool good) {
@@ -68,10 +73,21 @@ void OnlineScreener::observe(bool good) {
     if (good) ++current_window_good_;
     if (++current_window_fill_ < config_.test.base.window_size) return;
 
-    window_good_counts_.push_back(current_window_good_);
+    const std::uint32_t completed = current_window_good_;
     current_window_good_ = 0;
     current_window_fill_ = 0;
-    if (window_good_counts_.size() >= config_.test.base.min_windows) evaluate();
+    ++windows_completed_;
+    if (config_.max_windows != 0 && retained_ == config_.max_windows) {
+        // Horizon full: the oldest window falls off the ring.
+        retained_good_ -= window_good_counts_[ring_head_];
+        window_good_counts_[ring_head_] = completed;
+        ring_head_ = (ring_head_ + 1) % config_.max_windows;
+    } else {
+        window_good_counts_.push_back(completed);
+        ++retained_;
+    }
+    retained_good_ += completed;
+    if (retained_ >= config_.test.base.min_windows) evaluate();
 }
 
 void OnlineScreener::evaluate() {
@@ -84,9 +100,11 @@ void OnlineScreener::evaluate() {
         record->p_hat = p_hat();
     }
 
-    // The §3.3 suffix ladder over complete windows: suffixes of
-    // k, k - step, k - 2*step, ... windows (newest last in storage).
-    const std::size_t total = window_good_counts_.size();
+    // The §3.3 suffix ladder over the retained windows: suffixes of
+    // k, k - step, k - 2*step, ... windows, newest-suffix first.  With a
+    // retention horizon k is capped at max_windows, so this loop — the
+    // whole per-window cost — is bounded regardless of stream age.
+    const std::size_t total = retained_;
     const std::size_t min_windows = config_.test.base.min_windows;
     const std::size_t stages = (total - min_windows) / step_windows_ + 1;
     const double confidence =
@@ -107,7 +125,7 @@ void OnlineScreener::evaluate() {
         for (std::size_t stage = 0; stage < stages; ++stage) {
             const std::size_t want = total - (stages - 1 - stage) * step_windows_;
             while (added < want) {
-                counts.add(window_good_counts_[total - 1 - added]);  // newest first
+                counts.add(good_count_from_newest(added));
                 ++added;
             }
             const BehaviorTestResult result = single_.test(counts, confidence);
@@ -148,6 +166,9 @@ void OnlineScreener::evaluate() {
     const StreamState before = state_;
     switch (state_) {
         case StreamState::kInsufficient:
+            // Deliberately asymmetric (see the file comment): one passing
+            // evaluation confirms the honest prior, while flagging a
+            // never-judged stream still takes `patience` failures.
             if (all_passed) {
                 state_ = StreamState::kClear;
             } else if (failing_streak_ >= config_.patience) {

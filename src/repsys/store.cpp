@@ -291,9 +291,11 @@ std::vector<Feedback> FeedbackStore::sample_history(EntityId server, double frac
     return result;
 }
 
-std::size_t FeedbackStore::evict_before(Timestamp cutoff) {
+std::size_t FeedbackStore::evict_before(Timestamp cutoff,
+                                        std::vector<EntityId>* forgotten) {
     std::size_t removed = 0;
-    std::int64_t forgotten = 0;
+    std::int64_t forgotten_count = 0;
+    std::vector<EntityId> emptied;
     for (const auto& shard_ptr : shards_) {
         Shard& shard = *shard_ptr;
         const auto lock = lock_shard(shard);
@@ -308,8 +310,9 @@ std::size_t FeedbackStore::evict_before(Timestamp cutoff) {
                 removed += dropped;
                 std::vector<Feedback> kept{keep_from, feedbacks.end()};
                 if (kept.empty()) {
+                    if (forgotten != nullptr) emptied.push_back(it->first);
                     it = shard.logs.erase(it);
-                    ++forgotten;
+                    ++forgotten_count;
                     continue;
                 }
                 it->second = TransactionHistory{std::move(kept)};
@@ -317,8 +320,14 @@ std::size_t FeedbackStore::evict_before(Timestamp cutoff) {
             ++it;
         }
     }
+    if (forgotten != nullptr) {
+        std::sort(emptied.begin(), emptied.end());
+        forgotten->insert(forgotten->end(), emptied.begin(), emptied.end());
+    }
     total_.fetch_sub(removed, std::memory_order_relaxed);
-    if (forgotten > 0) server_count_.fetch_sub(forgotten, std::memory_order_relaxed);
+    if (forgotten_count > 0) {
+        server_count_.fetch_sub(forgotten_count, std::memory_order_relaxed);
+    }
     store_metrics().evicted.increment(removed);
     publish_level_metrics();
     return removed;

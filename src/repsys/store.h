@@ -150,8 +150,12 @@ public:
 
     /// Drop every feedback strictly older than `cutoff` (retention).
     /// Returns the number of feedbacks removed.  Servers left empty are
-    /// forgotten entirely.
-    std::size_t evict_before(Timestamp cutoff);
+    /// forgotten entirely; when `forgotten` is non-null their ids are
+    /// appended to it (ascending), so callers keeping per-server derived
+    /// state — e.g. serve::BatchAssessor's streaming screener bank — can
+    /// drop exactly the streams whose history the store no longer holds.
+    std::size_t evict_before(Timestamp cutoff,
+                             std::vector<EntityId>* forgotten = nullptr);
 
     /// Persist one `<server>.csv` per server into `directory` (created if
     /// missing). \throws std::runtime_error on I/O failure.

@@ -18,8 +18,11 @@ struct ServeMetrics {
     obs::Counter& batch_servers;
     obs::Counter& observes;
     obs::Counter& shortcuts;
+    obs::Counter& screener_evicted;
     obs::Histogram& batch_seconds;
     obs::Gauge& threads;
+    obs::Gauge& screener_streams;
+    obs::Gauge& screener_bytes;
 };
 
 ServeMetrics& serve_metrics() {
@@ -33,10 +36,16 @@ ServeMetrics& serve_metrics() {
                          "Feedbacks streamed into incremental screeners"),
         registry.counter("hpr_serving_incremental_shortcuts_total",
                          "Assessments answered from a standing screener state"),
+        registry.counter("hpr_serving_screener_evicted_total",
+                         "Screeners released by retention eviction"),
         registry.histogram("hpr_serving_batch_seconds",
                            "Whole-batch assessment latency"),
         registry.gauge("hpr_serving_threads",
                        "Executors (pool workers + caller) of a batch assessor"),
+        registry.gauge("hpr_serving_screener_streams",
+                       "Servers with a live incremental screener"),
+        registry.gauge("hpr_serving_screener_bytes",
+                       "Resident bytes of the incremental screener bank"),
     };
     return metrics;
 }
@@ -46,6 +55,11 @@ std::size_t resolve_threads(std::size_t configured) {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
+
+/// Rough per-node overhead of the std::map the bank stores screeners in:
+/// left/right/parent pointers, color, and the key.
+constexpr std::size_t kStreamNodeOverhead =
+    4 * sizeof(void*) + sizeof(repsys::EntityId);
 
 }  // namespace
 
@@ -84,22 +98,34 @@ BatchAssessor::ScreenerStripe& BatchAssessor::stripe_for(
 void BatchAssessor::observe(const repsys::Feedback& feedback) {
     if (stripes_.empty()) return;
     ScreenerStripe& stripe = stripe_for(feedback.server);
-    const std::lock_guard<std::mutex> lock{stripe.mutex};
-    auto it = stripe.screeners.find(feedback.server);
-    if (it == stripe.screeners.end()) {
-        core::OnlineScreenerConfig screener_config;
-        screener_config.test = config_.assessment.test;
-        screener_config.patience = config_.patience;
-        screener_config.recovery = config_.recovery;
-        it = stripe.screeners
-                 .emplace(feedback.server,
-                          core::OnlineScreener{screener_config,
-                                               assessor_.calibrator()})
-                 .first;
-        it->second.set_entity(feedback.server);
+    bool created = false;
+    std::size_t created_bytes = 0;
+    {
+        const std::lock_guard<std::mutex> lock{stripe.mutex};
+        auto it = stripe.screeners.find(feedback.server);
+        if (it == stripe.screeners.end()) {
+            core::OnlineScreenerConfig screener_config;
+            screener_config.test = config_.assessment.test;
+            screener_config.patience = config_.patience;
+            screener_config.recovery = config_.recovery;
+            screener_config.max_windows = config_.screener_horizon;
+            it = stripe.screeners
+                     .emplace(feedback.server,
+                              core::OnlineScreener{screener_config,
+                                                   assessor_.calibrator()})
+                     .first;
+            it->second.set_entity(feedback.server);
+            created = true;
+            created_bytes = it->second.memory_bytes() + kStreamNodeOverhead;
+        }
+        it->second.observe(feedback);
     }
-    it->second.observe(feedback);
-    serve_metrics().observes.increment();
+    ServeMetrics& metrics = serve_metrics();
+    metrics.observes.increment();
+    if (created) {
+        metrics.screener_streams.add(1);
+        metrics.screener_bytes.add(static_cast<std::int64_t>(created_bytes));
+    }
 }
 
 core::StreamState BatchAssessor::stream_state(repsys::EntityId server) const {
@@ -111,6 +137,40 @@ core::StreamState BatchAssessor::stream_state(repsys::EntityId server) const {
                                         : it->second.state();
 }
 
+std::size_t BatchAssessor::drop_streams(std::span<const repsys::EntityId> servers) {
+    if (stripes_.empty()) return 0;
+    std::size_t dropped = 0;
+    std::size_t released_bytes = 0;
+    for (const repsys::EntityId server : servers) {
+        ScreenerStripe& stripe = stripe_for(server);
+        const std::lock_guard<std::mutex> lock{stripe.mutex};
+        const auto it = stripe.screeners.find(server);
+        if (it == stripe.screeners.end()) continue;
+        released_bytes += it->second.memory_bytes() + kStreamNodeOverhead;
+        stripe.screeners.erase(it);
+        ++dropped;
+    }
+    if (dropped > 0) {
+        ServeMetrics& metrics = serve_metrics();
+        metrics.screener_evicted.increment(dropped);
+        metrics.screener_streams.add(-static_cast<std::int64_t>(dropped));
+        metrics.screener_bytes.add(-static_cast<std::int64_t>(released_bytes));
+    }
+    return dropped;
+}
+
+std::size_t BatchAssessor::evict_streams(const repsys::FeedbackStore& store) {
+    if (stripes_.empty()) return 0;
+    std::vector<repsys::EntityId> stale;
+    for (const auto& stripe : stripes_) {
+        const std::lock_guard<std::mutex> lock{stripe->mutex};
+        for (const auto& [server, screener] : stripe->screeners) {
+            if (!store.contains(server)) stale.push_back(server);
+        }
+    }
+    return drop_streams(stale);
+}
+
 std::size_t BatchAssessor::tracked_streams() const {
     std::size_t total = 0;
     for (const auto& stripe : stripes_) {
@@ -120,9 +180,22 @@ std::size_t BatchAssessor::tracked_streams() const {
     return total;
 }
 
+std::size_t BatchAssessor::stream_memory_bytes() const {
+    std::size_t total = 0;
+    for (const auto& stripe : stripes_) {
+        const std::lock_guard<std::mutex> lock{stripe->mutex};
+        for (const auto& [server, screener] : stripe->screeners) {
+            total += screener.memory_bytes() + kStreamNodeOverhead;
+        }
+    }
+    serve_metrics().screener_bytes.set(static_cast<std::int64_t>(total));
+    return total;
+}
+
 core::Assessment BatchAssessor::assess_one(const repsys::FeedbackStore& store,
-                                           repsys::EntityId server) const {
-    if (config_.incremental) {
+                                           repsys::EntityId server,
+                                           bool use_streams) const {
+    if (use_streams && config_.incremental) {
         // The standing screener state replaces the O(n) phase-1 rescan
         // once the stream has been judged at least once; insufficient
         // streams fall through to the full scan below.
@@ -152,9 +225,9 @@ core::Assessment BatchAssessor::assess_one(const repsys::FeedbackStore& store,
     return assessor_.assess(store.history_snapshot(server));
 }
 
-std::vector<ServerAssessment> BatchAssessor::assess(
+std::vector<ServerAssessment> BatchAssessor::assess_impl(
     const repsys::FeedbackStore& store,
-    const std::vector<repsys::EntityId>& servers) const {
+    const std::vector<repsys::EntityId>& servers, bool use_streams) const {
     ServeMetrics& metrics = serve_metrics();
     metrics.batches.increment();
     metrics.batch_servers.increment(servers.size());
@@ -167,9 +240,21 @@ std::vector<ServerAssessment> BatchAssessor::assess(
     // ("Assessment hot path").
     pool_.parallel_for(servers.size(), [&](std::size_t i) {
         results[i].server = servers[i];
-        results[i].assessment = assess_one(store, servers[i]);
+        results[i].assessment = assess_one(store, servers[i], use_streams);
     });
     return results;
+}
+
+std::vector<ServerAssessment> BatchAssessor::assess(
+    const repsys::FeedbackStore& store,
+    const std::vector<repsys::EntityId>& servers) const {
+    return assess_impl(store, servers, /*use_streams=*/true);
+}
+
+std::vector<ServerAssessment> BatchAssessor::assess_batch(
+    const repsys::FeedbackStore& store,
+    const std::vector<repsys::EntityId>& servers) const {
+    return assess_impl(store, servers, /*use_streams=*/false);
 }
 
 std::vector<ServerAssessment> BatchAssessor::assess_all(

@@ -2,35 +2,48 @@
 #define HPR_SERVE_BATCH_ASSESSOR_H
 
 /// \file batch_assessor.h
-/// Parallel batch assessment: the serving core that keeps the paper's
-/// two-phase screening ahead of community-scale interaction rates.
+/// Streaming-first serving core: incremental screening as the primary
+/// assessment path, parallel batch re-assessment as the cross-check
+/// oracle.
 ///
 /// A reputation server answering "which of these servers can be trusted
 /// right now?" for a large population cannot afford one thread walking
 /// one history at a time — the assessment layer has to keep up with the
-/// whole community's transaction rate.  BatchAssessor fans a set of
+/// whole community's transaction rate.  BatchAssessor therefore serves
+/// from two paths:
+///
+/// **Primary — the streaming screener bank** (on by default).  One
+/// core::OnlineScreener per observed server, lock-striped like the
+/// store, each bounded to `screener_horizon` complete windows of
+/// retained state.  Feedbacks stream in through observe() at O(1)
+/// amortized per feedback; assess() answers from the screener's standing
+/// state — suspicious streams are rejected without the O(n) history
+/// rescan, clear streams only pay phase 2 — and falls back to the full
+/// two-phase scan while a stream has not accumulated enough windows to
+/// be judged.  The bank's memory is bounded: horizon-bounded rings per
+/// stream, and drop_streams()/evict_streams() tie stream retention to
+/// FeedbackStore's eviction machinery, so evicting a server's cold
+/// history also releases its screener.  Streaming verdicts follow the
+/// streaming semantics (start-anchored windows, patience/recovery
+/// hysteresis), so they are intentionally NOT bit-identical to batch
+/// screening; over the retained horizon they agree with batch
+/// multi-testing of the newest horizon*m transactions
+/// (bench/streaming_steady_state enforces zero divergence).
+///
+/// **Oracle — parallel batch re-assessment.**  assess_batch() (and
+/// assess()/assess_all() for never-observed servers) fans a set of
 /// server ids across a stats::ThreadPool: each worker takes a
 /// snapshot-consistent copy of its server's history from the sharded
-/// FeedbackStore (so assessment never blocks ingest beyond one shard
-/// lock) and runs the shared TwoPhaseAssessor on it.  Results are
-/// deterministic: the pool decides only which thread assesses a server,
-/// never what the assessment computes, so verdicts are bit-identical to
-/// a sequential loop at any thread count.
-///
-/// The optional **incremental mode** keeps one core::OnlineScreener per
-/// observed server (lock-striped like the store).  Feedbacks stream in
-/// through observe() at O(1) amortized per feedback; assess() then
-/// answers from the screener's standing state — suspicious streams are
-/// rejected without the O(n) history rescan, clear streams only pay
-/// phase 2 — and falls back to the full two-phase scan while a stream
-/// has not accumulated enough windows to be judged.  Incremental
-/// verdicts follow the streaming semantics (start-anchored windows,
-/// patience/recovery hysteresis), so they are intentionally NOT
-/// bit-identical to batch screening; equivalence tests pin the default
-/// full mode only.
+/// FeedbackStore and runs the shared TwoPhaseAssessor on it.  Results
+/// are deterministic: the pool decides only which thread assesses a
+/// server, never what the assessment computes, so verdicts are
+/// bit-identical to a sequential loop at any thread count.  This is the
+/// equivalence-tested ground truth the streaming path is checked
+/// against.
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/online.h"
@@ -42,24 +55,32 @@
 
 namespace hpr::serve {
 
-/// Tuning knobs of the batch assessment layer.
+/// Tuning knobs of the serving layer.
 struct BatchAssessorConfig {
     /// The per-server assessment everything fans out to.
     core::TwoPhaseConfig assessment{};
 
     /// Total assessing threads (pool workers + the participating caller).
-    /// 0 = one per hardware thread.  Purely a speed knob: results are
-    /// bit-identical at any thread count.
+    /// 0 = one per hardware thread.  Purely a speed knob: batch results
+    /// are bit-identical at any thread count.
     std::size_t threads = 0;
 
     /// Keep an OnlineScreener per observed server and let assess()
-    /// shortcut from its standing state (see the file comment).
-    bool incremental = false;
+    /// shortcut from its standing state (see the file comment).  On by
+    /// default: streaming is the primary serving mode; set to false for
+    /// pure batch (oracle-only) serving.
+    bool incremental = true;
 
     /// Hysteresis of the incremental screeners (their test config is
     /// taken from `assessment.test`).
     std::size_t patience = 2;
     std::size_t recovery = 2;
+
+    /// Retention horizon, in complete windows, of each incremental
+    /// screener (core::OnlineScreenerConfig::max_windows).  Bounded by
+    /// default so the bank's resident memory is O(tracked servers), not
+    /// O(stream age); 0 keeps unbounded per-stream state.
+    std::size_t screener_horizon = 64;
 
     /// Lock stripes of the incremental screener bank.
     std::size_t screener_stripes = 16;
@@ -73,8 +94,8 @@ struct ServerAssessment {
 
 /// Thread-parallel assessment of server populations against a
 /// FeedbackStore.  Thread-safe: any number of threads may call assess /
-/// observe concurrently (the underlying calibration cache is shared and
-/// thread-safe, the screener bank is lock-striped).
+/// observe / drop_streams concurrently (the underlying calibration cache
+/// is shared and thread-safe, the screener bank is lock-striped).
 class BatchAssessor {
 public:
     /// \param trust  phase-2 trust function (must not be null).
@@ -86,7 +107,9 @@ public:
     ~BatchAssessor();  // out of line: ScreenerStripe is incomplete here
 
     /// Assess the given servers against the store, fanning across the
-    /// pool.  Results arrive in the order of `servers`.
+    /// pool.  Streaming-first: servers with a judged screener answer
+    /// from its standing state; the rest take the full two-phase scan.
+    /// Results arrive in the order of `servers`.
     /// \throws std::out_of_range if any id is unknown to the store.
     [[nodiscard]] std::vector<ServerAssessment> assess(
         const repsys::FeedbackStore& store,
@@ -95,6 +118,14 @@ public:
     /// Assess every server the store knows (ascending id order).
     [[nodiscard]] std::vector<ServerAssessment> assess_all(
         const repsys::FeedbackStore& store) const;
+
+    /// The cross-check oracle: full two-phase re-assessment of every
+    /// requested server, ignoring the screener bank entirely.
+    /// Bit-identical to the sequential TwoPhaseAssessor loop at any
+    /// thread count.
+    [[nodiscard]] std::vector<ServerAssessment> assess_batch(
+        const repsys::FeedbackStore& store,
+        const std::vector<repsys::EntityId>& servers) const;
 
     /// Incremental mode: feed one live feedback to its server's screener
     /// (created on first sight).  O(1) amortized.  No-op when the config
@@ -105,8 +136,28 @@ public:
     /// servers never observed (or when incremental mode is off).
     [[nodiscard]] core::StreamState stream_state(repsys::EntityId server) const;
 
+    /// Drop the screeners of the given servers (e.g. the `forgotten`
+    /// output of FeedbackStore::evict_before).  Returns how many live
+    /// screeners were released.
+    std::size_t drop_streams(std::span<const repsys::EntityId> servers);
+
+    /// Sync the bank against the store: drop every screener whose server
+    /// the store no longer knows (full retention reconciliation; prefer
+    /// drop_streams with evict_before's `forgotten` list when available).
+    /// Returns how many screeners were released.
+    std::size_t evict_streams(const repsys::FeedbackStore& store);
+
     /// Number of servers with a live screener.
     [[nodiscard]] std::size_t tracked_streams() const;
+
+    /// Resident bytes of the screener bank (screener objects + ring
+    /// storage + an estimate of the map-node overhead).  The
+    /// hpr_serving_screener_bytes gauge is maintained incrementally as
+    /// streams are created and dropped — exact under a bounded horizon,
+    /// where a screener's footprint is constant for life — and this
+    /// full recount republishes it (the authoritative value when
+    /// screener_horizon is 0 and rings grow).
+    [[nodiscard]] std::size_t stream_memory_bytes() const;
 
     /// Resolved executor count (pool workers + the caller).
     [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
@@ -119,10 +170,15 @@ public:
 private:
     struct ScreenerStripe;
 
-    /// Assess one server: incremental shortcut when possible, else the
-    /// full two-phase scan of a shard-consistent snapshot.
+    /// Assess one server: streaming shortcut when possible (and allowed),
+    /// else the full two-phase scan of a shard-consistent snapshot.
     [[nodiscard]] core::Assessment assess_one(const repsys::FeedbackStore& store,
-                                              repsys::EntityId server) const;
+                                              repsys::EntityId server,
+                                              bool use_streams) const;
+
+    [[nodiscard]] std::vector<ServerAssessment> assess_impl(
+        const repsys::FeedbackStore& store,
+        const std::vector<repsys::EntityId>& servers, bool use_streams) const;
 
     [[nodiscard]] ScreenerStripe& stripe_for(repsys::EntityId server) const;
 

@@ -149,6 +149,104 @@ TEST(OnlineScreener, PHatTracksStream) {
     EXPECT_EQ(empty.p_hat(), 0.0);
 }
 
+TEST(OnlineScreener, HorizonValidation) {
+    OnlineScreenerConfig config;
+    config.max_windows = 2;  // below min_windows(3): never evaluable
+    EXPECT_THROW(OnlineScreener{config}, std::invalid_argument);
+    config.max_windows = config.test.base.min_windows;  // smallest legal horizon
+    EXPECT_NO_THROW((OnlineScreener{config, shared_cal()}));
+    config.max_windows = 0;  // unbounded stays allowed
+    EXPECT_NO_THROW((OnlineScreener{config, shared_cal()}));
+}
+
+TEST(OnlineScreener, RingWrapsAtExactlyMaxWindows) {
+    OnlineScreenerConfig config;
+    config.max_windows = 4;
+    OnlineScreener screener{config, shared_cal()};
+    const std::uint32_t m = config.test.base.window_size;
+    // First window all-bad, then all-good: once the ring wraps the bad
+    // window must fall out of every running total.
+    for (std::uint32_t i = 0; i < m; ++i) screener.observe(false);
+    for (std::uint32_t i = 0; i < 3 * m; ++i) screener.observe(true);
+    EXPECT_EQ(screener.windows(), 4u);
+    EXPECT_EQ(screener.retained_windows(), 4u);
+    EXPECT_NEAR(screener.p_hat(), 0.75, 1e-12);  // 3m good / 4m retained
+    for (std::uint32_t i = 0; i < m; ++i) screener.observe(true);
+    // Fifth window: lifetime count advances, retention stays capped, and
+    // the all-bad window no longer taints p-hat.
+    EXPECT_EQ(screener.windows(), 5u);
+    EXPECT_EQ(screener.retained_windows(), 4u);
+    EXPECT_NEAR(screener.p_hat(), 1.0, 1e-12);
+}
+
+TEST(OnlineScreener, BoundedMatchesUnboundedWithinHorizon) {
+    OnlineScreenerConfig bounded_config;
+    bounded_config.max_windows = 12;
+    OnlineScreenerConfig unbounded_config;
+    OnlineScreener bounded{bounded_config, shared_cal()};
+    OnlineScreener unbounded{unbounded_config, shared_cal()};
+    stats::Rng rng{908};
+    const std::size_t horizon_tx =
+        bounded_config.max_windows * bounded_config.test.base.window_size;
+    for (std::size_t i = 0; i < horizon_tx; ++i) {
+        const bool good = rng.bernoulli(0.8);
+        bounded.observe(good);
+        unbounded.observe(good);
+        ASSERT_EQ(bounded.state(), unbounded.state()) << "tx " << i;
+        ASSERT_EQ(bounded.p_hat(), unbounded.p_hat()) << "tx " << i;
+        ASSERT_EQ(bounded.last_evaluation_passed(),
+                  unbounded.last_evaluation_passed())
+            << "tx " << i;
+    }
+}
+
+TEST(OnlineScreener, BoundedMemoryIsConstantForLife) {
+    OnlineScreenerConfig config;
+    config.max_windows = 8;
+    OnlineScreener screener{config, shared_cal()};
+    const std::size_t at_birth = screener.memory_bytes();
+    stats::Rng rng{909};
+    for (int i = 0; i < 2000; ++i) screener.observe(rng.bernoulli(0.9));
+    EXPECT_EQ(screener.memory_bytes(), at_birth);
+    EXPECT_EQ(screener.horizon(), 8u);
+
+    OnlineScreener unbounded{{}, shared_cal()};
+    const std::size_t unbounded_birth = unbounded.memory_bytes();
+    stats::Rng rng2{910};
+    for (int i = 0; i < 2000; ++i) unbounded.observe(rng2.bernoulli(0.9));
+    EXPECT_GT(unbounded.memory_bytes(), unbounded_birth);
+}
+
+// Pins the documented hysteresis contract (see online.h): from
+// kInsufficient the first *passing* evaluation establishes kClear
+// immediately, while flagging a never-judged stream still requires
+// `patience` consecutive failures.
+TEST(OnlineScreener, HysteresisAsymmetryFromInsufficient) {
+    // Passing side: three all-good windows -> first evaluation passes ->
+    // kClear at once, no recovery streak required.
+    OnlineScreener passing{{}, shared_cal()};
+    const std::uint32_t m = passing.config().test.base.window_size;
+    for (std::uint32_t i = 0; i < 3 * m; ++i) passing.observe(true);
+    EXPECT_EQ(passing.evaluations(), 1u);
+    EXPECT_EQ(passing.state(), StreamState::kClear);
+
+    // Failing side: alternating all-good / all-bad windows are wildly
+    // inconsistent with a Binomial(m, p-hat) player, so every evaluation
+    // fails — yet the flag must wait for `patience` of them.
+    OnlineScreenerConfig config;
+    config.patience = 2;
+    OnlineScreener failing{config, shared_cal()};
+    for (std::uint32_t i = 0; i < 3 * m; ++i) failing.observe(i / m % 2 == 0);
+    ASSERT_EQ(failing.evaluations(), 1u);
+    ASSERT_FALSE(failing.last_evaluation_passed());
+    EXPECT_EQ(failing.state(), StreamState::kInsufficient)
+        << "one failing evaluation must not flag from kInsufficient";
+    for (std::uint32_t i = 0; i < m; ++i) failing.observe(false);  // window 4: all-bad
+    ASSERT_EQ(failing.evaluations(), 2u);
+    EXPECT_EQ(failing.state(), StreamState::kSuspicious)
+        << "patience(2) consecutive failures flag from kInsufficient";
+}
+
 TEST(OnlineScreener, StreakAccountingIsConsistent) {
     OnlineScreener screener{{}, shared_cal()};
     stats::Rng rng{906};

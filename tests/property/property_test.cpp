@@ -534,5 +534,76 @@ TEST(ServingProperty, BatchAssessorEqualsSequentialLoopFuzz) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Invariant 12: the horizon-bounded screener is a pure optimization.
+// (a) While the stream still fits max_windows, every observable of the
+// bounded screener equals the unbounded screener's after every single
+// observe.  (b) Once the ring has wrapped, each evaluation must equal
+// batch MultiTest over exactly the newest horizon*m outcomes — bounding
+// changes what is retained, never what the retained suffix decides.
+
+TEST(OnlineHorizonProperty, BoundedEqualsUnboundedWithinHorizonFuzz) {
+    stats::Rng rng{2012};
+    for (int trial = 0; trial < 8; ++trial) {
+        core::OnlineScreenerConfig bounded_config;
+        bounded_config.test.bonferroni = trial % 2 == 0;
+        bounded_config.max_windows =
+            bounded_config.test.base.min_windows + rng.uniform_int(std::uint64_t{20});
+        core::OnlineScreenerConfig unbounded_config = bounded_config;
+        unbounded_config.max_windows = 0;
+        core::OnlineScreener bounded{bounded_config, shared_cal()};
+        core::OnlineScreener unbounded{unbounded_config, shared_cal()};
+        const double p = 0.4 + 0.6 * rng.uniform();
+        const std::size_t horizon_tx =
+            bounded_config.max_windows * bounded_config.test.base.window_size;
+        for (std::size_t i = 0; i < horizon_tx; ++i) {
+            const bool good = rng.bernoulli(p);
+            bounded.observe(good);
+            unbounded.observe(good);
+            ASSERT_EQ(bounded.state(), unbounded.state())
+                << "trial " << trial << " tx " << i;
+            ASSERT_EQ(bounded.p_hat(), unbounded.p_hat())
+                << "trial " << trial << " tx " << i;
+            ASSERT_EQ(bounded.last_evaluation_passed(),
+                      unbounded.last_evaluation_passed())
+                << "trial " << trial << " tx " << i;
+            ASSERT_EQ(bounded.evaluations(), unbounded.evaluations());
+            ASSERT_EQ(bounded.retained_windows(), unbounded.retained_windows());
+        }
+    }
+}
+
+TEST(OnlineHorizonProperty, RetainedSuffixEqualsBatchMultiTestPastWrapFuzz) {
+    stats::Rng rng{2013};
+    for (int trial = 0; trial < 6; ++trial) {
+        core::OnlineScreenerConfig config;
+        config.test.bonferroni = trial % 2 == 0;
+        config.max_windows = 4 + rng.uniform_int(std::uint64_t{12});
+        const std::uint32_t m = config.test.base.window_size;
+        const std::size_t horizon_tx = config.max_windows * m;
+        core::OnlineScreener screener{config, shared_cal()};
+        const core::MultiTest oracle{config.test, shared_cal()};
+        // Mid-stream behavior flips keep failing ladders in the sample.
+        const double p_early = 0.5 + 0.5 * rng.uniform();
+        const double p_late = 0.3 + 0.7 * rng.uniform();
+        std::vector<std::uint8_t> tape;
+        const std::size_t total_tx = 3 * horizon_tx;
+        for (std::size_t i = 0; i < total_tx; ++i) {
+            tape.push_back(rng.bernoulli(i < total_tx / 2 ? p_early : p_late) ? 1
+                                                                              : 0);
+        }
+        for (std::size_t i = 0; i < total_tx; ++i) {
+            screener.observe(tape[i] != 0);
+            if ((i + 1) % m != 0 || i + 1 < horizon_tx) continue;
+            ASSERT_EQ(screener.retained_windows(), config.max_windows);
+            const auto batch = oracle.test(std::span<const std::uint8_t>{
+                tape.data() + (i + 1 - horizon_tx), horizon_tx});
+            ASSERT_EQ(screener.last_evaluation_passed(), batch.passed)
+                << "trial " << trial << " tx " << i + 1 << " horizon "
+                << config.max_windows;
+        }
+    }
+}
+
 }  // namespace
 }  // namespace hpr

@@ -115,6 +115,34 @@ TEST(FeedbackStore, EvictCanForgetServersEntirely) {
     EXPECT_FALSE(store.contains(10));
 }
 
+TEST(FeedbackStore, EvictReportsForgottenServers) {
+    FeedbackStore store{4};
+    // Server 1 only has old feedback; 2 has old and new; 3 only new.
+    store.submit(Feedback{1, 1, 100, Rating::kPositive});
+    store.submit(Feedback{2, 2, 100, Rating::kPositive});
+    store.submit(Feedback{9, 2, 100, Rating::kNegative});
+    store.submit(Feedback{9, 3, 100, Rating::kPositive});
+
+    // Pre-existing caller contents must survive untouched, with the
+    // forgotten ids appended in ascending order after them.
+    std::vector<EntityId> forgotten{42};
+    EXPECT_EQ(store.evict_before(5, &forgotten), 2u);  // t=1 and t=2
+    EXPECT_EQ(forgotten, (std::vector<EntityId>{42, 1}));
+    EXPECT_FALSE(store.contains(1));
+    EXPECT_TRUE(store.contains(2));
+
+    forgotten.clear();
+    EXPECT_EQ(store.evict_before(100, &forgotten), 2u);
+    EXPECT_EQ(forgotten, (std::vector<EntityId>{2, 3}));
+    EXPECT_EQ(store.server_count(), 0u);
+
+    // Evicting nothing appends nothing; a null out-param stays legal.
+    forgotten.clear();
+    EXPECT_EQ(store.evict_before(1, &forgotten), 0u);
+    EXPECT_TRUE(forgotten.empty());
+    EXPECT_EQ(store.evict_before(1, nullptr), 0u);
+}
+
 // --- sharding --------------------------------------------------------------
 
 /// First server id in [1, limit] mapping to the given shard, 0 if none.

@@ -240,11 +240,119 @@ TEST(BatchAssessorIncremental, ObserveIsNoOpWhenDisabled) {
     repsys::FeedbackStore store{4};
     BatchAssessorConfig config;
     config.assessment = assessment_config();
-    config.threads = 1;  // incremental defaults to off
+    config.threads = 1;
+    config.incremental = false;  // opt out of the streaming default
     BatchAssessor assessor{config, beta_trust(), shared_cal()};
     assessor.observe(repsys::Feedback{1, 1, 2, repsys::Rating::kPositive});
     EXPECT_EQ(assessor.tracked_streams(), 0u);
     EXPECT_EQ(assessor.stream_state(1), core::StreamState::kInsufficient);
+    EXPECT_EQ(assessor.stream_memory_bytes(), 0u);
+}
+
+TEST(BatchAssessorIncremental, StreamingIsTheDefaultServingMode) {
+    const BatchAssessorConfig config;
+    EXPECT_TRUE(config.incremental);
+    EXPECT_GT(config.screener_horizon, 0u);  // bounded out of the box
+
+    BatchAssessorConfig used = config;
+    used.assessment = assessment_config();
+    used.threads = 1;
+    BatchAssessor assessor{used, beta_trust(), shared_cal()};
+    assessor.observe(repsys::Feedback{1, 7, 2, repsys::Rating::kPositive});
+    EXPECT_EQ(assessor.tracked_streams(), 1u);
+    EXPECT_GT(assessor.stream_memory_bytes(), 0u);
+}
+
+TEST(BatchAssessorIncremental, AssessBatchIsTheOracleAndIgnoresTheBank) {
+    // Store history: honest.  Streamed history: an all-bad alternation
+    // that flags the screener.  assess() must follow the stream,
+    // assess_batch() must follow the store.
+    repsys::FeedbackStore store{4};
+    stats::Rng rng{77};
+    for (int i = 0; i < 600; ++i) {
+        store.submit(repsys::Feedback{static_cast<repsys::Timestamp>(i + 1), 1, 2,
+                                      rng.bernoulli(0.95)
+                                          ? repsys::Rating::kPositive
+                                          : repsys::Rating::kNegative});
+    }
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 1;
+    BatchAssessor assessor{config, beta_trust(), shared_cal()};
+    std::size_t fed = 0;
+    while (assessor.stream_state(1) != core::StreamState::kSuspicious &&
+           fed < 2000) {
+        const bool good = fed / 10 % 2 == 0;  // alternating windows
+        assessor.observe(repsys::Feedback{static_cast<repsys::Timestamp>(fed + 1),
+                                          1, 2,
+                                          good ? repsys::Rating::kPositive
+                                               : repsys::Rating::kNegative});
+        ++fed;
+    }
+    ASSERT_EQ(assessor.stream_state(1), core::StreamState::kSuspicious);
+
+    const auto streaming = assessor.assess(store, {1});
+    EXPECT_EQ(streaming[0].assessment.verdict, core::Verdict::kSuspicious);
+    const auto oracle = assessor.assess_batch(store, {1});
+    EXPECT_EQ(oracle[0].assessment.verdict, core::Verdict::kAssessed);
+    // And the oracle stays bit-identical to the sequential assessor.
+    const core::TwoPhaseAssessor sequential{assessment_config(), beta_trust(),
+                                            shared_cal()};
+    expect_identical(oracle[0].assessment, sequential.assess(store.history(1)));
+}
+
+TEST(BatchAssessorIncremental, StoreEvictionReleasesScreeners) {
+    repsys::FeedbackStore store{4};
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 1;
+    BatchAssessor assessor{config, beta_trust(), shared_cal()};
+    for (repsys::EntityId server = 1; server <= 6; ++server) {
+        // Servers 1-3 have only old feedback; 4-6 have fresh feedback too.
+        store.submit(repsys::Feedback{1, server, 9, repsys::Rating::kPositive});
+        if (server > 3) {
+            store.submit(repsys::Feedback{50, server, 9, repsys::Rating::kPositive});
+        }
+        assessor.observe(repsys::Feedback{1, server, 9, repsys::Rating::kPositive});
+    }
+    ASSERT_EQ(assessor.tracked_streams(), 6u);
+
+    std::vector<repsys::EntityId> forgotten;
+    (void)store.evict_before(10, &forgotten);
+    EXPECT_EQ(forgotten, (std::vector<repsys::EntityId>{1, 2, 3}));
+    EXPECT_EQ(assessor.drop_streams(forgotten), 3u);
+    EXPECT_EQ(assessor.tracked_streams(), 3u);
+    EXPECT_EQ(assessor.stream_state(1), core::StreamState::kInsufficient);
+
+    // evict_streams reconciles against the store directly: nothing stale
+    // remains now, so it drops nothing.
+    EXPECT_EQ(assessor.evict_streams(store), 0u);
+    store.evict_before(100);  // forget everyone
+    EXPECT_EQ(assessor.evict_streams(store), 3u);
+    EXPECT_EQ(assessor.tracked_streams(), 0u);
+}
+
+TEST(BatchAssessorIncremental, HorizonBoundsStreamMemory) {
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.threads = 1;
+    config.screener_horizon = 8;
+    BatchAssessor assessor{config, beta_trust(), shared_cal()};
+    stats::Rng rng{78};
+    const auto feed = [&](std::size_t count, repsys::Timestamp start) {
+        for (std::size_t i = 0; i < count; ++i) {
+            assessor.observe(repsys::Feedback{
+                start + static_cast<repsys::Timestamp>(i), 1, 2,
+                rng.bernoulli(0.9) ? repsys::Rating::kPositive
+                                   : repsys::Rating::kNegative});
+        }
+    };
+    feed(100, 1);
+    const std::size_t bytes_young = assessor.stream_memory_bytes();
+    ASSERT_GT(bytes_young, 0u);
+    feed(10000, 101);
+    EXPECT_EQ(assessor.stream_memory_bytes(), bytes_young)
+        << "a horizon-bounded stream must not grow with age";
 }
 
 }  // namespace
