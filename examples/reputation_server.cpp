@@ -15,23 +15,37 @@
 // the retained DecisionRecords as JSONL — the audit trail a forensics
 // pipeline (examples/trace_query) consumes.
 //
+// With `--listen=PORT` the example becomes a **daemon**: the epoll
+// introspection front-end (net/http_server.h) serves the browsable
+// state tree — /metrics, /metrics.json, /traces, /servers, /store,
+// /calibration (docs/observability.md) — while the foreground keeps
+// ingesting and assessing a live transaction stream.  SIGINT/SIGTERM
+// (or `--duration=S`) drains in-flight scrapes and exits 0 with the
+// usual final metrics dump.
+//
 //   build/examples/reputation_server [--json] [--trace-dump[=N]]
 //                                    [--trace-sample=R] [--threads=N]
 //                                    [--shards=N] [--horizon=W]
+//                                    [--listen=PORT] [--duration=S]
 //
 // Exercises: repsys::FeedbackStore (sharded), serve::BatchAssessor's
 // incremental screener bank over core::OnlineScreener,
 // core::TwoPhaseAssessor as the batch oracle, repsys::EigenTrust,
 // repsys::CredibilityWeightedTrust, core::ChangePointDetector,
-// obs::Registry + exporters, obs::Tracer.
+// obs::Registry + exporters, obs::Tracer, obs::IntrospectionTree +
+// net::HttpServer (daemon mode).
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "hpr.h"
 
@@ -50,6 +64,7 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--json] [--trace-dump[=N]] [--trace-sample=R]\n"
                  "          [--threads=N] [--shards=N] [--horizon=W]\n"
+                 "          [--listen=PORT] [--duration=S]\n"
                  "  --json            emit the metrics dump as JSON\n"
                  "  --trace-dump[=N]  enable decision tracing and dump the last N\n"
                  "                    retained DecisionRecords as JSONL (default: all)\n"
@@ -57,7 +72,12 @@ int usage(const char* argv0) {
                  "  --threads=N       batch-assessment threads (default: hardware)\n"
                  "  --shards=N        feedback-store lock stripes (default: %zu)\n"
                  "  --horizon=W       screener retention horizon in complete windows\n"
-                 "                    (default: 64; 0 = unbounded)\n",
+                 "                    (default: 64; 0 = unbounded)\n"
+                 "  --listen=PORT     daemon mode: serve the introspection tree on\n"
+                 "                    127.0.0.1:PORT while ingesting+assessing live\n"
+                 "                    load, until SIGINT/SIGTERM (tracing enabled)\n"
+                 "  --duration=S      daemon mode: stop after S seconds (default:\n"
+                 "                    run until a signal arrives)\n",
                  argv0, hpr::repsys::FeedbackStore::kDefaultShards);
     return 2;
 }
@@ -91,6 +111,139 @@ bool parse_flag_unit(const char* text, double& out) {
     return true;
 }
 
+/// Strict parse of a non-negative seconds value (decimals allowed).
+bool parse_flag_seconds(const char* text, double& out) {
+    if (*text == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (errno == ERANGE || end == text || *end != '\0') return false;
+    if (!(value >= 0.0)) return false;
+    out = value;
+    return true;
+}
+
+/// The end-of-run metrics dump both modes share — what a deployment
+/// would log on shutdown even though the live /metrics page existed.
+void dump_metrics(bool json) {
+    obs::publish_uptime();
+    if (json) {
+        std::printf("\n--- metrics (json) ---\n%s\n",
+                    obs::to_json(obs::default_registry()).c_str());
+    } else {
+        std::printf("\n--- metrics (prometheus) ---\n%s",
+                    obs::to_prometheus(obs::default_registry()).c_str());
+    }
+}
+
+// Signal plumbing of daemon mode: the handler flips a flag for the load
+// loop and pokes the HTTP server's eventfd — both async-signal-safe.
+std::atomic<bool> g_stop{false};
+std::atomic<net::HttpServer*> g_signal_server{nullptr};
+
+void handle_stop_signal(int) {
+    g_stop.store(true, std::memory_order_release);
+    if (net::HttpServer* server =
+            g_signal_server.load(std::memory_order_acquire)) {
+        server->request_stop();
+    }
+}
+
+/// Daemon mode: the introspection front-end serves the browsable tree
+/// while this thread keeps ingesting the population's stream and
+/// periodically re-assessing it — scrapes and load run concurrently
+/// against the same store/assessor/registry, exactly the deployment
+/// shape bench/introspection_daemon measures.
+int run_daemon(repsys::FeedbackStore& store, serve::BatchAssessor& assessor,
+               std::shared_ptr<stats::Calibrator> calibrator,
+               const std::vector<Population>& servers, std::uint16_t port,
+               double duration, bool json_metrics) {
+    obs::IntrospectionTree tree;
+    net::IntrospectionSources sources;
+    sources.registry = &obs::default_registry();
+    sources.tracer = &obs::default_tracer();
+    sources.store = &store;
+    sources.assessor = &assessor;
+    sources.calibrator = std::move(calibrator);
+    net::register_introspection(tree, sources);
+
+    net::HttpServerConfig http;
+    http.port = port;
+    net::HttpServer server{http, net::make_http_handler(tree)};
+    server.start();
+    g_signal_server.store(&server, std::memory_order_release);
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    std::printf("daemon: listening on http://127.0.0.1:%u%s\n", server.port(),
+                duration > 0.0 ? "" : " (SIGINT/SIGTERM to stop)");
+    std::fflush(stdout);
+
+    stats::Rng rng{4242};
+    std::vector<repsys::EntityId> ids;
+    ids.reserve(servers.size());
+    for (const auto& s : servers) ids.push_back(s.id);
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t tx = 0;
+    while (!g_stop.load(std::memory_order_acquire)) {
+        if (duration > 0.0 &&
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                    .count() >= duration) {
+            break;
+        }
+        for (const auto& s : servers) {
+            bool good;
+            if (s.flip_after != 0 && tx >= s.flip_after) {
+                good = s.id == 4 ? false : rng.bernoulli(0.85);
+            } else {
+                good = rng.bernoulli(s.p_good);
+            }
+            const repsys::Feedback feedback{
+                static_cast<repsys::Timestamp>(tx + 1), s.id,
+                static_cast<repsys::EntityId>(
+                    100 + rng.uniform_int(std::uint64_t{60})),
+                good ? repsys::Rating::kPositive : repsys::Rating::kNegative};
+            store.submit(feedback);
+            assessor.observe(feedback);
+        }
+        ++tx;
+        // First assessment at round 8, while every stream is still too
+        // short for a screener verdict: the batch falls through to the
+        // full two-phase scan, so scrapes see that path's metrics from
+        // the start instead of only the streaming shortcuts.
+        if (tx == 8 || tx % 64 == 0) {
+            const auto assessments = assessor.assess(store, ids);
+            (void)assessments;
+        }
+        if (tx % 1024 == 0 && tx > 4096) {
+            // Retention keeps the daemon's resident state bounded no
+            // matter how long it runs; forgotten servers release their
+            // screeners too.
+            std::vector<repsys::EntityId> forgotten;
+            store.evict_before(static_cast<repsys::Timestamp>(tx - 4096),
+                               &forgotten);
+            assessor.drop_streams(forgotten);
+        }
+        // ~1k transaction rounds/s: enough live churn for every scrape
+        // to see fresh state without saturating a CI host.
+        std::this_thread::sleep_for(std::chrono::milliseconds{1});
+    }
+
+    server.stop();
+    g_signal_server.store(nullptr, std::memory_order_release);
+    std::printf("daemon: drained after %zu transaction rounds; served %llu "
+                "responses (%llu rejected, %llu timed out, %llu malformed, "
+                "%llu bytes)\n",
+                tx,
+                static_cast<unsigned long long>(server.requests_served()),
+                static_cast<unsigned long long>(server.rejected_connections()),
+                static_cast<unsigned long long>(server.timed_out_connections()),
+                static_cast<unsigned long long>(server.malformed_requests()),
+                static_cast<unsigned long long>(server.bytes_sent()));
+    dump_metrics(json_metrics);
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -101,6 +254,9 @@ int main(int argc, char** argv) {
     std::size_t threads = 0;  // 0 = hardware concurrency
     std::size_t shards = repsys::FeedbackStore::kDefaultShards;
     std::size_t horizon = 64;  // screener retention, in complete windows
+    std::size_t listen_port = 0;
+    bool listen = false;
+    double duration = 0.0;  // daemon run time; 0 = until a signal
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--json") == 0) {
@@ -120,11 +276,23 @@ int main(int argc, char** argv) {
             }
         } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
             if (!parse_flag_unit(arg + 15, trace_sample)) return usage(argv[0]);
+        } else if (std::strncmp(arg, "--listen=", 9) == 0) {
+            if (!parse_flag_size(arg + 9, 1, listen_port) ||
+                listen_port > 65535) {
+                return usage(argv[0]);
+            }
+            listen = true;
+        } else if (std::strncmp(arg, "--duration=", 11) == 0) {
+            if (!parse_flag_seconds(arg + 11, duration)) return usage(argv[0]);
         } else {
             return usage(argv[0]);
         }
     }
-    if (trace_dump) {
+    // Build identity and uptime belong in every dump and every scrape.
+    obs::register_build_identity();
+    if (trace_dump || listen) {
+        // Daemon mode traces unconditionally: /traces is part of the
+        // introspection surface it exists to serve.
         obs::default_tracer().set_sample_rate(trace_sample);
         obs::default_tracer().set_enabled(true);
     }
@@ -166,6 +334,12 @@ int main(int argc, char** argv) {
         std::shared_ptr<const repsys::TrustFunction>{
             repsys::make_trust_function("beta")},
         calibrator};
+
+    if (listen) {
+        return run_daemon(store, assessor, calibrator, servers,
+                          static_cast<std::uint16_t>(listen_port), duration,
+                          json_metrics);
+    }
 
     // Live ingestion: every feedback goes to the sharded store and to the
     // serving layer's screener bank.
@@ -277,17 +451,12 @@ int main(int argc, char** argv) {
                     assessor.tracked_streams());
     }
 
-    // The /metrics endpoint of a real deployment: everything the layers
-    // above recorded — calibration cache behavior, worker-pool queueing,
-    // screening verdicts and phase latencies, store ingest levels,
-    // screener-bank occupancy and eviction.
-    if (json_metrics) {
-        std::printf("\n--- metrics (json) ---\n%s\n",
-                    obs::to_json(obs::default_registry()).c_str());
-    } else {
-        std::printf("\n--- metrics (prometheus) ---\n%s",
-                    obs::to_prometheus(obs::default_registry()).c_str());
-    }
+    // The /metrics endpoint of a real deployment (daemon mode serves it
+    // live): everything the layers above recorded — calibration cache
+    // behavior, worker-pool queueing, screening verdicts and phase
+    // latencies, store ingest levels, screener-bank occupancy and
+    // eviction.
+    dump_metrics(json_metrics);
 
     // The forensics feed: every retained DecisionRecord, oldest first,
     // one JSON object per line.  Pipe into examples/trace_query to answer

@@ -11,6 +11,7 @@
 ///  * hpr::repsys  — feedbacks, histories, trust functions;
 ///  * hpr::core    — behavior testing and the two-phase assessor;
 ///  * hpr::serve   — sharded-store batch assessment (the serving core);
+///  * hpr::net     — the epoll introspection daemon front-end;
 ///  * hpr::sim     — workload generators and the paper's experiments.
 
 #include "core/behavior_test.h"
@@ -28,7 +29,12 @@
 #include "core/temporal.h"
 #include "core/two_phase.h"
 #include "core/window_stats.h"
+#include "net/endpoints.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "obs/buildinfo.h"
 #include "obs/export.h"
+#include "obs/introspection.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"

@@ -1,0 +1,64 @@
+#ifndef HPR_NET_ENDPOINTS_H
+#define HPR_NET_ENDPOINTS_H
+
+/// \file endpoints.h
+/// The standard introspection surface: wiring from the library's live
+/// observability sources onto an obs::IntrospectionTree, plus the
+/// adapter that serves the tree through the epoll HTTP front-end.
+///
+/// register_introspection() installs one node per *available* source
+/// (absent sources simply register nothing, so a store-less tool still
+/// gets /metrics):
+///
+///   path             backing subsystem
+///   /healthz         constant liveness probe
+///   /metrics         obs::to_prometheus of the registry (+ fresh uptime)
+///   /metrics.json    obs::to_json of the registry
+///   /traces          obs::TraceRing::snapshot as JSONL; ?n= and ?server=
+///   /servers         FeedbackStore population + screener-bank index
+///   /servers/<id>    one server: history length + full StreamInfo
+///   /store           FeedbackStore per-shard occupancy table
+///   /calibration     stats::Calibrator cache statistics
+///
+/// Every page is a point-in-time snapshot taken with the same
+/// concurrency contracts the sources already offer (registry visit,
+/// ring snapshot, shard-at-a-time occupancy, stripe-locked StreamInfo
+/// copies) — a scrape never blocks ingest or assessment for more than
+/// one shard/stripe lock at a time.  docs/observability.md documents
+/// the endpoint table and a curl runbook.
+
+#include <memory>
+
+#include "net/http_server.h"
+#include "obs/introspection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "repsys/store.h"
+#include "serve/batch_assessor.h"
+#include "stats/calibrate.h"
+
+namespace hpr::net {
+
+/// The live state a tree serves.  Raw pointers are non-owning and may
+/// be null (that endpoint is skipped); the pointed-to objects must
+/// outlive the tree's use.
+struct IntrospectionSources {
+    obs::Registry* registry = nullptr;  ///< /metrics, /metrics.json
+    obs::Tracer* tracer = nullptr;      ///< /traces
+    const repsys::FeedbackStore* store = nullptr;        ///< /store, /servers
+    const serve::BatchAssessor* assessor = nullptr;      ///< /servers screener columns
+    std::shared_ptr<const stats::Calibrator> calibrator;  ///< /calibration
+};
+
+/// Install the standard endpoints for the given sources.
+/// \throws std::invalid_argument if a path is already registered.
+void register_introspection(obs::IntrospectionTree& tree,
+                            IntrospectionSources sources);
+
+/// Adapt a tree to the HTTP front-end.  The returned handler captures a
+/// reference: the tree must outlive the server (stop the server first).
+[[nodiscard]] HttpHandler make_http_handler(const obs::IntrospectionTree& tree);
+
+}  // namespace hpr::net
+
+#endif  // HPR_NET_ENDPOINTS_H

@@ -1,0 +1,147 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace hpr::net {
+
+namespace {
+
+bool equals_ignore_case(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto lower = [](char c) {
+            return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        };
+        if (lower(a[i]) != lower(b[i])) return false;
+    }
+    return true;
+}
+
+/// Connect a blocking socket with send/receive timeouts applied.
+int connect_to(const std::string& host, std::uint16_t port,
+               double timeout_seconds) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof address) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + written,
+                                 bytes.size() - written, MSG_NOSIGNAL);
+        if (n <= 0) return false;
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Read until orderly close; false on a receive timeout or error.
+bool read_to_eof(int fd, std::string& out) {
+    char buffer[8192];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n > 0) {
+            out.append(buffer, static_cast<std::size_t>(n));
+            continue;
+        }
+        return n == 0;
+    }
+}
+
+}  // namespace
+
+std::optional<std::string> FetchResult::header(std::string_view name) const {
+    for (const auto& [key, value] : headers) {
+        if (equals_ignore_case(key, name)) return value;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string> http_exchange(const std::string& host,
+                                         std::uint16_t port,
+                                         std::string_view raw_request,
+                                         double timeout_seconds,
+                                         bool shutdown_write) {
+    const int fd = connect_to(host, port, timeout_seconds);
+    if (fd < 0) return std::nullopt;
+    if (!raw_request.empty() && !send_all(fd, raw_request)) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    if (shutdown_write) ::shutdown(fd, SHUT_WR);
+    std::string response;
+    const bool ok = read_to_eof(fd, response);
+    ::close(fd);
+    if (!ok) return std::nullopt;
+    return response;
+}
+
+std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& target,
+                                    double timeout_seconds) {
+    std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+    const std::optional<std::string> raw =
+        http_exchange(host, port, request, timeout_seconds);
+    if (!raw) return std::nullopt;
+
+    const std::size_t head_end = raw->find("\r\n\r\n");
+    if (head_end == std::string::npos) return std::nullopt;
+    const std::string_view head{raw->data(), head_end};
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view status_line =
+        line_end == std::string_view::npos ? head : head.substr(0, line_end);
+    // "HTTP/1.1 NNN Reason"
+    const std::size_t sp = status_line.find(' ');
+    if (sp == std::string_view::npos || status_line.size() < sp + 4) {
+        return std::nullopt;
+    }
+    FetchResult result;
+    result.status = std::atoi(std::string{status_line.substr(sp + 1, 3)}.c_str());
+    if (result.status < 100 || result.status > 599) return std::nullopt;
+
+    std::string_view rest = line_end == std::string_view::npos
+                                ? std::string_view{}
+                                : head.substr(line_end + 2);
+    while (!rest.empty()) {
+        const std::size_t eol = rest.find("\r\n");
+        const std::string_view line =
+            eol == std::string_view::npos ? rest : rest.substr(0, eol);
+        rest = eol == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(eol + 2);
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        std::string_view value = line.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+        result.headers.emplace_back(std::string{line.substr(0, colon)},
+                                    std::string{value});
+    }
+    result.body = raw->substr(head_end + 4);
+    return result;
+}
+
+}  // namespace hpr::net

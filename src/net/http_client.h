@@ -1,0 +1,51 @@
+#ifndef HPR_NET_HTTP_CLIENT_H
+#define HPR_NET_HTTP_CLIENT_H
+
+/// \file http_client.h
+/// A minimal blocking HTTP/1.1 GET client — just enough to scrape the
+/// introspection daemon from tests, benches and examples without
+/// shelling out to curl.  One request per connection (the server closes
+/// after each response), bounded by SO_RCVTIMEO/SO_SNDTIMEO socket
+/// timeouts so a wedged server cannot hang a test binary.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpr::net {
+
+/// One fetched response.
+struct FetchResult {
+    int status = 0;  ///< parsed from the status line
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /// First header with the given name, case-insensitively.
+    [[nodiscard]] std::optional<std::string> header(std::string_view name) const;
+};
+
+/// GET `target` from host:port, reading until the server closes.
+/// \returns std::nullopt on connect/send/timeout/parse failure.
+[[nodiscard]] std::optional<FetchResult> http_get(const std::string& host,
+                                                  std::uint16_t port,
+                                                  const std::string& target,
+                                                  double timeout_seconds = 5.0);
+
+/// Send raw bytes and return the raw response bytes (read to EOF).
+/// The escape hatch for protocol-abuse tests: malformed request lines,
+/// oversized headers, half-written slow-loris requests.
+/// \param shutdown_write  half-close after sending, signalling EOF to
+///        the server while still reading its response.
+/// \returns std::nullopt on connect/send/timeout failure (an empty
+///          response string is a successful exchange the server chose
+///          not to answer).
+[[nodiscard]] std::optional<std::string> http_exchange(
+    const std::string& host, std::uint16_t port, std::string_view raw_request,
+    double timeout_seconds = 5.0, bool shutdown_write = false);
+
+}  // namespace hpr::net
+
+#endif  // HPR_NET_HTTP_CLIENT_H

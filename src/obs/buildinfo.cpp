@@ -1,0 +1,75 @@
+#include "obs/buildinfo.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace hpr::obs {
+
+namespace {
+
+#ifndef HPR_VERSION
+#define HPR_VERSION "0.0.0"  // set by src/obs/CMakeLists.txt from the project version
+#endif
+
+/// Captured at static initialization, so uptime measures the process,
+/// not the first scrape.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+const char* compiler_identity() {
+    static const char* const identity = [] {
+        static char buffer[64];
+#if defined(__clang__)
+        std::snprintf(buffer, sizeof buffer, "clang %d.%d.%d", __clang_major__,
+                      __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+        std::snprintf(buffer, sizeof buffer, "gcc %d.%d.%d", __GNUC__,
+                      __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+        std::snprintf(buffer, sizeof buffer, "unknown");
+#endif
+        return buffer;
+    }();
+    return identity;
+}
+
+const char* standard_identity() {
+    static const char* const identity = [] {
+        static char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%ld", static_cast<long>(__cplusplus));
+        return buffer;
+    }();
+    return identity;
+}
+
+}  // namespace
+
+const char* build_version() noexcept { return HPR_VERSION; }
+
+const char* build_compiler() noexcept { return compiler_identity(); }
+
+double uptime_seconds() noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         g_process_start)
+        .count();
+}
+
+void register_build_identity(Registry& registry) {
+    registry
+        .gauge("hpr_build_info",
+               "Build identity of this process; the value is always 1",
+               Registry::LabelSet{{"version", build_version()},
+                                  {"compiler", build_compiler()},
+                                  {"cpp_std", standard_identity()}})
+        .set(1);
+    publish_uptime(registry);
+}
+
+void publish_uptime(Registry& registry) {
+    registry
+        .gauge("hpr_uptime_seconds",
+               "Whole seconds since process start (steady clock)")
+        .set(static_cast<std::int64_t>(uptime_seconds()));
+}
+
+}  // namespace hpr::obs

@@ -1,0 +1,52 @@
+#ifndef HPR_OBS_BUILDINFO_H
+#define HPR_OBS_BUILDINFO_H
+
+/// \file buildinfo.h
+/// Process build and runtime identity for scrape consumers.
+///
+/// A metrics endpoint that cannot say *what* is being scraped is
+/// operationally blind: dashboards comparing two deployments need the
+/// library version and toolchain of each process, and alert rules need
+/// to know how long it has been up (a 10-second-old process with empty
+/// counters is not an outage).  Two standard Prometheus idioms cover
+/// this:
+///
+///  * `hpr_build_info` — constant-1 info gauge whose labels carry the
+///    library version (CMake project version), the compiler that built
+///    the binary, and the C++ standard it was compiled under;
+///  * `hpr_uptime_seconds` — seconds since process start (steady
+///    clock), republished on demand by publish_uptime() so every scrape
+///    sees a fresh value.
+///
+/// register_build_identity() is idempotent and cheap; callers that
+/// serve scrapes (net/endpoints.h, the end-of-run dumps in
+/// examples/reputation_server and bench_common) call publish_uptime()
+/// just before rendering.
+
+#include "obs/metrics.h"
+
+namespace hpr::obs {
+
+/// Library version string (the CMake project version the binary was
+/// built from).
+[[nodiscard]] const char* build_version() noexcept;
+
+/// Human-readable compiler identity, e.g. "gcc 12.2.0".
+[[nodiscard]] const char* build_compiler() noexcept;
+
+/// Seconds since process start (steady clock, captured at static
+/// initialization).
+[[nodiscard]] double uptime_seconds() noexcept;
+
+/// Register `hpr_build_info` (with version/compiler/std labels) and
+/// `hpr_uptime_seconds` into `registry` and publish current values.
+/// Idempotent.
+void register_build_identity(Registry& registry = default_registry());
+
+/// Refresh `hpr_uptime_seconds` (registering it if needed).  Call before
+/// rendering a scrape or dump.
+void publish_uptime(Registry& registry = default_registry());
+
+}  // namespace hpr::obs
+
+#endif  // HPR_OBS_BUILDINFO_H

@@ -34,6 +34,38 @@ void json_escape_into(std::ostringstream& out, std::string_view text) {
     out << escape_json(text);
 }
 
+/// Prometheus label-VALUE escaping (the exposition format escapes label
+/// values differently from help text: backslash, double-quote, newline).
+std::string escape_prometheus_label(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += c; break;
+        }
+    }
+    return out;
+}
+
+/// `{key="value",...}` suffix of a labeled sample line; empty when the
+/// metric carries no labels.
+std::string prometheus_label_suffix(const Registry::LabelSet& labels) {
+    if (labels.empty()) return {};
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i != 0) out += ',';
+        out += escape_prometheus(labels[i].first);
+        out += "=\"";
+        out += escape_prometheus_label(labels[i].second);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
 }  // namespace
 
 std::string escape_prometheus(std::string_view text) {
@@ -93,7 +125,8 @@ std::string to_prometheus(const Registry& registry) {
                 out << name << ' ' << entry.counter->value() << '\n';
                 break;
             case MetricKind::kGauge:
-                out << name << ' ' << entry.gauge->value() << '\n';
+                out << name << prometheus_label_suffix(entry.labels) << ' '
+                    << entry.gauge->value() << '\n';
                 break;
             case MetricKind::kHistogram:
                 append_prometheus_histogram(out, entry);
@@ -125,7 +158,23 @@ std::string to_json(const Registry& registry) {
                 first_gauge = false;
                 gauges << '"';
                 json_escape_into(gauges, entry.name);
-                gauges << "\":" << entry.gauge->value();
+                if (entry.labels.empty()) {
+                    gauges << "\":" << entry.gauge->value();
+                } else {
+                    // Info gauges keep their labels machine-readable:
+                    // {"value": v, "labels": {...}} instead of a bare v.
+                    gauges << "\":{\"value\":" << entry.gauge->value()
+                           << ",\"labels\":{";
+                    for (std::size_t i = 0; i < entry.labels.size(); ++i) {
+                        if (i != 0) gauges << ',';
+                        gauges << '"';
+                        json_escape_into(gauges, entry.labels[i].first);
+                        gauges << "\":\"";
+                        json_escape_into(gauges, entry.labels[i].second);
+                        gauges << '"';
+                    }
+                    gauges << "}}";
+                }
                 break;
             }
             case MetricKind::kHistogram: {

@@ -1,0 +1,177 @@
+#include "obs/introspection.h"
+
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpr::obs {
+
+namespace {
+
+/// A registerable path: starts with '/', non-empty segments, no trailing
+/// slash ("/" itself is reserved for the automatic root listing), no
+/// query-string or whitespace characters.
+bool valid_path(std::string_view path) {
+    if (path.size() < 2 || path.front() != '/') return false;
+    if (path.back() == '/') return false;
+    char prev = '\0';
+    for (const char c : path) {
+        if (c == '?' || c == '#' || c == ' ' || c == '\t' || c == '\n' ||
+            c == '\r') {
+            return false;
+        }
+        if (c == '/' && prev == '/') return false;  // empty segment
+        prev = c;
+    }
+    return true;
+}
+
+/// Is `path` equal to `prefix` or nested below it at a '/' boundary?
+bool at_or_below(std::string_view path, std::string_view prefix) {
+    if (!path.starts_with(prefix)) return false;
+    return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+}  // namespace
+
+std::optional<std::string> IntrospectionRequest::param(
+    std::string_view key) const {
+    std::string_view rest = query;
+    while (!rest.empty()) {
+        const std::size_t amp = rest.find('&');
+        const std::string_view pair =
+            amp == std::string_view::npos ? rest : rest.substr(0, amp);
+        rest = amp == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(amp + 1);
+        const std::size_t eq = pair.find('=');
+        const std::string_view name =
+            eq == std::string_view::npos ? pair : pair.substr(0, eq);
+        if (name == key) {
+            return std::string{eq == std::string_view::npos
+                                   ? std::string_view{}
+                                   : pair.substr(eq + 1)};
+        }
+    }
+    return std::nullopt;
+}
+
+void IntrospectionTree::add(std::string path, std::string content_type,
+                            std::string summary, IntrospectionHandler handler) {
+    insert(std::move(path), std::move(content_type), std::move(summary),
+           std::move(handler), /*subtree=*/false);
+}
+
+void IntrospectionTree::add_prefix(std::string path, std::string content_type,
+                                   std::string summary,
+                                   IntrospectionHandler handler) {
+    insert(std::move(path), std::move(content_type), std::move(summary),
+           std::move(handler), /*subtree=*/true);
+}
+
+void IntrospectionTree::insert(std::string path, std::string content_type,
+                               std::string summary, IntrospectionHandler handler,
+                               bool subtree) {
+    if (!valid_path(path)) {
+        throw std::invalid_argument("IntrospectionTree: invalid path '" + path +
+                                    "'");
+    }
+    if (handler == nullptr) {
+        throw std::invalid_argument("IntrospectionTree: null handler for '" +
+                                    path + "'");
+    }
+    const std::unique_lock lock{mutex_};
+    const auto [it, inserted] = nodes_.emplace(
+        std::move(path), Node{std::move(content_type), std::move(summary),
+                              std::move(handler), subtree});
+    if (!inserted) {
+        throw std::invalid_argument("IntrospectionTree: path '" + it->first +
+                                    "' already registered");
+    }
+}
+
+IntrospectionPage IntrospectionTree::get(std::string_view target) const {
+    IntrospectionRequest request;
+    const std::size_t qmark = target.find('?');
+    std::string_view path =
+        qmark == std::string_view::npos ? target : target.substr(0, qmark);
+    if (qmark != std::string_view::npos) {
+        request.query = std::string{target.substr(qmark + 1)};
+    }
+    while (path.size() > 1 && path.back() == '/') path.remove_suffix(1);
+    if (path.empty() || path.front() != '/') {
+        return IntrospectionPage{404, "text/plain; charset=utf-8",
+                                 "not found: " + std::string{target} + "\n"};
+    }
+    request.path = std::string{path};
+
+    const Node* node = nullptr;
+    {
+        const std::shared_lock lock{mutex_};
+        if (const auto it = nodes_.find(request.path); it != nodes_.end()) {
+            node = &it->second;
+        } else {
+            // Deepest registered subtree enclosing the path: walk the
+            // ancestor chain from the full path upward.
+            std::string_view ancestor = path;
+            while (node == nullptr) {
+                const std::size_t slash = ancestor.rfind('/');
+                if (slash == 0 || slash == std::string_view::npos) break;
+                ancestor = ancestor.substr(0, slash);
+                const auto up = nodes_.find(ancestor);
+                if (up != nodes_.end() && up->second.subtree) node = &up->second;
+            }
+        }
+        // Handlers are never unregistered, so the pointer (and the
+        // handler it carries) stays valid after the lock is released;
+        // calling out without the lock keeps slow handlers from
+        // blocking registration or other readers.
+    }
+    if (node == nullptr) return listing(request.path);
+    try {
+        return node->handler(request);
+    } catch (const std::exception& error) {
+        return IntrospectionPage{500, "text/plain; charset=utf-8",
+                                 "internal error rendering " + request.path +
+                                     ": " + error.what() + "\n"};
+    }
+}
+
+IntrospectionPage IntrospectionTree::listing(std::string_view prefix) const {
+    std::ostringstream out;
+    std::size_t matches = 0;
+    {
+        const std::shared_lock lock{mutex_};
+        for (const auto& [path, node] : nodes_) {
+            if (prefix != "/" && !at_or_below(path, prefix)) continue;
+            ++matches;
+            out << path;
+            if (node.subtree) out << "/...";
+            // Two-space-separated columns keep rows greppable and
+            // awk-able without a fixed-width contract.
+            out << "  " << node.content_type << "  " << node.summary << '\n';
+        }
+    }
+    if (matches == 0) {
+        return IntrospectionPage{404, "text/plain; charset=utf-8",
+                                 "not found: " + std::string{prefix} + "\n"};
+    }
+    return IntrospectionPage{200, "text/plain; charset=utf-8", out.str()};
+}
+
+std::vector<IntrospectionTree::NodeInfo> IntrospectionTree::nodes() const {
+    std::vector<NodeInfo> out;
+    const std::shared_lock lock{mutex_};
+    out.reserve(nodes_.size());
+    for (const auto& [path, node] : nodes_) {
+        out.push_back(NodeInfo{path, node.content_type, node.summary,
+                               node.subtree});
+    }
+    return out;
+}
+
+std::size_t IntrospectionTree::size() const {
+    const std::shared_lock lock{mutex_};
+    return nodes_.size();
+}
+
+}  // namespace hpr::obs

@@ -1,0 +1,125 @@
+#ifndef HPR_OBS_INTROSPECTION_H
+#define HPR_OBS_INTROSPECTION_H
+
+/// \file introspection.h
+/// A browsable path hierarchy over live process state.
+///
+/// Every observability surface the library grew — the metrics registry,
+/// the exporters, the decision-trace ring, the serving layer's screener
+/// bank — was until now only reachable as an end-of-run dump.  A
+/// long-running daemon needs the procstat idea instead: internal state
+/// exposed as a *tree of named nodes* that standard text tools can walk
+/// (`curl | grep`), each node rendering a greppable point-in-time page.
+///
+/// IntrospectionTree is that tree, kept deliberately transport-agnostic:
+/// it maps a path (plus an optional query string) onto a page, and the
+/// HTTP front-end (net/http_server.h) or a test harness calls `get()`
+/// directly.  Nodes come in two shapes:
+///
+///  * exact nodes (`add`)        — one path, one handler ("/metrics");
+///  * subtree nodes (`add_prefix`) — a handler owning every path at or
+///    below a prefix ("/servers" also answers "/servers/17"; the handler
+///    sees the full requested path and parses the remainder itself).
+///
+/// Paths with no handler but registered descendants render an automatic
+/// directory listing (one `path  content-type  summary` row per child),
+/// and `/` lists the whole tree — the "browsable" half of the contract.
+///
+/// Thread safety: registration and lookup are guarded by a shared mutex
+/// (register once at startup, then any number of concurrent readers).
+/// Handlers must themselves be safe to call from the serving thread
+/// while the process mutates the underlying state — every built-in
+/// source (Registry, TraceRing, FeedbackStore snapshots, the screener
+/// bank) already is.  A handler that throws renders as a 500 page
+/// instead of taking the daemon down.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpr::obs {
+
+/// One resolved introspection request: the normalized path and the raw
+/// query string (everything after `?`, not percent-decoded — every
+/// built-in parameter is a plain integer).
+struct IntrospectionRequest {
+    std::string path;   ///< starts with '/', no trailing slash (except "/")
+    std::string query;  ///< raw query string, possibly empty
+
+    /// Value of `key` in a `k1=v1&k2=v2` query string; std::nullopt when
+    /// absent, "" for a bare `key` or `key=`.
+    [[nodiscard]] std::optional<std::string> param(std::string_view key) const;
+};
+
+/// One rendered page.
+struct IntrospectionPage {
+    int status = 200;  ///< HTTP-shaped status code (200/404/500)
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+using IntrospectionHandler =
+    std::function<IntrospectionPage(const IntrospectionRequest&)>;
+
+/// The browsable tree: path -> handler, with automatic directory
+/// listings at interior paths and "/".
+class IntrospectionTree {
+public:
+    /// Register an exact node.  `summary` is the one-line description
+    /// directory listings show; `content_type` is advisory (listings
+    /// print it; the handler's page carries the authoritative one).
+    /// \throws std::invalid_argument on a malformed or duplicate path.
+    void add(std::string path, std::string content_type, std::string summary,
+             IntrospectionHandler handler);
+
+    /// Register a subtree node: the handler answers `path` itself and
+    /// every path below it (it receives the full requested path).
+    /// \throws std::invalid_argument on a malformed or duplicate path.
+    void add_prefix(std::string path, std::string content_type,
+                    std::string summary, IntrospectionHandler handler);
+
+    /// Resolve `target` ("/path" or "/path?query") to a page: exact
+    /// node, else deepest enclosing subtree node, else a directory
+    /// listing when registered paths live below `target`, else 404.
+    /// Handler exceptions render as a 500 page.
+    [[nodiscard]] IntrospectionPage get(std::string_view target) const;
+
+    /// One registered node, for listings and tests.
+    struct NodeInfo {
+        std::string path;
+        std::string content_type;
+        std::string summary;
+        bool subtree = false;
+    };
+
+    /// Every registered node in path order.
+    [[nodiscard]] std::vector<NodeInfo> nodes() const;
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    struct Node {
+        std::string content_type;
+        std::string summary;
+        IntrospectionHandler handler;
+        bool subtree = false;
+    };
+
+    void insert(std::string path, std::string content_type, std::string summary,
+                IntrospectionHandler handler, bool subtree);
+
+    /// Directory listing of every node strictly below `prefix` (or the
+    /// whole tree for "/"); 404 when nothing lives there.
+    [[nodiscard]] IntrospectionPage listing(std::string_view prefix) const;
+
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, Node, std::less<>> nodes_;
+};
+
+}  // namespace hpr::obs
+
+#endif  // HPR_OBS_INTROSPECTION_H

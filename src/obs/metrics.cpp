@@ -129,10 +129,20 @@ const char* to_string(MetricKind kind) noexcept {
 }
 
 Registry::Slot& Registry::slot_for(std::string_view name, std::string_view help,
-                                   MetricKind kind, std::vector<double>* bounds) {
+                                   MetricKind kind, std::vector<double>* bounds,
+                                   LabelSet* labels) {
     if (!valid_name(name)) {
         throw std::invalid_argument("Registry: invalid metric name '" +
                                     std::string{name} + "'");
+    }
+    if (labels != nullptr) {
+        for (const auto& [key, value] : *labels) {
+            if (!valid_name(key)) {
+                throw std::invalid_argument("Registry: invalid label key '" +
+                                            key + "' on metric '" +
+                                            std::string{name} + "'");
+            }
+        }
     }
     const std::scoped_lock lock{mutex_};
     const auto it = metrics_.find(name);
@@ -147,6 +157,7 @@ Registry::Slot& Registry::slot_for(std::string_view name, std::string_view help,
     Slot slot;
     slot.help = std::string{help};
     slot.kind = kind;
+    if (labels != nullptr) slot.labels = std::move(*labels);
     switch (kind) {
         case MetricKind::kCounter: slot.counter = std::make_unique<Counter>(); break;
         case MetricKind::kGauge: slot.gauge = std::make_unique<Gauge>(); break;
@@ -167,6 +178,11 @@ Gauge& Registry::gauge(std::string_view name, std::string_view help) {
     return *slot_for(name, help, MetricKind::kGauge, nullptr).gauge;
 }
 
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       LabelSet labels) {
+    return *slot_for(name, help, MetricKind::kGauge, nullptr, &labels).gauge;
+}
+
 Histogram& Registry::histogram(std::string_view name, std::string_view help,
                                std::vector<double> bounds) {
     return *slot_for(name, help, MetricKind::kHistogram, &bounds).histogram;
@@ -183,7 +199,8 @@ void Registry::visit(const std::function<void(const Entry&)>& fn) const {
         entries.reserve(metrics_.size());
         for (const auto& [name, slot] : metrics_) {
             entries.push_back(Entry{name, slot.help, slot.kind, slot.counter.get(),
-                                    slot.gauge.get(), slot.histogram.get()});
+                                    slot.gauge.get(), slot.histogram.get(),
+                                    slot.labels});
         }
     }
     for (const Entry& entry : entries) fn(entry);

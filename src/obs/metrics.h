@@ -181,6 +181,12 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 /// metric; registering it as a different kind throws.
 class Registry {
 public:
+    /// Label set of an info-style gauge (e.g. `hpr_build_info`), rendered
+    /// as `{key="value",...}` after the name in the Prometheus exposition
+    /// and as a `labels` object in the JSON snapshot.  Keys follow the
+    /// metric-name grammar; values are escaped by the exporters.
+    using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
     Registry() = default;
     Registry(const Registry&) = delete;
     Registry& operator=(const Registry&) = delete;
@@ -188,6 +194,14 @@ public:
     /// \throws std::invalid_argument on an invalid name or kind mismatch.
     Counter& counter(std::string_view name, std::string_view help = {});
     Gauge& gauge(std::string_view name, std::string_view help = {});
+
+    /// Gauge with a constant label set — the Prometheus "info metric"
+    /// idiom: the interesting data rides in the labels, the value is 1.
+    /// Labels are fixed by the first registration (later lookups of the
+    /// same name ignore theirs, like histogram bounds).
+    /// \throws std::invalid_argument on an invalid name, label key, or
+    ///         kind mismatch.
+    Gauge& gauge(std::string_view name, std::string_view help, LabelSet labels);
 
     /// \param bounds  bucket bounds; empty means default_latency_buckets().
     ///                Ignored when the histogram already exists.
@@ -202,6 +216,7 @@ public:
         const Counter* counter = nullptr;      ///< set iff kind == kCounter
         const Gauge* gauge = nullptr;          ///< set iff kind == kGauge
         const Histogram* histogram = nullptr;  ///< set iff kind == kHistogram
+        LabelSet labels;                       ///< non-empty only for info gauges
     };
 
     /// Visit every metric in name order.  The metric pointers stay valid
@@ -229,10 +244,11 @@ private:
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
+        LabelSet labels;
     };
 
     Slot& slot_for(std::string_view name, std::string_view help, MetricKind kind,
-                   std::vector<double>* bounds);
+                   std::vector<double>* bounds, LabelSet* labels = nullptr);
 
     mutable std::mutex mutex_;
     std::map<std::string, Slot, std::less<>> metrics_;

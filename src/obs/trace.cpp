@@ -478,6 +478,16 @@ std::vector<DecisionRecord> TraceRing::drain() {
     return drained;
 }
 
+std::vector<DecisionRecord> TraceRing::snapshot() const {
+    const std::scoped_lock lock{mutex_};
+    std::vector<DecisionRecord> records;
+    records.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+        records.push_back(slots_[(head_ + i) % capacity_]);
+    }
+    return records;
+}
+
 std::size_t TraceRing::size() const {
     const std::scoped_lock lock{mutex_};
     return size_;

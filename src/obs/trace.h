@@ -149,6 +149,12 @@ public:
     /// Remove and return every retained record, oldest first.
     [[nodiscard]] std::vector<DecisionRecord> drain();
 
+    /// Copy of every retained record, oldest first, WITHOUT removing
+    /// them — the live `/traces` scrape (net/endpoints.h) reads the ring
+    /// repeatedly and must not steal records from a later forensics
+    /// drain.
+    [[nodiscard]] std::vector<DecisionRecord> snapshot() const;
+
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] std::size_t size() const;
 

@@ -213,6 +213,26 @@ bool FeedbackStore::contains(EntityId server) const {
     return shard.logs.find(server) != shard.logs.end();
 }
 
+std::optional<std::size_t> FeedbackStore::history_length(EntityId server) const {
+    const Shard& shard = shard_for(server);
+    const auto lock = lock_shard(shard);
+    const auto it = shard.logs.find(server);
+    if (it == shard.logs.end()) return std::nullopt;
+    return it->second.size();
+}
+
+std::vector<FeedbackStore::ShardOccupancy> FeedbackStore::shard_occupancy() const {
+    std::vector<ShardOccupancy> occupancy(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const auto lock = lock_shard(*shards_[i]);
+        occupancy[i].servers = shards_[i]->logs.size();
+        for (const auto& [server, log] : shards_[i]->logs) {
+            occupancy[i].feedbacks += log.size();
+        }
+    }
+    return occupancy;
+}
+
 const TransactionHistory& FeedbackStore::history(EntityId server) const {
     const Shard& shard = shard_for(server);
     const auto lock = lock_shard(shard);

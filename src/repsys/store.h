@@ -54,6 +54,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,23 @@ public:
 
     /// Whether any feedback exists for `server`.
     [[nodiscard]] bool contains(EntityId server) const;
+
+    /// Length of a server's history without copying it (one shard lock);
+    /// std::nullopt for unknown servers.  The check-and-read is atomic,
+    /// unlike a contains()/history() pair racing eviction.
+    [[nodiscard]] std::optional<std::size_t> history_length(EntityId server) const;
+
+    /// Point-in-time occupancy of one shard (see shard_occupancy()).
+    struct ShardOccupancy {
+        std::size_t servers = 0;    ///< server logs living on this shard
+        std::size_t feedbacks = 0;  ///< feedbacks across those logs
+    };
+
+    /// Per-shard occupancy, locking one shard at a time (the same
+    /// per-shard consistency as servers()/size()).  Feeds the live
+    /// `/store` introspection page; the registry's
+    /// hpr_store_shard_occupancy_max gauge is this table's maximum.
+    [[nodiscard]] std::vector<ShardOccupancy> shard_occupancy() const;
 
     /// Full history of a server, by reference.  Stable address, but not
     /// safe against concurrent mutation of the same server — concurrent

@@ -137,6 +137,28 @@ core::StreamState BatchAssessor::stream_state(repsys::EntityId server) const {
                                         : it->second.state();
 }
 
+std::optional<BatchAssessor::StreamInfo> BatchAssessor::stream_info(
+    repsys::EntityId server) const {
+    if (stripes_.empty()) return std::nullopt;
+    const ScreenerStripe& stripe = stripe_for(server);
+    const std::lock_guard<std::mutex> lock{stripe.mutex};
+    const auto it = stripe.screeners.find(server);
+    if (it == stripe.screeners.end()) return std::nullopt;
+    const core::OnlineScreener& screener = it->second;
+    StreamInfo info;
+    info.state = screener.state();
+    info.transactions = screener.transactions();
+    info.windows = screener.windows();
+    info.retained_windows = screener.retained_windows();
+    info.horizon = screener.horizon();
+    info.evaluations = screener.evaluations();
+    info.failing_streak = screener.failing_streak();
+    info.passing_streak = screener.passing_streak();
+    info.p_hat = screener.p_hat();
+    info.memory_bytes = screener.memory_bytes();
+    return info;
+}
+
 std::size_t BatchAssessor::drop_streams(std::span<const repsys::EntityId> servers) {
     if (stripes_.empty()) return 0;
     std::size_t dropped = 0;

@@ -43,6 +43,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -135,6 +136,27 @@ public:
     /// Standing stream state of a server's screener; kInsufficient for
     /// servers never observed (or when incremental mode is off).
     [[nodiscard]] core::StreamState stream_state(repsys::EntityId server) const;
+
+    /// Point-in-time detail of one live screener, copied under its
+    /// stripe lock (see stream_info()).
+    struct StreamInfo {
+        core::StreamState state = core::StreamState::kInsufficient;
+        std::size_t transactions = 0;      ///< outcomes observed, lifetime
+        std::size_t windows = 0;           ///< complete windows, lifetime
+        std::size_t retained_windows = 0;  ///< windows inside the horizon
+        std::size_t horizon = 0;           ///< configured retention (0 = unbounded)
+        std::size_t evaluations = 0;       ///< ladder evaluations performed
+        std::size_t failing_streak = 0;
+        std::size_t passing_streak = 0;
+        double p_hat = 0.0;                ///< over the retained windows
+        std::size_t memory_bytes = 0;      ///< screener object + ring storage
+    };
+
+    /// Full standing state of a server's screener — what the live
+    /// `/servers/<id>` introspection page renders; std::nullopt for
+    /// servers never observed or when incremental mode is off.
+    [[nodiscard]] std::optional<StreamInfo> stream_info(
+        repsys::EntityId server) const;
 
     /// Drop the screeners of the given servers (e.g. the `forgotten`
     /// output of FeedbackStore::evict_before).  Returns how many live

@@ -1,0 +1,101 @@
+// Build-identity instrumentation: the hpr_build_info info-metric (the
+// Prometheus constant-1 gauge whose labels carry the identity) and the
+// hpr_uptime_seconds gauge.
+
+#include "obs/buildinfo.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace hpr::obs {
+namespace {
+
+TEST(BuildInfo, IdentityStringsAreNonEmptyAndStable) {
+    const std::string version = build_version();
+    const std::string compiler = build_compiler();
+    EXPECT_FALSE(version.empty());
+    EXPECT_FALSE(compiler.empty());
+    EXPECT_EQ(version, build_version());
+    EXPECT_EQ(compiler, build_compiler());
+}
+
+TEST(BuildInfo, RegistersConstantOneInfoMetricWithLabels) {
+    Registry registry;
+    register_build_identity(registry);
+
+    const std::string text = to_prometheus(registry);
+    EXPECT_NE(text.find("# TYPE hpr_build_info gauge"), std::string::npos);
+    EXPECT_NE(text.find(std::string{"hpr_build_info{version=\""} +
+                        build_version() + "\""),
+              std::string::npos);
+    EXPECT_NE(text.find(std::string{"compiler=\""} + build_compiler() + "\""),
+              std::string::npos);
+    EXPECT_NE(text.find("} 1\n"), std::string::npos);
+
+    // Idempotent: registering again must not duplicate or throw.
+    register_build_identity(registry);
+    EXPECT_EQ(to_prometheus(registry), text);
+}
+
+TEST(BuildInfo, UptimeIsNonNegativeAndMonotone) {
+    const double before = uptime_seconds();
+    EXPECT_GE(before, 0.0);
+    EXPECT_GE(uptime_seconds(), before);
+
+    Registry registry;
+    publish_uptime(registry);
+    const std::string text = to_prometheus(registry);
+    EXPECT_NE(text.find("# TYPE hpr_uptime_seconds gauge"), std::string::npos);
+    EXPECT_NE(text.find("hpr_uptime_seconds "), std::string::npos);
+}
+
+TEST(RegistryLabels, LabeledGaugeRendersPrometheusAndJson) {
+    Registry registry;
+    Gauge& gauge = registry.gauge("labeled_info", "an info metric",
+                                  {{"version", "1.2.3"}, {"arch", "x86_64"}});
+    gauge.set(1);
+    registry.gauge("plain_gauge", "no labels").set(7);
+
+    const std::string text = to_prometheus(registry);
+    EXPECT_NE(text.find("labeled_info{version=\"1.2.3\",arch=\"x86_64\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("plain_gauge 7"), std::string::npos);
+
+    const std::string json = to_json(registry);
+    EXPECT_NE(json.find("\"labels\""), std::string::npos);
+    EXPECT_NE(json.find("\"version\":\"1.2.3\""), std::string::npos);
+}
+
+TEST(RegistryLabels, LabelValuesAreEscapedInTheExposition) {
+    Registry registry;
+    registry.gauge("tricky", "escaping",
+                   {{"path", "a\\b"}, {"note", "line1\nline2\"q\""}});
+    const std::string text = to_prometheus(registry);
+    EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos);
+    EXPECT_NE(text.find("note=\"line1\\nline2\\\"q\\\"\""), std::string::npos);
+}
+
+TEST(RegistryLabels, InvalidLabelKeysThrow) {
+    Registry registry;
+    EXPECT_THROW(registry.gauge("bad_labels", "h", {{"1bad", "v"}}),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.gauge("bad_labels2", "h", {{"has space", "v"}}),
+                 std::invalid_argument);
+}
+
+TEST(RegistryLabels, FirstRegistrationFixesTheLabels) {
+    Registry registry;
+    Gauge& first = registry.gauge("sticky", "h", {{"k", "v1"}});
+    Gauge& second = registry.gauge("sticky", "h", {{"k", "v2"}});
+    EXPECT_EQ(&first, &second);  // same slot: labels from the first call win
+    const std::string text = to_prometheus(registry);
+    EXPECT_NE(text.find("sticky{k=\"v1\"}"), std::string::npos);
+    EXPECT_EQ(text.find("v2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpr::obs

@@ -1,0 +1,135 @@
+// obs::IntrospectionTree: path validation, exact vs subtree resolution,
+// query parsing, automatic directory listings, and failure rendering
+// (404 for unknown paths, 500 for throwing handlers).
+
+#include "obs/introspection.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace hpr::obs {
+namespace {
+
+IntrospectionHandler echo(const std::string& tag) {
+    return [tag](const IntrospectionRequest& request) {
+        IntrospectionPage page;
+        page.body = tag + " path=" + request.path + " query=" + request.query;
+        return page;
+    };
+}
+
+TEST(IntrospectionRequest, ParsesQueryParameters) {
+    IntrospectionRequest request;
+    request.query = "n=12&server=7&flag&empty=";
+    ASSERT_TRUE(request.param("n").has_value());
+    EXPECT_EQ(*request.param("n"), "12");
+    EXPECT_EQ(*request.param("server"), "7");
+    EXPECT_EQ(*request.param("flag"), "");   // bare key
+    EXPECT_EQ(*request.param("empty"), "");  // key=
+    EXPECT_FALSE(request.param("absent").has_value());
+    EXPECT_FALSE(request.param("erver").has_value());  // no substring match
+}
+
+TEST(IntrospectionTree, RejectsMalformedAndDuplicatePaths) {
+    IntrospectionTree tree;
+    EXPECT_THROW(tree.add("metrics", "t", "s", echo("x")),
+                 std::invalid_argument);  // missing leading '/'
+    EXPECT_THROW(tree.add("/metrics/", "t", "s", echo("x")),
+                 std::invalid_argument);  // trailing slash
+    EXPECT_THROW(tree.add("/a//b", "t", "s", echo("x")), std::invalid_argument);
+    EXPECT_THROW(tree.add("/a b", "t", "s", echo("x")), std::invalid_argument);
+    EXPECT_THROW(tree.add("/a?b", "t", "s", echo("x")), std::invalid_argument);
+    EXPECT_THROW(tree.add("/ok", "t", "s", nullptr), std::invalid_argument);
+
+    tree.add("/ok", "t", "s", echo("x"));
+    EXPECT_THROW(tree.add("/ok", "t", "s", echo("y")), std::invalid_argument);
+    EXPECT_THROW(tree.add_prefix("/ok", "t", "s", echo("y")),
+                 std::invalid_argument);
+    EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(IntrospectionTree, ResolvesExactNodesWithQueries) {
+    IntrospectionTree tree;
+    tree.add("/metrics", "text/plain", "metrics", echo("metrics"));
+
+    const IntrospectionPage page = tree.get("/metrics?n=3");
+    EXPECT_EQ(page.status, 200);
+    EXPECT_EQ(page.body, "metrics path=/metrics query=n=3");
+
+    // Trailing slashes normalize onto the exact node.
+    EXPECT_EQ(tree.get("/metrics/").status, 200);
+    EXPECT_EQ(tree.get("/metrics/?n=3").body,
+              "metrics path=/metrics query=n=3");
+}
+
+TEST(IntrospectionTree, SubtreeNodeOwnsDescendantsDeepestWins) {
+    IntrospectionTree tree;
+    tree.add_prefix("/servers", "text/plain", "index", echo("servers"));
+    tree.add("/servers/special", "text/plain", "pinned", echo("special"));
+
+    EXPECT_EQ(tree.get("/servers").body, "servers path=/servers query=");
+    EXPECT_EQ(tree.get("/servers/17").body, "servers path=/servers/17 query=");
+    EXPECT_EQ(tree.get("/servers/17/deep?x=1").body,
+              "servers path=/servers/17/deep query=x=1");
+    // The exact node shadows the enclosing subtree.
+    EXPECT_EQ(tree.get("/servers/special").body,
+              "special path=/servers/special query=");
+    // An exact node does NOT own descendants.
+    EXPECT_EQ(tree.get("/servers/special/deeper").body,
+              "servers path=/servers/special/deeper query=");
+}
+
+TEST(IntrospectionTree, ListsDirectoriesAndWholeTreeAtRoot) {
+    IntrospectionTree tree;
+    tree.add("/metrics", "text/plain", "prometheus text", echo("m"));
+    tree.add("/debug/store", "text/plain", "store occupancy", echo("s"));
+    tree.add_prefix("/debug/servers", "text/plain", "server pages", echo("v"));
+
+    const IntrospectionPage root = tree.get("/");
+    EXPECT_EQ(root.status, 200);
+    EXPECT_NE(root.body.find("/metrics"), std::string::npos);
+    EXPECT_NE(root.body.find("/debug/store"), std::string::npos);
+    EXPECT_NE(root.body.find("/debug/servers/..."), std::string::npos);
+    EXPECT_NE(root.body.find("prometheus text"), std::string::npos);
+
+    const IntrospectionPage debug = tree.get("/debug");
+    EXPECT_EQ(debug.status, 200);
+    EXPECT_NE(debug.body.find("/debug/store"), std::string::npos);
+    EXPECT_EQ(debug.body.find("/metrics"), std::string::npos);
+}
+
+TEST(IntrospectionTree, UnknownPathsRender404) {
+    IntrospectionTree tree;
+    tree.add("/metrics", "text/plain", "m", echo("m"));
+    EXPECT_EQ(tree.get("/nope").status, 404);
+    EXPECT_EQ(tree.get("/metricsish").status, 404);  // no prefix bleed
+    EXPECT_EQ(tree.get("bogus").status, 404);        // malformed target
+}
+
+TEST(IntrospectionTree, ThrowingHandlerRendersA500Page) {
+    IntrospectionTree tree;
+    tree.add("/boom", "text/plain", "throws", [](const IntrospectionRequest&) {
+        throw std::runtime_error("handler exploded");
+        return IntrospectionPage{};  // unreachable
+    });
+    const IntrospectionPage page = tree.get("/boom");
+    EXPECT_EQ(page.status, 500);
+    EXPECT_NE(page.body.find("handler exploded"), std::string::npos);
+}
+
+TEST(IntrospectionTree, NodesEnumerateInPathOrder) {
+    IntrospectionTree tree;
+    tree.add("/z", "t", "last", echo("z"));
+    tree.add_prefix("/a", "t", "first", echo("a"));
+    const auto nodes = tree.nodes();
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[0].path, "/a");
+    EXPECT_TRUE(nodes[0].subtree);
+    EXPECT_EQ(nodes[1].path, "/z");
+    EXPECT_FALSE(nodes[1].subtree);
+}
+
+}  // namespace
+}  // namespace hpr::obs

@@ -79,6 +79,31 @@ TEST(TraceRing, WrapAroundEvictsOldestInOrder) {
     EXPECT_EQ(ring.pushed(), 10u) << "drain must not touch lifetime totals";
 }
 
+TEST(TraceRing, SnapshotIsNonDestructiveAndOldestFirst) {
+    TraceRing ring{4};
+    for (std::uint64_t id = 1; id <= 6; ++id) ring.push(make_record(id));
+
+    const auto first = ring.snapshot();
+    ASSERT_EQ(first.size(), 4u);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].trace_id, 3u + i);  // oldest retained first
+    }
+    EXPECT_EQ(ring.size(), 4u) << "snapshot must not consume records";
+
+    // A repeated scrape sees the same retained set...
+    const auto second = ring.snapshot();
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(second[i].trace_id, first[i].trace_id);
+    }
+
+    // ...and a later forensics drain still gets everything.
+    const auto drained = ring.drain();
+    ASSERT_EQ(drained.size(), 4u);
+    EXPECT_EQ(drained.front().trace_id, 3u);
+    EXPECT_TRUE(ring.snapshot().empty());
+}
+
 TEST(TraceRing, ConcurrentRecordAndDrainConservesRecords) {
     constexpr std::size_t kThreads = 8;
     constexpr std::uint64_t kPerThread = 500;

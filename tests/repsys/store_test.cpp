@@ -272,6 +272,45 @@ TEST(FeedbackStoreSharding, CopyIsDeepAndMovePreservesContents) {
     EXPECT_EQ(assigned.size(), 5u);
 }
 
+TEST(FeedbackStore, HistoryLengthAnswersWithoutCopying) {
+    FeedbackStore store = sample_store();
+    ASSERT_TRUE(store.history_length(10).has_value());
+    EXPECT_EQ(*store.history_length(10), 3u);
+    EXPECT_EQ(*store.history_length(20), 2u);
+    EXPECT_FALSE(store.history_length(99).has_value());
+
+    // Eviction that forgets a server flips the answer to nullopt.
+    store.evict_before(100);
+    EXPECT_FALSE(store.history_length(10).has_value());
+}
+
+TEST(FeedbackStore, ShardOccupancySumsToTotals) {
+    FeedbackStore store{8};
+    for (EntityId server = 1; server <= 40; ++server) {
+        for (Timestamp t = 1; t <= server % 5 + 1; ++t) {
+            store.submit(fb(t, server, 100, true));
+        }
+    }
+    const auto occupancy = store.shard_occupancy();
+    ASSERT_EQ(occupancy.size(), store.shard_count());
+    std::size_t servers = 0, feedbacks = 0;
+    for (const auto& shard : occupancy) {
+        servers += shard.servers;
+        feedbacks += shard.feedbacks;
+    }
+    EXPECT_EQ(servers, store.server_count());
+    EXPECT_EQ(feedbacks, store.size());
+
+    // Each server's log must sit on the shard shard_of() names.
+    std::vector<std::size_t> expected(store.shard_count(), 0);
+    for (const EntityId server : store.servers()) {
+        ++expected[store.shard_of(server)];
+    }
+    for (std::size_t i = 0; i < occupancy.size(); ++i) {
+        EXPECT_EQ(occupancy[i].servers, expected[i]) << "shard " << i;
+    }
+}
+
 TEST(FeedbackStore, SaveLoadRoundTrip) {
     const FeedbackStore store = sample_store();
     const auto dir =

@@ -236,6 +236,37 @@ TEST(BatchAssessorIncremental, ShortcutsFromStandingScreenerState) {
     expect_identical(results[2].assessment, sequential.assess(store.history(3)));
 }
 
+TEST(BatchAssessorIncremental, StreamInfoMirrorsTheLiveScreener) {
+    repsys::FeedbackStore store{4};
+    BatchAssessorConfig config;
+    config.assessment = assessment_config();
+    config.incremental = true;
+    config.screener_horizon = 8;
+    BatchAssessor assessor{config, beta_trust(), shared_cal()};
+
+    stream(store, assessor, 1, 400, 0.95, 0.95);
+    const auto info = assessor.stream_info(1);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->state, assessor.stream_state(1));
+    EXPECT_EQ(info->transactions, 400u);
+    const std::size_t m = config.assessment.test.base.window_size;
+    EXPECT_EQ(info->windows, 400u / m);
+    EXPECT_EQ(info->horizon, 8u);
+    EXPECT_LE(info->retained_windows, 8u);
+    EXPECT_GT(info->evaluations, 0u);
+    EXPECT_GT(info->p_hat, 0.5);
+    EXPECT_LE(info->p_hat, 1.0);
+    EXPECT_GT(info->memory_bytes, 0u);
+
+    // Never-observed servers and a disabled bank answer nullopt.
+    EXPECT_FALSE(assessor.stream_info(99).has_value());
+    BatchAssessorConfig batch_only;
+    batch_only.assessment = assessment_config();
+    batch_only.incremental = false;
+    const BatchAssessor oracle{batch_only, beta_trust(), shared_cal()};
+    EXPECT_FALSE(oracle.stream_info(1).has_value());
+}
+
 TEST(BatchAssessorIncremental, ObserveIsNoOpWhenDisabled) {
     repsys::FeedbackStore store{4};
     BatchAssessorConfig config;
