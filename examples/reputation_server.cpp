@@ -23,16 +23,27 @@
 // (or `--duration=S`) drains in-flight scrapes and exits 0 with the
 // usual final metrics dump.
 //
+// Daemon mode also runs the full self-observation stack: a flight
+// recorder samples the registry every `--record-interval` seconds into
+// the /timeseries ring, the watchdog derives the /health verdict (and
+// hpr_health_* gauges) from it — including an event-loop heartbeat via
+// the HTTP server's eventfd self-ping — and `--blackbox=PATH` arms the
+// crash black-box so SIGSEGV/SIGABRT/SIGBUS dump the final snapshots,
+// health state and traces before the process dies.
+//
 //   build/examples/reputation_server [--json] [--trace-dump[=N]]
 //                                    [--trace-sample=R] [--threads=N]
 //                                    [--shards=N] [--horizon=W]
 //                                    [--listen=PORT] [--duration=S]
+//                                    [--record-interval=S]
+//                                    [--blackbox=PATH]
 //
 // Exercises: repsys::FeedbackStore (sharded), serve::BatchAssessor's
 // incremental screener bank over core::OnlineScreener,
 // core::TwoPhaseAssessor as the batch oracle, repsys::EigenTrust,
 // repsys::CredibilityWeightedTrust, core::ChangePointDetector,
-// obs::Registry + exporters, obs::Tracer, obs::IntrospectionTree +
+// obs::Registry + exporters, obs::Tracer, obs::FlightRecorder +
+// obs::Watchdog + obs::BlackBox, obs::IntrospectionTree +
 // net::HttpServer (daemon mode).
 
 #include <atomic>
@@ -77,7 +88,12 @@ int usage(const char* argv0) {
                  "                    127.0.0.1:PORT while ingesting+assessing live\n"
                  "                    load, until SIGINT/SIGTERM (tracing enabled)\n"
                  "  --duration=S      daemon mode: stop after S seconds (default:\n"
-                 "                    run until a signal arrives)\n",
+                 "                    run until a signal arrives)\n"
+                 "  --record-interval=S  daemon mode: flight-recorder sampling\n"
+                 "                    cadence in seconds (default: 1)\n"
+                 "  --blackbox=PATH   daemon mode: arm the crash black-box; on\n"
+                 "                    SIGSEGV/SIGABRT/SIGBUS the final snapshots,\n"
+                 "                    health state and traces are dumped to PATH\n",
                  argv0, hpr::repsys::FeedbackStore::kDefaultShards);
     return 2;
 }
@@ -157,7 +173,28 @@ void handle_stop_signal(int) {
 int run_daemon(repsys::FeedbackStore& store, serve::BatchAssessor& assessor,
                std::shared_ptr<stats::Calibrator> calibrator,
                const std::vector<Population>& servers, std::uint16_t port,
-               double duration, bool json_metrics) {
+               double duration, bool json_metrics, double record_interval,
+               const std::string& blackbox_path) {
+    // The self-observation stack: recorder feeds watchdog feeds (when
+    // armed) the crash black-box, all driven by the recorder's tick.
+    obs::FlightRecorder recorder{{.interval_seconds = record_interval}};
+    obs::Watchdog watchdog;
+    obs::BlackBox& blackbox = obs::BlackBox::instance();
+    if (!blackbox_path.empty() && !blackbox.arm(blackbox_path)) {
+        std::fprintf(stderr, "daemon: cannot arm black-box at %s: %s\n",
+                     blackbox_path.c_str(), std::strerror(errno));
+        return 1;
+    }
+    recorder.set_on_sample([&watchdog, &blackbox](
+                               const obs::FlightRecorder& recorder_ref,
+                               const obs::RecorderSnapshot&) {
+        watchdog.evaluate(recorder_ref);
+        if (blackbox.armed()) {
+            blackbox.publish(obs::render_blackbox(recorder_ref, &watchdog,
+                                                  &obs::default_tracer()));
+        }
+    });
+
     obs::IntrospectionTree tree;
     net::IntrospectionSources sources;
     sources.registry = &obs::default_registry();
@@ -165,12 +202,22 @@ int run_daemon(repsys::FeedbackStore& store, serve::BatchAssessor& assessor,
     sources.store = &store;
     sources.assessor = &assessor;
     sources.calibrator = std::move(calibrator);
+    sources.recorder = &recorder;
+    sources.watchdog = &watchdog;
     net::register_introspection(tree, sources);
 
     net::HttpServerConfig http;
     http.port = port;
     net::HttpServer server{http, net::make_http_handler(tree)};
     server.start();
+    // Event-loop responsiveness: each watchdog evaluation reads the lag
+    // of the last acknowledged self-ping and queues the next one.
+    watchdog.set_heartbeat_probe([&server] {
+        const double lag = server.ping_lag_seconds();
+        (void)server.ping();
+        return lag;
+    });
+    recorder.start();
     g_signal_server.store(&server, std::memory_order_release);
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
@@ -229,8 +276,10 @@ int run_daemon(repsys::FeedbackStore& store, serve::BatchAssessor& assessor,
         std::this_thread::sleep_for(std::chrono::milliseconds{1});
     }
 
+    recorder.stop();
     server.stop();
     g_signal_server.store(nullptr, std::memory_order_release);
+    const obs::HealthVerdict verdict = watchdog.last_verdict();
     std::printf("daemon: drained after %zu transaction rounds; served %llu "
                 "responses (%llu rejected, %llu timed out, %llu malformed, "
                 "%llu bytes)\n",
@@ -240,6 +289,15 @@ int run_daemon(repsys::FeedbackStore& store, serve::BatchAssessor& assessor,
                 static_cast<unsigned long long>(server.timed_out_connections()),
                 static_cast<unsigned long long>(server.malformed_requests()),
                 static_cast<unsigned long long>(server.bytes_sent()));
+    std::printf("daemon: recorder took %llu samples (%zu retained), health "
+                "%s after %llu evaluations, black-box %s (%llu publishes)\n",
+                static_cast<unsigned long long>(recorder.samples_taken()),
+                recorder.size(), verdict.healthy ? "ok" : "degraded",
+                static_cast<unsigned long long>(watchdog.evaluations()),
+                blackbox.armed() ? "armed" : "off",
+                static_cast<unsigned long long>(blackbox.publishes()));
+    // No crash happened: release the handlers and leave an empty file.
+    blackbox.disarm();
     dump_metrics(json_metrics);
     return 0;
 }
@@ -257,6 +315,8 @@ int main(int argc, char** argv) {
     std::size_t listen_port = 0;
     bool listen = false;
     double duration = 0.0;  // daemon run time; 0 = until a signal
+    double record_interval = 1.0;  // flight-recorder cadence, seconds
+    std::string blackbox_path;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strcmp(arg, "--json") == 0) {
@@ -284,6 +344,14 @@ int main(int argc, char** argv) {
             listen = true;
         } else if (std::strncmp(arg, "--duration=", 11) == 0) {
             if (!parse_flag_seconds(arg + 11, duration)) return usage(argv[0]);
+        } else if (std::strncmp(arg, "--record-interval=", 18) == 0) {
+            if (!parse_flag_seconds(arg + 18, record_interval) ||
+                record_interval <= 0.0) {
+                return usage(argv[0]);
+            }
+        } else if (std::strncmp(arg, "--blackbox=", 11) == 0) {
+            blackbox_path = arg + 11;
+            if (blackbox_path.empty()) return usage(argv[0]);
         } else {
             return usage(argv[0]);
         }
@@ -338,7 +406,7 @@ int main(int argc, char** argv) {
     if (listen) {
         return run_daemon(store, assessor, calibrator, servers,
                           static_cast<std::uint16_t>(listen_port), duration,
-                          json_metrics);
+                          json_metrics, record_interval, blackbox_path);
     }
 
     // Live ingestion: every feedback goes to the sharded store and to the

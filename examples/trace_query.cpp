@@ -2,9 +2,15 @@
 // `reputation_server --trace-dump` (or any obs::to_jsonl producer) down
 // to the records that answer "why was server S flagged?".
 //
-//   build/examples/trace_query <file|-> [--server=ID] [--verdict=V]
+//   build/examples/trace_query <file|-|--url=HOST:PORT>
+//                              [--server=ID] [--verdict=V]
 //                              [--source=S] [--failing] [--margin-below=X]
 //                              [--limit=N] [--jsonl]
+//
+// `--url=HOST:PORT` pulls `/traces` from a live daemon's introspection
+// endpoint (net/http_client.h) instead of reading a file — forensics
+// against a running `reputation_server --listen=PORT` without a dump
+// step in between.
 //
 // By default every match prints as a human-readable evidence summary —
 // the failing suffix length, its L1 distance vs the calibrated ε, p̂, the
@@ -18,7 +24,8 @@
 // metric dumps) are skipped, so piping the server's full stdout works.
 // Exits 0 when at least one record matched, 1 otherwise.
 //
-// Exercises: obs::from_jsonl / obs::to_jsonl, obs::DecisionRecord.
+// Exercises: obs::from_jsonl / obs::to_jsonl, obs::DecisionRecord,
+// net::http_get.
 
 #include <algorithm>
 #include <cstdio>
@@ -27,8 +34,10 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
+#include "net/http_client.h"
 #include "obs/trace.h"
 
 using hpr::obs::DecisionRecord;
@@ -38,6 +47,8 @@ namespace {
 
 struct Query {
     std::string path;
+    std::string url_host;         ///< nonempty = scrape /traces instead
+    std::uint16_t url_port = 0;
     std::optional<std::uint64_t> server;
     std::optional<std::string> verdict;
     std::optional<std::string> source;
@@ -49,7 +60,10 @@ struct Query {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s <file|-> [options]\n"
+                 "usage: %s <file|-|--url=HOST:PORT> [options]\n"
+                 "  --url=HOST:PORT   pull /traces from a live daemon instead\n"
+                 "                    of reading a file (HOST is an IPv4\n"
+                 "                    literal, e.g. 127.0.0.1:9100)\n"
                  "  --server=ID       keep records about this entity\n"
                  "  --verdict=V       keep records with this verdict\n"
                  "                    (suspicious, assessed, insufficient-history,\n"
@@ -64,9 +78,26 @@ int usage(const char* argv0) {
     return 2;
 }
 
+bool parse_url(const char* spec, Query& query) {
+    const char* colon = std::strrchr(spec, ':');
+    if (colon == nullptr || colon == spec) return false;
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(colon + 1, &end, 10);
+    if (end == colon + 1 || *end != '\0' || port == 0 || port > 65535) {
+        return false;
+    }
+    query.url_host.assign(spec, static_cast<std::size_t>(colon - spec));
+    query.url_port = static_cast<std::uint16_t>(port);
+    return true;
+}
+
 bool parse_args(int argc, char** argv, Query& query) {
     if (argc < 2) return false;
-    query.path = argv[1];
+    if (std::strncmp(argv[1], "--url=", 6) == 0) {
+        if (!parse_url(argv[1] + 6, query)) return false;
+    } else {
+        query.path = argv[1];
+    }
     for (int i = 2; i < argc; ++i) {
         const char* arg = argv[i];
         const auto value_of = [&](const char* prefix) -> const char* {
@@ -162,8 +193,27 @@ int main(int argc, char** argv) {
     if (!parse_args(argc, argv, query)) return usage(argv[0]);
 
     std::ifstream file;
+    std::istringstream fetched;
     std::istream* in = &std::cin;
-    if (query.path != "-") {
+    if (!query.url_host.empty()) {
+        // Push the entity filter down to the daemon when we have one;
+        // everything else still filters locally.
+        std::string target = "/traces";
+        if (query.server) target += "?server=" + std::to_string(*query.server);
+        const auto result =
+            hpr::net::http_get(query.url_host, query.url_port, target);
+        if (!result || result->status != 200) {
+            std::fprintf(stderr,
+                         "trace_query: GET %s:%u%s failed%s\n",
+                         query.url_host.c_str(), query.url_port, target.c_str(),
+                         result ? (" (HTTP " + std::to_string(result->status) +
+                                   ")").c_str()
+                                : " (no response)");
+            return 2;
+        }
+        fetched.str(result->body);
+        in = &fetched;
+    } else if (query.path != "-") {
         file.open(query.path);
         if (!file) {
             std::fprintf(stderr, "trace_query: cannot open '%s'\n",

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""CI guard for the metric inventory.
+
+Diffs the metric names a live daemon actually serves (its /metrics.json
+page) against the committed inventory in scripts/metric_inventory.txt,
+in BOTH directions:
+
+  * a name in the inventory but missing from the live scrape means an
+    instrument was dropped or renamed — dashboards and alert rules
+    silently go dark;
+  * a live name missing from the inventory means an instrument shipped
+    without being declared — it has no documentation row and nothing
+    pins it against the next accidental rename.
+
+Either direction fails the build.  This replaces the hand-maintained
+grep list that used to live inline in ci.yml, which could only catch
+the first kind of drift and had to be edited in lockstep with every
+new metric.  After adding a metric, regenerate the inventory:
+
+    curl -s localhost:PORT/metrics.json | \
+        scripts/check_metric_inventory.py - scripts/metric_inventory.txt --update
+
+and commit the result alongside its docs/observability.md row.
+
+Input: the /metrics.json object ({"counters": {...}, "gauges": {...},
+"histograms": {...}}), from a file or stdin ("-").  The inventory file
+is one "name kind" pair per line, sorted, '#' comments allowed.
+
+Exit status: 0 on an exact match (or after --update), 1 on drift,
+2 on usage errors.  Dependency-free (stdlib json only).
+"""
+
+import argparse
+import json
+import sys
+
+KINDS = ("counters", "gauges", "histograms")
+
+
+def live_metrics(path):
+    """-> {name: kind} from a /metrics.json dump."""
+    try:
+        if path == "-":
+            page = json.load(sys.stdin)
+        else:
+            with open(path, encoding="utf-8") as handle:
+                page = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"::error::cannot read metrics page {path}: {error}")
+        sys.exit(2)
+    if not isinstance(page, dict):
+        print(f"::error::{path}: expected a JSON object")
+        sys.exit(2)
+    metrics = {}
+    for kind in KINDS:
+        section = page.get(kind, {})
+        if not isinstance(section, dict):
+            print(f"::error::{path}: '{kind}' is not an object")
+            sys.exit(2)
+        for name in section:
+            metrics[name] = kind
+    if not metrics:
+        print(f"::error::{path}: no metrics at all — is the daemon up?")
+        sys.exit(2)
+    return metrics
+
+
+def read_inventory(path):
+    """-> {name: kind} from the committed inventory file."""
+    inventory = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for number, raw in enumerate(handle, 1):
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split()
+                if len(parts) != 2 or parts[1] not in KINDS:
+                    print(f"::error::{path}:{number}: expected 'name kind' "
+                          f"with kind in {'/'.join(KINDS)}, got '{raw.rstrip()}'")
+                    sys.exit(2)
+                if parts[0] in inventory:
+                    print(f"::error::{path}:{number}: duplicate entry "
+                          f"'{parts[0]}'")
+                    sys.exit(2)
+                inventory[parts[0]] = parts[1]
+    except OSError as error:
+        print(f"::error::cannot read inventory {path}: {error}")
+        sys.exit(2)
+    return inventory
+
+
+def write_inventory(path, metrics):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "# Metric inventory: every metric a live reputation_server\n"
+            "# daemon serves, one 'name kind' per line, sorted by name.\n"
+            "# CI diffs this against a running daemon's /metrics.json\n"
+            "# (scripts/check_metric_inventory.py); regenerate with\n"
+            "# --update after adding or removing an instrument, and give\n"
+            "# new metrics a row in docs/observability.md.\n")
+        for name in sorted(metrics):
+            handle.write(f"{name} {metrics[name]}\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("metrics_json",
+                        help="/metrics.json dump, or - for stdin")
+    parser.add_argument("inventory", help="committed inventory file")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the inventory from the live scrape "
+                             "instead of diffing")
+    args = parser.parse_args()
+
+    live = live_metrics(args.metrics_json)
+    if args.update:
+        write_inventory(args.inventory, live)
+        print(f"wrote {len(live)} metrics to {args.inventory}")
+        return 0
+
+    inventory = read_inventory(args.inventory)
+    ok = True
+    for name in sorted(set(inventory) - set(live)):
+        print(f"::error::metric '{name}' ({inventory[name]}) is in "
+              f"{args.inventory} but missing from the live scrape — "
+              f"dropped or renamed instrument?")
+        ok = False
+    for name in sorted(set(live) - set(inventory)):
+        print(f"::error::live metric '{name}' ({live[name]}) is not in "
+              f"{args.inventory} — regenerate with --update and document it")
+        ok = False
+    for name in sorted(set(live) & set(inventory)):
+        if live[name] != inventory[name]:
+            print(f"::error::metric '{name}' is a {live[name]} live but a "
+                  f"{inventory[name]} in {args.inventory}")
+            ok = False
+    if ok:
+        print(f"metric inventory OK: {len(live)} metrics match "
+              f"{args.inventory}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

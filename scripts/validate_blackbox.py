@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""CI validator for crash black-box dumps.
+
+Reads the file a crashed `reputation_server --blackbox=PATH` left
+behind and checks every frame against the schema documented in
+docs/observability.md ("Flight recorder & black-box"):
+
+  * every line is one JSON object with a known "type"
+    (snapshot / health / trace / crash) and exactly the keys that
+    frame type documents — the emitter and the docs must move together;
+  * snapshot frames carry monotonically increasing sequence numbers,
+    counters as {value, delta} pairs with delta <= value growth,
+    gauges as integers, histograms with finite interval quantiles;
+  * health frames carry the five named signals with boolean
+    evaluated/firing and a non-empty detail per signal;
+  * trace frames wrap one decision-record object (deep validation is
+    scripts/validate_traces.py's job);
+  * with --expect-crash: the final line is exactly one crash frame
+    whose signal number matches its name — the dump must prove the
+    handler ran, not just that staging worked.
+
+A zero-byte file is a CLEAN-SHUTDOWN marker (disarm truncates), which
+is only acceptable without --expect-crash.
+
+Exit status: 0 on success, 1 on validation failure, 2 on usage errors.
+Dependency-free (stdlib json only).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SIGNAL_NAMES = {11: "SIGSEGV", 6: "SIGABRT", 7: "SIGBUS", 10: "SIGBUS"}
+
+SNAPSHOT_KEYS = {"type", "seq", "wall_time", "uptime", "interval",
+                 "counters", "gauges", "histograms"}
+HISTOGRAM_KEYS = {"count", "interval_count", "interval_sum",
+                  "p50", "p95", "p99"}
+HEALTH_KEYS = {"type", "seq", "wall_time", "uptime", "healthy", "signals"}
+SIGNAL_KEYS = {"name", "evaluated", "firing", "value", "threshold", "detail"}
+EXPECTED_SIGNALS = ["assess_p99", "calibration_hits", "refmodel_hits",
+                    "ingest", "heartbeat"]
+CRASH_KEYS = {"type", "signal", "name"}
+
+
+class Failure(Exception):
+    pass
+
+
+def require(condition, line_number, message):
+    if not condition:
+        raise Failure(f"line {line_number}: {message}")
+
+
+def check_number(value, line_number, what, minimum=None):
+    require(isinstance(value, (int, float)) and not isinstance(value, bool),
+            line_number, f"{what} is not a number")
+    require(math.isfinite(float(value)), line_number, f"{what} is not finite")
+    if minimum is not None:
+        require(float(value) >= minimum, line_number,
+                f"{what} = {value} below {minimum}")
+
+
+def check_snapshot(frame, line_number, last_seq):
+    require(set(frame) == SNAPSHOT_KEYS, line_number,
+            f"snapshot keys {sorted(frame)} != {sorted(SNAPSHOT_KEYS)}")
+    require(isinstance(frame["seq"], int) and frame["seq"] > 0,
+            line_number, "snapshot seq must be a positive integer")
+    if last_seq is not None:
+        require(frame["seq"] > last_seq, line_number,
+                f"snapshot seq {frame['seq']} not above previous {last_seq}")
+    check_number(frame["wall_time"], line_number, "wall_time", minimum=0.0)
+    check_number(frame["uptime"], line_number, "uptime", minimum=0.0)
+    check_number(frame["interval"], line_number, "interval", minimum=0.0)
+    for section in ("counters", "gauges", "histograms"):
+        require(isinstance(frame[section], dict), line_number,
+                f"{section} is not an object")
+    for name, point in frame["counters"].items():
+        require(isinstance(point, dict) and set(point) == {"value", "delta"},
+                line_number, f"counter {name} is not a value/delta pair")
+        for key in ("value", "delta"):
+            require(isinstance(point[key], int) and point[key] >= 0,
+                    line_number, f"counter {name}.{key} not a non-negative int")
+        require(point["delta"] <= point["value"], line_number,
+                f"counter {name} delta {point['delta']} exceeds "
+                f"cumulative {point['value']}")
+    for name, level in frame["gauges"].items():
+        require(isinstance(level, int) and not isinstance(level, bool),
+                line_number, f"gauge {name} is not an integer level")
+    for name, hist in frame["histograms"].items():
+        require(isinstance(hist, dict) and set(hist) == HISTOGRAM_KEYS,
+                line_number, f"histogram {name} keys {sorted(hist)}")
+        for key in ("count", "interval_count"):
+            require(isinstance(hist[key], int) and hist[key] >= 0,
+                    line_number, f"histogram {name}.{key}")
+        require(hist["interval_count"] <= hist["count"], line_number,
+                f"histogram {name} interval_count exceeds count")
+        for key in ("interval_sum", "p50", "p95", "p99"):
+            check_number(hist[key], line_number, f"histogram {name}.{key}",
+                         minimum=0.0)
+    return frame["seq"]
+
+
+def check_health(frame, line_number):
+    require(set(frame) == HEALTH_KEYS, line_number,
+            f"health keys {sorted(frame)} != {sorted(HEALTH_KEYS)}")
+    require(isinstance(frame["healthy"], bool), line_number,
+            "healthy is not a bool")
+    require(isinstance(frame["signals"], list), line_number,
+            "signals is not a list")
+    names = []
+    firing = 0
+    for signal in frame["signals"]:
+        require(isinstance(signal, dict) and set(signal) == SIGNAL_KEYS,
+                line_number, f"signal keys {sorted(signal)}")
+        for key in ("evaluated", "firing"):
+            require(isinstance(signal[key], bool), line_number,
+                    f"signal {signal.get('name')}.{key} is not a bool")
+        require(not (signal["firing"] and not signal["evaluated"]),
+                line_number,
+                f"signal {signal['name']} fires without being evaluated")
+        check_number(signal["value"], line_number,
+                     f"signal {signal['name']}.value")
+        check_number(signal["threshold"], line_number,
+                     f"signal {signal['name']}.threshold")
+        require(isinstance(signal["detail"], str) and signal["detail"],
+                line_number, f"signal {signal['name']} has an empty detail")
+        names.append(signal["name"])
+        firing += signal["firing"]
+    require(names == EXPECTED_SIGNALS, line_number,
+            f"signal names {names} != {EXPECTED_SIGNALS}")
+    require(frame["healthy"] == (firing == 0), line_number,
+            f"healthy={frame['healthy']} inconsistent with "
+            f"{firing} firing signals")
+
+
+def check_trace(frame, line_number):
+    require(set(frame) == {"type", "record"}, line_number,
+            f"trace keys {sorted(frame)}")
+    record = frame["record"]
+    require(isinstance(record, dict), line_number, "record is not an object")
+    for key in ("trace_id", "server", "verdict"):
+        require(key in record, line_number, f"record lacks '{key}'")
+
+
+def check_crash(frame, line_number):
+    require(set(frame) == CRASH_KEYS, line_number,
+            f"crash keys {sorted(frame)} != {sorted(CRASH_KEYS)}")
+    require(isinstance(frame["signal"], int), line_number,
+            "crash signal is not an integer")
+    expected = SIGNAL_NAMES.get(frame["signal"])
+    require(expected is not None, line_number,
+            f"crash signal {frame['signal']} is not one the black-box arms")
+    require(frame["name"] == expected, line_number,
+            f"crash name '{frame['name']}' does not match signal "
+            f"{frame['signal']} ({expected})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", help="black-box dump file")
+    parser.add_argument("--expect-crash", action="store_true",
+                        help="require a final crash frame (the process was "
+                             "killed, not drained)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.dump, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        print(f"::error::cannot read {args.dump}: {error}")
+        return 2
+
+    if not lines:
+        if args.expect_crash:
+            print(f"::error::{args.dump} is empty (clean-shutdown marker) "
+                  f"but a crash dump was expected")
+            return 1
+        print(f"{args.dump}: clean-shutdown marker (empty) — OK")
+        return 0
+
+    counts = {"snapshot": 0, "health": 0, "trace": 0, "crash": 0}
+    last_seq = None
+    try:
+        for line_number, line in enumerate(lines, 1):
+            try:
+                frame = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise Failure(f"line {line_number}: not JSON ({error})")
+            require(isinstance(frame, dict), line_number, "not an object")
+            kind = frame.get("type")
+            require(kind in counts, line_number,
+                    f"unknown frame type {kind!r}")
+            counts[kind] += 1
+            if kind == "snapshot":
+                last_seq = check_snapshot(frame, line_number, last_seq)
+            elif kind == "health":
+                check_health(frame, line_number)
+            elif kind == "trace":
+                check_trace(frame, line_number)
+            else:
+                check_crash(frame, line_number)
+                require(line_number == len(lines), line_number,
+                        "crash frame is not the final line")
+        require(counts["snapshot"] >= 1, len(lines),
+                "dump holds no snapshot frames")
+        require(counts["crash"] <= 1, len(lines),
+                f"{counts['crash']} crash frames (at most one handler runs)")
+        if args.expect_crash:
+            require(counts["crash"] == 1, len(lines),
+                    "no crash frame — the signal handler never ran")
+    except Failure as failure:
+        print(f"::error::{args.dump}: {failure}")
+        return 1
+
+    print(f"{args.dump}: OK — {counts['snapshot']} snapshots, "
+          f"{counts['health']} health, {counts['trace']} traces, "
+          f"{counts['crash']} crash")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,10 +34,12 @@
 #include "net/http_server.h"
 #include "obs/buildinfo.h"
 #include "obs/export.h"
+#include "obs/flightrecorder.h"
 #include "obs/introspection.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "repsys/credibility.h"
 #include "repsys/eigentrust.h"
 #include "repsys/evidential.h"

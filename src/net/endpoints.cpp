@@ -264,6 +264,147 @@ void register_calibration(obs::IntrospectionTree& tree,
              });
 }
 
+/// Exact round-trip formatting for series timestamps and quantiles (the
+/// %.6g above is for human-facing pages; /timeseries is machine-facing).
+std::string format_double_exact(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.12g", value);
+    return buffer;
+}
+
+void append_series_point(std::string& out, const obs::SeriesPoint& point) {
+    out += "{\"seq\":";
+    out += std::to_string(point.sequence);
+    out += ",\"wall_time\":";
+    out += format_double_exact(point.wall_time);
+    out += ",\"interval\":";
+    out += format_double_exact(point.interval_seconds);
+    switch (point.point.kind) {
+        case obs::MetricKind::kCounter:
+            out += ",\"value\":";
+            out += std::to_string(point.point.value);
+            out += ",\"delta\":";
+            out += std::to_string(point.point.delta);
+            break;
+        case obs::MetricKind::kGauge:
+            out += ",\"level\":";
+            out += std::to_string(point.point.level);
+            break;
+        case obs::MetricKind::kHistogram:
+            out += ",\"count\":";
+            out += std::to_string(point.point.count);
+            out += ",\"interval_count\":";
+            out += std::to_string(point.point.interval_count);
+            out += ",\"interval_sum\":";
+            out += format_double_exact(point.point.interval_sum);
+            out += ",\"p50\":";
+            out += format_double_exact(point.point.p50);
+            out += ",\"p95\":";
+            out += format_double_exact(point.point.p95);
+            out += ",\"p99\":";
+            out += format_double_exact(point.point.p99);
+            break;
+    }
+    out += '}';
+}
+
+void register_timeseries(obs::IntrospectionTree& tree,
+                         const obs::FlightRecorder* recorder) {
+    tree.add(
+        "/timeseries", "application/json",
+        "Flight-recorder ring: metric index, or ?metric=NAME series (?n=N newest)",
+        [recorder](const IntrospectionRequest& request) {
+            IntrospectionPage page;
+            page.content_type = "application/json";
+            std::uint64_t keep = UINT64_MAX;
+            if (const auto n = request.param("n")) {
+                if (!parse_u64(*n, keep)) {
+                    page.status = 400;
+                    page.content_type = "text/plain; charset=utf-8";
+                    page.body = "bad 'n' parameter: " + *n + "\n";
+                    return page;
+                }
+            }
+            const auto metric = request.param("metric");
+            if (!metric) {
+                // Index page: ring shape plus every metric in the newest
+                // snapshot, so a client can discover what it may query.
+                page.body = "{\"interval_seconds\":";
+                page.body +=
+                    format_double_exact(recorder->interval_seconds());
+                page.body += ",\"capacity\":";
+                page.body += std::to_string(recorder->capacity());
+                page.body += ",\"size\":";
+                page.body += std::to_string(recorder->size());
+                page.body += ",\"samples_taken\":";
+                page.body += std::to_string(recorder->samples_taken());
+                page.body += ",\"metrics\":[";
+                bool first = true;
+                for (const auto& [name, kind] : recorder->metric_names()) {
+                    if (!first) page.body += ',';
+                    first = false;
+                    page.body += "{\"name\":\"";
+                    page.body += obs::escape_json(name);
+                    page.body += "\",\"kind\":\"";
+                    page.body += obs::to_string(kind);
+                    page.body += "\"}";
+                }
+                page.body += "]}";
+                return page;
+            }
+            const std::vector<obs::SeriesPoint> series =
+                recorder->series(*metric, keep);
+            if (series.empty()) {
+                page.status = 404;
+                page.content_type = "text/plain; charset=utf-8";
+                page.body = "no recorded series for metric: " + *metric + "\n";
+                return page;
+            }
+            page.body = "{\"metric\":\"";
+            page.body += obs::escape_json(*metric);
+            page.body += "\",\"kind\":\"";
+            page.body += obs::to_string(series.front().point.kind);
+            page.body += "\",\"points\":[";
+            for (std::size_t i = 0; i < series.size(); ++i) {
+                if (i > 0) page.body += ',';
+                append_series_point(page.body, series[i]);
+            }
+            page.body += "]}";
+            return page;
+        });
+}
+
+void register_health(obs::IntrospectionTree& tree,
+                     const obs::Watchdog* watchdog) {
+    tree.add(
+        "/health", "text/plain; charset=utf-8",
+        "Watchdog verdict: 200 ok / 503 degraded, one reasoned line per signal",
+        [watchdog](const IntrospectionRequest&) {
+            const obs::HealthVerdict verdict = watchdog->last_verdict();
+            IntrospectionPage page;
+            // 503 lets a load balancer act on the verdict without
+            // parsing the body.
+            page.status = verdict.healthy ? 200 : 503;
+            std::string body;
+            append_kv(body, "verdict", verdict.healthy ? "ok" : "degraded");
+            append_kv(body, "sequence", std::to_string(verdict.sequence));
+            append_kv(body, "uptime_seconds",
+                      format_double(verdict.uptime_seconds));
+            for (const obs::HealthSignal& signal : verdict.signals) {
+                body += "signal ";
+                body += signal.name;
+                body += signal.firing      ? " state=firing"
+                        : signal.evaluated ? " state=ok"
+                                           : " state=pending";
+                body += " detail=\"";
+                body += signal.detail;
+                body += "\"\n";
+            }
+            page.body = std::move(body);
+            return page;
+        });
+}
+
 }  // namespace
 
 void register_introspection(obs::IntrospectionTree& tree,
@@ -282,6 +423,12 @@ void register_introspection(obs::IntrospectionTree& tree,
     }
     if (sources.calibrator != nullptr) {
         register_calibration(tree, std::move(sources.calibrator));
+    }
+    if (sources.recorder != nullptr) {
+        register_timeseries(tree, sources.recorder);
+    }
+    if (sources.watchdog != nullptr) {
+        register_health(tree, sources.watchdog);
     }
 }
 

@@ -19,6 +19,8 @@
 ///   /servers/<id>    one server: history length + full StreamInfo
 ///   /store           FeedbackStore per-shard occupancy table
 ///   /calibration     stats::Calibrator cache statistics
+///   /timeseries      obs::FlightRecorder ring; ?metric= one series, ?n=
+///   /health          obs::Watchdog verdict (200 ok / 503 degraded)
 ///
 /// Every page is a point-in-time snapshot taken with the same
 /// concurrency contracts the sources already offer (registry visit,
@@ -30,9 +32,11 @@
 #include <memory>
 
 #include "net/http_server.h"
+#include "obs/flightrecorder.h"
 #include "obs/introspection.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "repsys/store.h"
 #include "serve/batch_assessor.h"
 #include "stats/calibrate.h"
@@ -48,6 +52,8 @@ struct IntrospectionSources {
     const repsys::FeedbackStore* store = nullptr;        ///< /store, /servers
     const serve::BatchAssessor* assessor = nullptr;      ///< /servers screener columns
     std::shared_ptr<const stats::Calibrator> calibrator;  ///< /calibration
+    const obs::FlightRecorder* recorder = nullptr;  ///< /timeseries
+    const obs::Watchdog* watchdog = nullptr;        ///< /health
 };
 
 /// Install the standard endpoints for the given sources.

@@ -59,12 +59,16 @@ bool send_all(int fd, std::string_view bytes) {
     return true;
 }
 
-/// Read until orderly close; false on a receive timeout or error.
-bool read_to_eof(int fd, std::string& out) {
+/// Read until orderly close; false on a receive timeout, error, or a
+/// response exceeding `max_bytes`.
+bool read_to_eof(int fd, std::string& out, std::size_t max_bytes) {
     char buffer[8192];
     for (;;) {
         const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
         if (n > 0) {
+            if (out.size() + static_cast<std::size_t>(n) > max_bytes) {
+                return false;
+            }
             out.append(buffer, static_cast<std::size_t>(n));
             continue;
         }
@@ -85,7 +89,8 @@ std::optional<std::string> http_exchange(const std::string& host,
                                          std::uint16_t port,
                                          std::string_view raw_request,
                                          double timeout_seconds,
-                                         bool shutdown_write) {
+                                         bool shutdown_write,
+                                         std::size_t max_response_bytes) {
     const int fd = connect_to(host, port, timeout_seconds);
     if (fd < 0) return std::nullopt;
     if (!raw_request.empty() && !send_all(fd, raw_request)) {
@@ -94,7 +99,7 @@ std::optional<std::string> http_exchange(const std::string& host,
     }
     if (shutdown_write) ::shutdown(fd, SHUT_WR);
     std::string response;
-    const bool ok = read_to_eof(fd, response);
+    const bool ok = read_to_eof(fd, response, max_response_bytes);
     ::close(fd);
     if (!ok) return std::nullopt;
     return response;
@@ -102,11 +107,15 @@ std::optional<std::string> http_exchange(const std::string& host,
 
 std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
                                     const std::string& target,
-                                    double timeout_seconds) {
+                                    double timeout_seconds,
+                                    std::size_t max_body_bytes) {
     std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
                           "\r\nConnection: close\r\n\r\n";
+    // Headroom over the body bound for the status line + headers; an
+    // oversized raw read already fails inside http_exchange.
     const std::optional<std::string> raw =
-        http_exchange(host, port, request, timeout_seconds);
+        http_exchange(host, port, request, timeout_seconds, false,
+                      max_body_bytes + 65536);
     if (!raw) return std::nullopt;
 
     const std::size_t head_end = raw->find("\r\n\r\n");
@@ -141,6 +150,20 @@ std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
                                     std::string{value});
     }
     result.body = raw->substr(head_end + 4);
+    if (result.body.size() > max_body_bytes) return std::nullopt;
+    // A body shorter than the advertised Content-Length means the
+    // connection died mid-body; returning it as a complete fetch would
+    // hand a forensics consumer silently truncated evidence.
+    if (const auto content_length = result.header("Content-Length")) {
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long declared =
+            std::strtoull(content_length->c_str(), &end, 10);
+        if (errno != 0 || end == content_length->c_str() || *end != '\0') {
+            return std::nullopt;
+        }
+        if (result.body.size() < declared) return std::nullopt;
+    }
     return result;
 }
 

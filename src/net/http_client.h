@@ -28,23 +28,34 @@ struct FetchResult {
 };
 
 /// GET `target` from host:port, reading until the server closes.
-/// \returns std::nullopt on connect/send/timeout/parse failure.
-[[nodiscard]] std::optional<FetchResult> http_get(const std::string& host,
-                                                  std::uint16_t port,
-                                                  const std::string& target,
-                                                  double timeout_seconds = 5.0);
+/// \param max_body_bytes  reject (nullopt) a response whose body
+///        exceeds this — a scraping tool must not balloon on a server
+///        that streams forever.
+/// \returns std::nullopt on connect/send/timeout/parse failure, on a
+///          body larger than `max_body_bytes`, and on a body SHORTER
+///          than the response's Content-Length (a connection that died
+///          mid-body must not masquerade as a complete fetch).  A
+///          header-only reply without Content-Length — or with
+///          Content-Length: 0 — is a successful empty-body fetch.
+[[nodiscard]] std::optional<FetchResult> http_get(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    double timeout_seconds = 5.0,
+    std::size_t max_body_bytes = std::size_t{16} << 20);
 
 /// Send raw bytes and return the raw response bytes (read to EOF).
 /// The escape hatch for protocol-abuse tests: malformed request lines,
 /// oversized headers, half-written slow-loris requests.
 /// \param shutdown_write  half-close after sending, signalling EOF to
 ///        the server while still reading its response.
-/// \returns std::nullopt on connect/send/timeout failure (an empty
-///          response string is a successful exchange the server chose
-///          not to answer).
+/// \param max_response_bytes  stop reading and fail (nullopt) beyond
+///        this many raw response bytes.
+/// \returns std::nullopt on connect/send/timeout/oversize failure (an
+///          empty response string is a successful exchange the server
+///          chose not to answer).
 [[nodiscard]] std::optional<std::string> http_exchange(
     const std::string& host, std::uint16_t port, std::string_view raw_request,
-    double timeout_seconds = 5.0, bool shutdown_write = false);
+    double timeout_seconds = 5.0, bool shutdown_write = false,
+    std::size_t max_response_bytes = std::size_t{64} << 20);
 
 }  // namespace hpr::net
 

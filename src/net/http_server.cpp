@@ -297,6 +297,30 @@ void HttpServer::request_stop() noexcept {
     }
 }
 
+bool HttpServer::ping() noexcept {
+    if (!running()) return false;
+    const std::uint64_t now_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+    std::uint64_t expected = 0;
+    // One measurement in flight at a time: a second ping while the
+    // first is unacknowledged would make the ack ambiguous.
+    if (!ping_sent_ns_.compare_exchange_strong(expected, now_ns,
+                                               std::memory_order_acq_rel)) {
+        return false;
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t written =
+        ::write(wake_fd_, &one, sizeof one);
+    return true;
+}
+
+double HttpServer::ping_lag_seconds() const noexcept {
+    const std::int64_t lag_ns = ping_lag_ns_.load(std::memory_order_acquire);
+    return lag_ns < 0 ? -1.0 : static_cast<double>(lag_ns) * 1e-9;
+}
+
 void HttpServer::stop() {
     request_stop();
     if (loop_.joinable()) loop_.join();
@@ -453,6 +477,20 @@ void HttpServer::run_loop() {
                 std::uint64_t drained = 0;
                 [[maybe_unused]] const ssize_t n =
                     ::read(wake_fd_, &drained, sizeof drained);
+                const std::uint64_t sent_ns =
+                    ping_sent_ns_.exchange(0, std::memory_order_acq_rel);
+                if (sent_ns != 0) {
+                    const std::uint64_t now_ns = static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            Clock::now().time_since_epoch())
+                            .count());
+                    ping_lag_ns_.store(
+                        now_ns >= sent_ns
+                            ? static_cast<std::int64_t>(now_ns - sent_ns)
+                            : 0,
+                        std::memory_order_release);
+                    pings_acked_.fetch_add(1, std::memory_order_relaxed);
+                }
                 continue;
             }
             if (fd == listen_fd_) {

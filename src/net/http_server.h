@@ -138,6 +138,25 @@ public:
     /// request_stop() and join the loop thread.  Idempotent.
     void stop();
 
+    /// Event-loop responsiveness self-test: queue a ping through the
+    /// loop's eventfd (the same wake mechanism request_stop uses).  The
+    /// loop acknowledges it at its next wakeup; ping_lag_seconds() then
+    /// reports how long that took — a direct measurement of how
+    /// promptly the loop is turning over under its current load.
+    /// \returns false when the server is not running or the previous
+    /// ping is still unacknowledged (one measurement in flight at a
+    /// time keeps the timestamps unambiguous).
+    bool ping() noexcept;
+
+    /// Lag of the most recently acknowledged ping, in seconds; negative
+    /// when no ping has been acknowledged yet.
+    [[nodiscard]] double ping_lag_seconds() const noexcept;
+
+    /// Lifetime pings acknowledged by the loop.
+    [[nodiscard]] std::uint64_t pings_acked() const noexcept {
+        return pings_acked_.load(std::memory_order_relaxed);
+    }
+
     /// Lifetime totals of THIS server instance (the obs registry
     /// aggregates across instances): completed responses, 503
     /// admission rejections, 408 request timeouts, 400/431/405 parse
@@ -177,6 +196,10 @@ private:
     std::thread loop_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stop_requested_{false};
+
+    std::atomic<std::uint64_t> ping_sent_ns_{0};  ///< 0 = no ping in flight
+    std::atomic<std::int64_t> ping_lag_ns_{-1};   ///< -1 = none acked yet
+    std::atomic<std::uint64_t> pings_acked_{0};
 
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> rejected_{0};

@@ -66,10 +66,14 @@ void register_build_identity(Registry& registry) {
 }
 
 void publish_uptime(Registry& registry) {
-    registry
-        .gauge("hpr_uptime_seconds",
-               "Whole seconds since process start (steady clock)")
-        .set(static_cast<std::int64_t>(uptime_seconds()));
+    // Provider-backed: after the first registration every Registry
+    // visit (each /metrics scrape, each flight-recorder sample)
+    // refreshes the value itself — the gauge can never freeze at the
+    // last explicit publish again.
+    registry.gauge(
+        "hpr_uptime_seconds",
+        "Whole seconds since process start (steady clock)",
+        [] { return static_cast<std::int64_t>(uptime_seconds()); });
 }
 
 }  // namespace hpr::obs

@@ -15,8 +15,10 @@
 ///    library version (CMake project version), the compiler that built
 ///    the binary, and the C++ standard it was compiled under;
 ///  * `hpr_uptime_seconds` — seconds since process start (steady
-///    clock), republished on demand by publish_uptime() so every scrape
-///    sees a fresh value.
+///    clock), provider-backed (Registry::gauge with a value provider)
+///    so every registry visit — each scrape, each flight-recorder
+///    sample — sees a fresh value, not the one frozen at the last
+///    publish_uptime() call.
 ///
 /// register_build_identity() is idempotent and cheap; callers that
 /// serve scrapes (net/endpoints.h, the end-of-run dumps in
@@ -43,8 +45,9 @@ namespace hpr::obs {
 /// Idempotent.
 void register_build_identity(Registry& registry = default_registry());
 
-/// Refresh `hpr_uptime_seconds` (registering it if needed).  Call before
-/// rendering a scrape or dump.
+/// Register `hpr_uptime_seconds` with its value provider (idempotent)
+/// and refresh it.  After the first call every registry visit refreshes
+/// the gauge on its own; calling again before a dump stays harmless.
 void publish_uptime(Registry& registry = default_registry());
 
 }  // namespace hpr::obs

@@ -183,6 +183,19 @@ Gauge& Registry::gauge(std::string_view name, std::string_view help,
     return *slot_for(name, help, MetricKind::kGauge, nullptr, &labels).gauge;
 }
 
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       std::function<std::int64_t()> provider) {
+    Slot& slot = slot_for(name, help, MetricKind::kGauge, nullptr);
+    {
+        const std::scoped_lock lock{mutex_};
+        if (!slot.provider && provider) slot.provider = std::move(provider);
+    }
+    // First registration wins (like labels); once set the provider is
+    // never reassigned, so this unlocked read is race-free.
+    if (slot.provider) slot.gauge->set(slot.provider());
+    return *slot.gauge;
+}
+
 Histogram& Registry::histogram(std::string_view name, std::string_view help,
                                std::vector<double> bounds) {
     return *slot_for(name, help, MetricKind::kHistogram, &bounds).histogram;
@@ -194,15 +207,21 @@ void Registry::visit(const std::function<void(const Entry&)>& fn) const {
     // take as long as it likes (exporters do) without blocking writers
     // that register new metrics.
     std::vector<Entry> entries;
+    std::vector<std::pair<Gauge*, const std::function<std::int64_t()>*>> fresh;
     {
         const std::scoped_lock lock{mutex_};
         entries.reserve(metrics_.size());
         for (const auto& [name, slot] : metrics_) {
+            if (slot.provider) fresh.emplace_back(slot.gauge.get(), &slot.provider);
             entries.push_back(Entry{name, slot.help, slot.kind, slot.counter.get(),
                                     slot.gauge.get(), slot.histogram.get(),
                                     slot.labels});
         }
     }
+    // Provider-backed gauges refresh before fn sees them.  Outside the
+    // lock (a provider may be arbitrary user code); the pointers are
+    // stable map nodes and a provider is never reassigned once set.
+    for (const auto& [gauge, provider] : fresh) gauge->set((*provider)());
     for (const Entry& entry : entries) fn(entry);
 }
 

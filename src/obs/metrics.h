@@ -203,6 +203,17 @@ public:
     ///         kind mismatch.
     Gauge& gauge(std::string_view name, std::string_view help, LabelSet labels);
 
+    /// Gauge whose value is recomputed by `provider` at the start of
+    /// every visit() — scrape-time freshness for derived levels like
+    /// uptime, instead of freezing at whatever the last explicit
+    /// publish saw.  The provider is fixed by the first registration
+    /// that supplies one (later lookups ignore theirs, like labels and
+    /// histogram bounds); it runs outside the registry lock and must be
+    /// thread-safe.  set() still works between visits; the provider
+    /// simply overwrites on the next one.
+    Gauge& gauge(std::string_view name, std::string_view help,
+                 std::function<std::int64_t()> provider);
+
     /// \param bounds  bucket bounds; empty means default_latency_buckets().
     ///                Ignored when the histogram already exists.
     Histogram& histogram(std::string_view name, std::string_view help = {},
@@ -245,6 +256,7 @@ private:
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
         LabelSet labels;
+        std::function<std::int64_t()> provider;  ///< refreshed at visit()
     };
 
     Slot& slot_for(std::string_view name, std::string_view help, MetricKind kind,

@@ -1,0 +1,187 @@
+#ifndef HPR_OBS_WATCHDOG_H
+#define HPR_OBS_WATCHDOG_H
+
+/// \file watchdog.h
+/// Health watchdog over the flight recorder's time series.
+///
+/// `/metrics` hands raw numbers to an *external* alerting stack; a
+/// production daemon should also be able to judge itself — both so
+/// `/health` can answer a load balancer in one round trip and so the
+/// crash black-box can record "the process believed it was degrading"
+/// alongside the telemetry that says why.  The Watchdog runs inside the
+/// flight recorder's per-tick hook and derives four signals from the
+/// snapshot ring (obs/flightrecorder.h):
+///
+///  * **assess_p99** — the per-interval p99 of the configured assess
+///    histogram over the recent window, compared against a trailing
+///    baseline median.  Fires on a sustained regression ratio — the
+///    screener has slowed down relative to its own recent past.
+///  * **calibration_hits / refmodel_hits** — per-interval cache
+///    hit-rates from counter deltas.  Fires on collapse below a floor
+///    while lookups are actually flowing (an idle cache is not sick).
+///  * **ingest** — fires when `hpr_store_ingest_total` has been flat
+///    for N consecutive intervals after having moved at least once
+///    (a stalled feed, not a daemon that never had one).
+///  * **heartbeat** — event-loop responsiveness measured through an
+///    injected probe (the daemon wires `net::HttpServer`'s eventfd
+///    self-ping; obs cannot depend on net).  Fires when the loop took
+///    longer than the budget to acknowledge the previous ping.
+///
+/// Every evaluation publishes `hpr_health_*` gauges into the registry
+/// (so the health series itself lands in the flight recorder and the
+/// black-box) and retains a reasoned HealthVerdict that
+/// `/health` (net/endpoints.h) renders: overall `ok`/`degraded`, plus
+/// one line per signal with the measured value, the threshold, and why
+/// it did or did not fire.
+///
+/// render_blackbox() assembles the forensic payload the BlackBox
+/// stages: the newest snapshots, the current verdict, and the recent
+/// trace ring, one JSON frame per line.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/flightrecorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hpr::obs {
+
+struct WatchdogConfig {
+    /// Histogram whose per-interval p99 is the latency health signal.
+    std::string assess_metric = "hpr_assess_phase1_seconds";
+
+    /// Trailing snapshots forming the latency baseline (median of
+    /// per-interval p99s), and the recent snapshots judged against it.
+    /// \throws std::invalid_argument (from the constructor) if either
+    /// window is zero.
+    std::size_t baseline_window = 30;
+    std::size_t recent_window = 5;
+
+    /// Fire assess_p99 when recent-median p99 exceeds baseline-median
+    /// p99 by this factor.  \throws std::invalid_argument unless > 1.
+    double p99_regression_ratio = 2.0;
+
+    /// Minimum per-interval observations before a latency interval
+    /// counts toward either median (a window that saw two requests has
+    /// no meaningful p99).
+    std::uint64_t min_latency_samples = 8;
+
+    /// Fire a cache signal when the recent-window hit rate falls below
+    /// this floor...
+    double min_hit_rate = 0.5;
+    /// ...provided at least this many lookups happened in the window.
+    std::uint64_t min_cache_lookups = 32;
+
+    /// Fire ingest after this many consecutive zero-delta intervals
+    /// (counted only once ingest has moved at least once).
+    /// \throws std::invalid_argument if zero.
+    std::size_t ingest_stall_intervals = 5;
+
+    /// Fire heartbeat when the event loop acknowledged the previous
+    /// self-ping slower than this.  \throws std::invalid_argument
+    /// unless > 0.
+    double heartbeat_lag_budget_seconds = 0.25;
+};
+
+/// One evaluated health signal.
+struct HealthSignal {
+    std::string name;     ///< "assess_p99", "calibration_hits", ...
+    bool evaluated = false;  ///< false = not enough data yet (never fires)
+    bool firing = false;
+    double value = 0.0;      ///< measured quantity (ratio, rate, intervals, lag)
+    double threshold = 0.0;  ///< the bound it is judged against
+    std::string detail;      ///< human-readable reasoning for /health
+};
+
+/// The watchdog's overall judgement at one recorder tick.
+struct HealthVerdict {
+    bool healthy = true;         ///< no signal firing
+    std::uint64_t sequence = 0;  ///< recorder snapshot sequence evaluated at
+    double wall_time = 0.0;      ///< seconds since the Unix epoch
+    double uptime_seconds = 0.0;
+    std::vector<HealthSignal> signals;  ///< fixed order: assess_p99,
+                                        ///  calibration_hits, refmodel_hits,
+                                        ///  ingest, heartbeat
+};
+
+/// Evaluates health signals over a FlightRecorder's ring.  evaluate()
+/// is driven from the recorder's on-sample hook; last_verdict() serves
+/// `/health` from any thread.
+class Watchdog {
+public:
+    explicit Watchdog(WatchdogConfig config = {},
+                      Registry& registry = default_registry());
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /// Install the event-loop responsiveness probe: returns the measured
+    /// lag (seconds) of the most recent self-ping round trip, or a
+    /// negative value when no measurement is available yet.  The probe
+    /// runs once per evaluate(); it should also *send* the next ping.
+    /// Unset = the heartbeat signal reports "no probe" and never fires.
+    void set_heartbeat_probe(std::function<double()> probe);
+
+    /// Derive all signals from the recorder's retained snapshots,
+    /// publish the `hpr_health_*` gauges, retain and return the verdict.
+    /// Serialized internally; call from the recorder hook.
+    HealthVerdict evaluate(const FlightRecorder& recorder);
+
+    /// The most recent verdict (default-constructed healthy verdict with
+    /// sequence 0 before the first evaluate()).
+    [[nodiscard]] HealthVerdict last_verdict() const;
+
+    [[nodiscard]] std::uint64_t evaluations() const noexcept;
+
+    [[nodiscard]] const WatchdogConfig& config() const noexcept {
+        return config_;
+    }
+
+private:
+    WatchdogConfig config_;
+
+    // Health gauges, resolved once at construction so the metric set a
+    // CI inventory sees is deterministic.
+    Counter& evaluations_metric_;
+    Gauge& ok_metric_;
+    Gauge& firing_metric_;
+    Gauge& p99_ratio_metric_;          ///< percent (100 = at baseline)
+    Gauge& calibration_rate_metric_;   ///< percent; -1 = not evaluated
+    Gauge& refmodel_rate_metric_;      ///< percent; -1 = not evaluated
+    Gauge& ingest_stalled_metric_;     ///< consecutive flat intervals
+    Gauge& heartbeat_lag_metric_;      ///< microseconds; -1 = no probe/sample
+
+    mutable std::mutex mutex_;  ///< guards verdict_, probe_, stall state
+    HealthVerdict verdict_;
+    std::function<double()> probe_;
+    std::uint64_t last_ingest_total_ = 0;
+    bool ingest_seen_ = false;      ///< ingest moved at least once
+    std::size_t flat_intervals_ = 0;
+    std::atomic<std::uint64_t> evaluation_count_{0};
+};
+
+/// One-line JSON frame of a verdict for the black-box file:
+/// `{"type":"health","seq":..,"wall_time":..,"healthy":..,
+///   "signals":[{"name":..,"evaluated":..,"firing":..,"value":..,
+///   "threshold":..,"detail":..},...]}` (no trailing newline).
+[[nodiscard]] std::string to_frame(const HealthVerdict& verdict);
+
+/// Assemble the black-box payload: the newest `snapshot_n` recorder
+/// snapshots, the watchdog's current verdict (when given), and the
+/// newest `trace_n` decision records — one newline-terminated JSON
+/// frame per line, ready for BlackBox::publish().  Trace frames are
+/// `{"type":"trace","record":<to_jsonl object>}`.
+[[nodiscard]] std::string render_blackbox(const FlightRecorder& recorder,
+                                          const Watchdog* watchdog,
+                                          Tracer* tracer,
+                                          std::size_t snapshot_n = 32,
+                                          std::size_t trace_n = 64);
+
+}  // namespace hpr::obs
+
+#endif  // HPR_OBS_WATCHDOG_H

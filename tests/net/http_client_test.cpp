@@ -1,0 +1,184 @@
+// Error paths of the scraping client (net/http_client.h): connection
+// refused, bodies truncated mid-transfer, responses larger than the
+// caller's bound, and header-only replies.  The well-behaved round
+// trips are covered by http_server_test.cpp; here the far side is a
+// canned-bytes socket that can misbehave on purpose.
+
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace hpr::net {
+namespace {
+
+/// Listens on an ephemeral port, accepts exactly one connection, writes
+/// `reply` verbatim and closes — a server that answers whatever the
+/// test wants, including lies about Content-Length.
+class CannedServer {
+public:
+    explicit CannedServer(std::string reply) : reply_(std::move(reply)) {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        address.sin_port = 0;
+        EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+                         sizeof address),
+                  0);
+        EXPECT_EQ(::listen(listen_fd_, 1), 0);
+        socklen_t length = sizeof address;
+        EXPECT_EQ(::getsockname(listen_fd_,
+                                reinterpret_cast<sockaddr*>(&address), &length),
+                  0);
+        port_ = ntohs(address.sin_port);
+        acceptor_ = std::thread([this] {
+            const int client = ::accept(listen_fd_, nullptr, nullptr);
+            if (client < 0) return;
+            // Drain the request first so the client's send cannot fail.
+            char sink[4096];
+            ssize_t n;
+            do {
+                n = ::recv(client, sink, sizeof sink, 0);
+            } while (n > 0 && std::string_view(sink, static_cast<std::size_t>(n))
+                                      .find("\r\n\r\n") == std::string_view::npos);
+            std::size_t written = 0;
+            while (written < reply_.size()) {
+                const ssize_t sent = ::send(client, reply_.data() + written,
+                                            reply_.size() - written, MSG_NOSIGNAL);
+                if (sent <= 0) break;
+                written += static_cast<std::size_t>(sent);
+            }
+            ::close(client);
+        });
+    }
+
+    ~CannedServer() {
+        if (acceptor_.joinable()) acceptor_.join();
+        if (listen_fd_ >= 0) ::close(listen_fd_);
+    }
+
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+
+private:
+    std::string reply_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptor_;
+};
+
+/// An ephemeral port with nothing listening behind it: bind, read the
+/// port number, close — the canonical connection-refused target.
+std::uint16_t dead_port() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+                     sizeof address),
+              0);
+    socklen_t length = sizeof address;
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&address), &length),
+              0);
+    const std::uint16_t port = ntohs(address.sin_port);
+    ::close(fd);
+    return port;
+}
+
+TEST(HttpClient, ConnectionRefusedIsNullopt) {
+    const auto result = http_get("127.0.0.1", dead_port(), "/metrics", 1.0);
+    EXPECT_FALSE(result.has_value());
+}
+
+TEST(HttpClient, ExchangeConnectionRefusedIsNullopt) {
+    EXPECT_FALSE(http_exchange("127.0.0.1", dead_port(), "GET / HTTP/1.1\r\n\r\n",
+                               1.0)
+                     .has_value());
+}
+
+TEST(HttpClient, UnparseableAddressIsNullopt) {
+    EXPECT_FALSE(http_get("not-an-ipv4-literal", 80, "/", 1.0).has_value());
+}
+
+TEST(HttpClient, CompleteBodyMatchingContentLengthSucceeds) {
+    CannedServer server{
+        "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello"};
+    const auto result = http_get("127.0.0.1", server.port(), "/", 2.0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, 200);
+    EXPECT_EQ(result->body, "hello");
+}
+
+TEST(HttpClient, BodyShorterThanContentLengthIsNullopt) {
+    // The server dies after 5 of the promised 100 bytes; treating the
+    // stub as a complete fetch would hand back truncated evidence.
+    CannedServer server{
+        "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nhello"};
+    EXPECT_FALSE(http_get("127.0.0.1", server.port(), "/", 2.0).has_value());
+}
+
+TEST(HttpClient, GarbageContentLengthIsNullopt) {
+    CannedServer server{
+        "HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\nhello"};
+    EXPECT_FALSE(http_get("127.0.0.1", server.port(), "/", 2.0).has_value());
+}
+
+TEST(HttpClient, BodyLargerThanLimitIsNullopt) {
+    const std::string body(4096, 'x');
+    CannedServer server{"HTTP/1.1 200 OK\r\nContent-Length: " +
+                        std::to_string(body.size()) + "\r\n\r\n" + body};
+    EXPECT_FALSE(
+        http_get("127.0.0.1", server.port(), "/", 2.0, /*max_body_bytes=*/1024)
+            .has_value());
+}
+
+TEST(HttpClient, BodyAtLimitSucceeds) {
+    const std::string body(1024, 'x');
+    CannedServer server{"HTTP/1.1 200 OK\r\nContent-Length: " +
+                        std::to_string(body.size()) + "\r\n\r\n" + body};
+    const auto result =
+        http_get("127.0.0.1", server.port(), "/", 2.0, /*max_body_bytes=*/1024);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->body.size(), 1024u);
+}
+
+TEST(HttpClient, ExchangeOversizedResponseIsNullopt) {
+    CannedServer server{std::string(8192, 'y')};
+    EXPECT_FALSE(http_exchange("127.0.0.1", server.port(),
+                               "GET / HTTP/1.1\r\n\r\n", 2.0, false,
+                               /*max_response_bytes=*/1024)
+                     .has_value());
+}
+
+TEST(HttpClient, HeaderOnlyReplyWithoutContentLengthIsEmptySuccess) {
+    CannedServer server{"HTTP/1.1 204 No Content\r\nX-Probe: 1\r\n\r\n"};
+    const auto result = http_get("127.0.0.1", server.port(), "/", 2.0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, 204);
+    EXPECT_TRUE(result->body.empty());
+    ASSERT_TRUE(result->header("X-Probe").has_value());
+    EXPECT_EQ(*result->header("x-probe"), "1");
+}
+
+TEST(HttpClient, HeaderOnlyReplyWithZeroContentLengthIsEmptySuccess) {
+    CannedServer server{"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"};
+    const auto result = http_get("127.0.0.1", server.port(), "/", 2.0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, 200);
+    EXPECT_TRUE(result->body.empty());
+}
+
+TEST(HttpClient, ReplyWithoutHeaderTerminatorIsNullopt) {
+    CannedServer server{"HTTP/1.1 200 OK\r\nContent-Length: 5"};
+    EXPECT_FALSE(http_get("127.0.0.1", server.port(), "/", 2.0).has_value());
+}
+
+}  // namespace
+}  // namespace hpr::net

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -51,6 +53,26 @@ TEST(BuildInfo, UptimeIsNonNegativeAndMonotone) {
     const std::string text = to_prometheus(registry);
     EXPECT_NE(text.find("# TYPE hpr_uptime_seconds gauge"), std::string::npos);
     EXPECT_NE(text.find("hpr_uptime_seconds "), std::string::npos);
+}
+
+TEST(BuildInfo, UptimeRefreshesOnEveryScrape) {
+    // Provider-backed: the gauge must move between two spaced registry
+    // visits without anyone calling publish_uptime() again.  A frozen
+    // uptime (the value from the last explicit publish) once shipped —
+    // this pins the fix.  The 1.1s gap guarantees the whole-second
+    // floor crosses at least one boundary.
+    Registry registry;
+    publish_uptime(registry);
+    Gauge& uptime = registry.gauge("hpr_uptime_seconds", "");
+
+    registry.visit([](const Registry::Entry&) {});
+    const std::int64_t first = uptime.value();
+    EXPECT_GE(first, 0);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+    registry.visit([](const Registry::Entry&) {});
+    const std::int64_t second = uptime.value();
+    EXPECT_GT(second, first);
 }
 
 TEST(RegistryLabels, LabeledGaugeRendersPrometheusAndJson) {

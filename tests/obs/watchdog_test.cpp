@@ -1,0 +1,316 @@
+// The health watchdog (obs/watchdog.h): each signal's firing logic
+// driven by deterministic sample_now() ticks on a private registry —
+// latency regression against a trailing baseline, cache hit-rate
+// collapse, ingest stall, heartbeat lag — plus the gauges it publishes
+// and the black-box payload it assembles.
+
+#include "obs/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "obs/flightrecorder.h"
+#include "obs/trace.h"
+
+namespace hpr::obs {
+namespace {
+
+/// Small windows so a test can cross every threshold in a handful of
+/// deterministic ticks.
+WatchdogConfig tiny_config() {
+    WatchdogConfig config;
+    config.assess_metric = "test_assess_seconds";
+    config.baseline_window = 4;
+    config.recent_window = 2;
+    config.p99_regression_ratio = 2.0;
+    config.min_latency_samples = 4;
+    config.min_hit_rate = 0.5;
+    config.min_cache_lookups = 10;
+    config.ingest_stall_intervals = 3;
+    config.heartbeat_lag_budget_seconds = 0.25;
+    return config;
+}
+
+const HealthSignal& signal_named(const HealthVerdict& verdict,
+                                 std::string_view name) {
+    for (const HealthSignal& signal : verdict.signals) {
+        if (signal.name == name) return signal;
+    }
+    ADD_FAILURE() << "no signal named " << name;
+    static const HealthSignal missing;
+    return missing;
+}
+
+TEST(Watchdog, RejectsBadConfig) {
+    Registry registry;
+    WatchdogConfig config = tiny_config();
+    config.baseline_window = 0;
+    EXPECT_THROW(Watchdog(config, registry), std::invalid_argument);
+    config = tiny_config();
+    config.recent_window = 0;
+    EXPECT_THROW(Watchdog(config, registry), std::invalid_argument);
+    config = tiny_config();
+    config.p99_regression_ratio = 1.0;
+    EXPECT_THROW(Watchdog(config, registry), std::invalid_argument);
+    config = tiny_config();
+    config.ingest_stall_intervals = 0;
+    EXPECT_THROW(Watchdog(config, registry), std::invalid_argument);
+    config = tiny_config();
+    config.heartbeat_lag_budget_seconds = 0.0;
+    EXPECT_THROW(Watchdog(config, registry), std::invalid_argument);
+}
+
+TEST(Watchdog, HealthyWithNoDataAndNothingJudged) {
+    Registry registry;
+    FlightRecorder recorder{{}, registry};
+    Watchdog watchdog{tiny_config(), registry};
+
+    // Before any evaluation the retained verdict is the benign default.
+    EXPECT_TRUE(watchdog.last_verdict().healthy);
+    EXPECT_EQ(watchdog.last_verdict().sequence, 0u);
+
+    recorder.sample_now();
+    const HealthVerdict verdict = watchdog.evaluate(recorder);
+    EXPECT_TRUE(verdict.healthy);
+    EXPECT_EQ(verdict.sequence, 1u);
+    ASSERT_EQ(verdict.signals.size(), 5u);
+    for (const HealthSignal& signal : verdict.signals) {
+        EXPECT_FALSE(signal.evaluated) << signal.name;
+        EXPECT_FALSE(signal.firing) << signal.name;
+        EXPECT_NE(signal.detail.find("not judged"), std::string::npos)
+            << signal.name;
+    }
+    EXPECT_EQ(watchdog.evaluations(), 1u);
+    EXPECT_EQ(registry.gauge("hpr_health_ok", "").value(), 1);
+    EXPECT_EQ(registry.gauge("hpr_health_assess_p99_ratio_percent", "").value(),
+              -1);
+}
+
+TEST(Watchdog, AssessP99RegressionFires) {
+    Registry registry;
+    Histogram& assess = registry.histogram("test_assess_seconds", "test",
+                                           {0.001, 0.01, 0.1, 1.0});
+    FlightRecorder recorder{{}, registry};
+    Watchdog watchdog{tiny_config(), registry};
+
+    recorder.sample_now();  // seed tick: interval stats start at tick 2
+    // Five fast intervals: enough for >= 3 qualified baseline intervals
+    // once the newest two become the recent window.
+    for (int tick = 0; tick < 5; ++tick) {
+        for (int i = 0; i < 20; ++i) assess.observe(0.0005);
+        recorder.sample_now();
+    }
+    HealthVerdict verdict = watchdog.evaluate(recorder);
+    // All qualified intervals are fast: evaluated, near-1 ratio, quiet.
+    {
+        const HealthSignal& signal = signal_named(verdict, "assess_p99");
+        EXPECT_TRUE(signal.evaluated);
+        EXPECT_FALSE(signal.firing);
+        EXPECT_NEAR(signal.value, 1.0, 0.2);
+    }
+
+    // Two slow recent intervals: two orders of magnitude regression.
+    for (int tick = 0; tick < 2; ++tick) {
+        for (int i = 0; i < 20; ++i) assess.observe(0.05);
+        recorder.sample_now();
+    }
+    verdict = watchdog.evaluate(recorder);
+    const HealthSignal& signal = signal_named(verdict, "assess_p99");
+    EXPECT_TRUE(signal.evaluated);
+    EXPECT_TRUE(signal.firing);
+    EXPECT_GT(signal.value, 2.0);
+    EXPECT_FALSE(verdict.healthy);
+    EXPECT_EQ(registry.gauge("hpr_health_ok", "").value(), 0);
+    EXPECT_GE(registry.gauge("hpr_health_signals_firing", "").value(), 1);
+    EXPECT_GT(registry.gauge("hpr_health_assess_p99_ratio_percent", "").value(),
+              200);
+}
+
+TEST(Watchdog, SparseIntervalsDoNotQualifyForLatencyJudgement) {
+    Registry registry;
+    Histogram& assess = registry.histogram("test_assess_seconds", "test",
+                                           {0.001, 0.01, 0.1, 1.0});
+    FlightRecorder recorder{{}, registry};
+    Watchdog watchdog{tiny_config(), registry};
+
+    recorder.sample_now();
+    // Each interval sees 2 observations < min_latency_samples (4): a
+    // two-request window has no meaningful p99, however slow it looks.
+    for (int tick = 0; tick < 6; ++tick) {
+        assess.observe(0.5);
+        assess.observe(0.5);
+        recorder.sample_now();
+    }
+    const HealthVerdict verdict = watchdog.evaluate(recorder);
+    const HealthSignal& signal = signal_named(verdict, "assess_p99");
+    EXPECT_FALSE(signal.evaluated);
+    EXPECT_FALSE(signal.firing);
+    EXPECT_TRUE(verdict.healthy);
+}
+
+TEST(Watchdog, CacheHitRateCollapseFires) {
+    Registry registry;
+    Counter& hits = registry.counter("hpr_calibration_cache_hits_total", "");
+    Counter& misses =
+        registry.counter("hpr_calibration_cache_misses_total", "");
+    // Registered up front: a counter's first-ever snapshot has delta 0,
+    // so a late registration would hide its first window of traffic.
+    Counter& refmodel_hits =
+        registry.counter("hpr_refmodel_cache_hits_total", "");
+    registry.counter("hpr_refmodel_cache_misses_total", "");
+    FlightRecorder recorder{{}, registry};
+    Watchdog watchdog{tiny_config(), registry};
+
+    recorder.sample_now();
+    // Idle window: 4 lookups < min_cache_lookups (10) - not judged.
+    hits.increment(2);
+    misses.increment(2);
+    recorder.sample_now();
+    HealthVerdict verdict = watchdog.evaluate(recorder);
+    EXPECT_FALSE(signal_named(verdict, "calibration_hits").evaluated);
+    EXPECT_EQ(
+        registry.gauge("hpr_health_calibration_hit_rate_percent", "").value(),
+        -1);
+
+    // Busy window with 10% hit rate: judged and firing.
+    hits.increment(2);
+    misses.increment(18);
+    recorder.sample_now();
+    verdict = watchdog.evaluate(recorder);
+    const HealthSignal& signal = signal_named(verdict, "calibration_hits");
+    EXPECT_TRUE(signal.evaluated);
+    EXPECT_TRUE(signal.firing);
+    EXPECT_FALSE(verdict.healthy);
+    // Window rate: (2+2)/(4+20) = 16.7% (recent_window covers both ticks).
+    EXPECT_LT(signal.value, 0.5);
+    EXPECT_EQ(
+        registry.gauge("hpr_health_calibration_hit_rate_percent", "").value(),
+        17);
+
+    // Healthy refmodel traffic leaves the sibling signal quiet.
+    refmodel_hits.increment(50);
+    recorder.sample_now();
+    verdict = watchdog.evaluate(recorder);
+    const HealthSignal& refmodel = signal_named(verdict, "refmodel_hits");
+    EXPECT_TRUE(refmodel.evaluated);
+    EXPECT_FALSE(refmodel.firing);
+    EXPECT_EQ(refmodel.value, 1.0);
+}
+
+TEST(Watchdog, IngestStallCountsOnlyAfterFirstMovement) {
+    Registry registry;
+    Counter& ingest = registry.counter("hpr_store_ingest_total", "");
+    FlightRecorder recorder{{}, registry};
+    Watchdog watchdog{tiny_config(), registry};  // stall at 3 flat intervals
+
+    // Flat from birth: a daemon that never had a feed is not stalled.
+    for (int tick = 0; tick < 5; ++tick) {
+        recorder.sample_now();
+        const HealthVerdict verdict = watchdog.evaluate(recorder);
+        EXPECT_FALSE(signal_named(verdict, "ingest").evaluated);
+    }
+
+    // Ingest moves once...
+    ingest.increment(100);
+    recorder.sample_now();
+    HealthVerdict verdict = watchdog.evaluate(recorder);
+    EXPECT_TRUE(signal_named(verdict, "ingest").evaluated);
+    EXPECT_FALSE(signal_named(verdict, "ingest").firing);
+
+    // ...then the feed dies: fires on the third consecutive flat interval.
+    for (int flat = 1; flat <= 3; ++flat) {
+        recorder.sample_now();
+        verdict = watchdog.evaluate(recorder);
+        EXPECT_EQ(signal_named(verdict, "ingest").value,
+                  static_cast<double>(flat));
+        EXPECT_EQ(signal_named(verdict, "ingest").firing, flat >= 3) << flat;
+    }
+    EXPECT_FALSE(verdict.healthy);
+    EXPECT_EQ(registry.gauge("hpr_health_ingest_flat_intervals", "").value(), 3);
+
+    // Recovery resets the stall count immediately.
+    ingest.increment(1);
+    recorder.sample_now();
+    verdict = watchdog.evaluate(recorder);
+    EXPECT_FALSE(signal_named(verdict, "ingest").firing);
+    EXPECT_EQ(signal_named(verdict, "ingest").value, 0.0);
+}
+
+TEST(Watchdog, HeartbeatLagJudgedThroughProbe) {
+    Registry registry;
+    FlightRecorder recorder{{}, registry};
+    Watchdog watchdog{tiny_config(), registry};  // budget 0.25s
+
+    recorder.sample_now();
+    // No probe installed.
+    HealthVerdict verdict = watchdog.evaluate(recorder);
+    EXPECT_FALSE(signal_named(verdict, "heartbeat").evaluated);
+    EXPECT_EQ(registry.gauge("hpr_health_heartbeat_lag_micros", "").value(),
+              -1);
+
+    // Probe with no measurement yet (negative lag).
+    watchdog.set_heartbeat_probe([] { return -1.0; });
+    recorder.sample_now();
+    verdict = watchdog.evaluate(recorder);
+    EXPECT_FALSE(signal_named(verdict, "heartbeat").evaluated);
+
+    // Responsive loop.
+    watchdog.set_heartbeat_probe([] { return 0.002; });
+    recorder.sample_now();
+    verdict = watchdog.evaluate(recorder);
+    EXPECT_TRUE(signal_named(verdict, "heartbeat").evaluated);
+    EXPECT_FALSE(signal_named(verdict, "heartbeat").firing);
+    EXPECT_EQ(registry.gauge("hpr_health_heartbeat_lag_micros", "").value(),
+              2000);
+
+    // Wedged loop.
+    watchdog.set_heartbeat_probe([] { return 0.5; });
+    recorder.sample_now();
+    verdict = watchdog.evaluate(recorder);
+    EXPECT_TRUE(signal_named(verdict, "heartbeat").firing);
+    EXPECT_FALSE(verdict.healthy);
+}
+
+TEST(Watchdog, HealthFrameIsOneJsonObject) {
+    Registry registry;
+    FlightRecorder recorder{{}, registry};
+    Watchdog watchdog{tiny_config(), registry};
+    recorder.sample_now();
+    const std::string frame = to_frame(watchdog.evaluate(recorder));
+
+    EXPECT_EQ(frame.find("{\"type\":\"health\",\"seq\":1,"), 0u);
+    EXPECT_NE(frame.find("\"healthy\":true"), std::string::npos);
+    EXPECT_NE(frame.find("\"name\":\"assess_p99\""), std::string::npos);
+    EXPECT_NE(frame.find("\"name\":\"heartbeat\""), std::string::npos);
+    EXPECT_EQ(frame.find('\n'), std::string::npos);
+}
+
+TEST(Watchdog, RenderBlackboxAssemblesAllFrameTypes) {
+    Registry registry;
+    registry.counter("test_bb_total", "").increment(1);
+    FlightRecorder recorder{{}, registry};
+    Watchdog watchdog{tiny_config(), registry};
+    Tracer tracer;
+    DecisionRecord record;
+    record.server = 42;
+    tracer.ring().push(std::move(record));
+
+    recorder.sample_now();
+    recorder.sample_now();
+    watchdog.evaluate(recorder);
+
+    const std::string payload =
+        render_blackbox(recorder, &watchdog, &tracer, 1, 8);
+    // snapshot_n = 1: only the newest snapshot, then health, then traces.
+    EXPECT_EQ(payload.find("{\"type\":\"snapshot\",\"seq\":2,"), 0u);
+    EXPECT_EQ(payload.find("\"seq\":1,"), std::string::npos);
+    EXPECT_NE(payload.find("{\"type\":\"health\","), std::string::npos);
+    EXPECT_NE(payload.find("{\"type\":\"trace\",\"record\":"),
+              std::string::npos);
+    EXPECT_EQ(payload.back(), '\n');
+}
+
+}  // namespace
+}  // namespace hpr::obs
