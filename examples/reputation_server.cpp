@@ -91,6 +91,8 @@ int usage(const char* argv0) {
                  "                    run until a signal arrives)\n"
                  "  --record-interval=S  daemon mode: flight-recorder sampling\n"
                  "                    cadence in seconds (default: 1)\n"
+                 "  --ingest-budget=N daemon mode: pending-records budget of the\n"
+                 "                    POST /ingest admission gate (default: 65536)\n"
                  "  --blackbox=PATH   daemon mode: arm the crash black-box; on\n"
                  "                    SIGSEGV/SIGABRT/SIGBUS the final snapshots,\n"
                  "                    health state and traces are dumped to PATH\n",
@@ -174,7 +176,7 @@ int run_daemon(repsys::FeedbackStore& store, serve::BatchAssessor& assessor,
                std::shared_ptr<stats::Calibrator> calibrator,
                const std::vector<Population>& servers, std::uint16_t port,
                double duration, bool json_metrics, double record_interval,
-               const std::string& blackbox_path) {
+               const std::string& blackbox_path, std::size_t ingest_budget) {
     // The self-observation stack: recorder feeds watchdog feeds (when
     // armed) the crash black-box, all driven by the recorder's tick.
     obs::FlightRecorder recorder{{.interval_seconds = record_interval}};
@@ -206,9 +208,19 @@ int run_daemon(repsys::FeedbackStore& store, serve::BatchAssessor& assessor,
     sources.watchdog = &watchdog;
     net::register_introspection(tree, sources);
 
+    // The write path: POST /ingest lands wire batches in the same store
+    // and screener bank the in-process load loop feeds, gated by a
+    // bounded pending-records budget (GET /assess and /ingest/stats ride
+    // on the tree).
+    net::IngestServiceConfig ingest_config;
+    if (ingest_budget != 0) ingest_config.gate.pending_budget = ingest_budget;
+    net::IngestService ingest{store, assessor, ingest_config};
+    net::register_ingest(tree, ingest);
+
     net::HttpServerConfig http;
     http.port = port;
-    net::HttpServer server{http, net::make_http_handler(tree)};
+    http.ingest_gate = &ingest.gate();
+    net::HttpServer server{http, net::make_http_handler(tree, &ingest)};
     server.start();
     // Event-loop responsiveness: each watchdog evaluation reads the lag
     // of the last acknowledged self-ping and queues the next one.
@@ -289,6 +301,14 @@ int run_daemon(repsys::FeedbackStore& store, serve::BatchAssessor& assessor,
                 static_cast<unsigned long long>(server.timed_out_connections()),
                 static_cast<unsigned long long>(server.malformed_requests()),
                 static_cast<unsigned long long>(server.bytes_sent()));
+    std::printf("daemon: ingest accepted %llu requests (%llu records), "
+                "rejected %llu, shed %llu (gate pending %zu of %zu)\n",
+                static_cast<unsigned long long>(ingest.accepted_requests()),
+                static_cast<unsigned long long>(ingest.accepted_records()),
+                static_cast<unsigned long long>(ingest.rejected_requests()),
+                static_cast<unsigned long long>(ingest.gate().shed_total()),
+                ingest.gate().pending(),
+                ingest.gate().config().pending_budget);
     std::printf("daemon: recorder took %llu samples (%zu retained), health "
                 "%s after %llu evaluations, black-box %s (%llu publishes)\n",
                 static_cast<unsigned long long>(recorder.samples_taken()),
@@ -316,6 +336,7 @@ int main(int argc, char** argv) {
     bool listen = false;
     double duration = 0.0;  // daemon run time; 0 = until a signal
     double record_interval = 1.0;  // flight-recorder cadence, seconds
+    std::size_t ingest_budget = 0;  // 0 = the gate's default budget
     std::string blackbox_path;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -347,6 +368,10 @@ int main(int argc, char** argv) {
         } else if (std::strncmp(arg, "--record-interval=", 18) == 0) {
             if (!parse_flag_seconds(arg + 18, record_interval) ||
                 record_interval <= 0.0) {
+                return usage(argv[0]);
+            }
+        } else if (std::strncmp(arg, "--ingest-budget=", 16) == 0) {
+            if (!parse_flag_size(arg + 16, 1, ingest_budget)) {
                 return usage(argv[0]);
             }
         } else if (std::strncmp(arg, "--blackbox=", 11) == 0) {
@@ -406,7 +431,8 @@ int main(int argc, char** argv) {
     if (listen) {
         return run_daemon(store, assessor, calibrator, servers,
                           static_cast<std::uint16_t>(listen_port), duration,
-                          json_metrics, record_interval, blackbox_path);
+                          json_metrics, record_interval, blackbox_path,
+                          ingest_budget);
     }
 
     // Live ingestion: every feedback goes to the sharded store and to the

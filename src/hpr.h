@@ -32,6 +32,7 @@
 #include "net/endpoints.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
+#include "net/ingest.h"
 #include "obs/buildinfo.h"
 #include "obs/export.h"
 #include "obs/flightrecorder.h"

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/online.h"
+#include "net/ingest.h"
 #include "obs/buildinfo.h"
 #include "obs/export.h"
 
@@ -432,8 +433,18 @@ void register_introspection(obs::IntrospectionTree& tree,
     }
 }
 
-HttpHandler make_http_handler(const obs::IntrospectionTree& tree) {
-    return [&tree](const HttpRequest& request) {
+HttpHandler make_http_handler(const obs::IntrospectionTree& tree,
+                              IngestService* ingest) {
+    return [&tree, ingest](const HttpRequest& request) {
+        if (request.method == "POST") {
+            if (ingest != nullptr && request.path == "/ingest") {
+                return ingest->handle_ingest(request);
+            }
+            HttpResponse response;
+            response.status = 404;
+            response.body = "no POST endpoint: " + request.path + "\n";
+            return response;
+        }
         const IntrospectionPage page = tree.get(request.target);
         HttpResponse response;
         response.status = page.status;

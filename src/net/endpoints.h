@@ -61,9 +61,16 @@ struct IntrospectionSources {
 void register_introspection(obs::IntrospectionTree& tree,
                             IntrospectionSources sources);
 
+class IngestService;
+
 /// Adapt a tree to the HTTP front-end.  The returned handler captures a
 /// reference: the tree must outlive the server (stop the server first).
-[[nodiscard]] HttpHandler make_http_handler(const obs::IntrospectionTree& tree);
+/// When `ingest` is non-null, `POST /ingest` routes to it (any other
+/// POST draws 404); the service must outlive the server too.  GET-side
+/// ingest pages (/assess, /ingest/stats) are tree pages — install them
+/// with register_ingest() from net/ingest.h.
+[[nodiscard]] HttpHandler make_http_handler(const obs::IntrospectionTree& tree,
+                                            IngestService* ingest = nullptr);
 
 }  // namespace hpr::net
 

@@ -7,12 +7,31 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 namespace hpr::net {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Seconds until `deadline`; <= 0 once it has passed.
+double seconds_left(Clock::time_point deadline) {
+    return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+/// (Re-)apply `seconds` as the socket's send+receive timeout.
+void set_socket_timeouts(int fd, double seconds) {
+    if (seconds < 1e-3) seconds = 1e-3;  // 0 would mean "block forever"
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
 
 bool equals_ignore_case(std::string_view a, std::string_view b) {
     if (a.size() != b.size()) return false;
@@ -30,12 +49,7 @@ int connect_to(const std::string& host, std::uint16_t port,
                double timeout_seconds) {
     const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) return -1;
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(timeout_seconds);
-    tv.tv_usec = static_cast<suseconds_t>(
-        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    set_socket_timeouts(fd, timeout_seconds);
     sockaddr_in address{};
     address.sin_family = AF_INET;
     address.sin_port = htons(port);
@@ -48,9 +62,15 @@ int connect_to(const std::string& host, std::uint16_t port,
     return fd;
 }
 
-bool send_all(int fd, std::string_view bytes) {
+/// Send everything before `deadline`.  The remaining time is re-applied
+/// as the socket timeout before every send, so a peer draining one
+/// window per SO_SNDTIMEO cannot extend the call past the deadline.
+bool send_all(int fd, std::string_view bytes, Clock::time_point deadline) {
     std::size_t written = 0;
     while (written < bytes.size()) {
+        const double remaining = seconds_left(deadline);
+        if (remaining <= 0) return false;
+        set_socket_timeouts(fd, remaining);
         const ssize_t n = ::send(fd, bytes.data() + written,
                                  bytes.size() - written, MSG_NOSIGNAL);
         if (n <= 0) return false;
@@ -59,11 +79,17 @@ bool send_all(int fd, std::string_view bytes) {
     return true;
 }
 
-/// Read until orderly close; false on a receive timeout, error, or a
-/// response exceeding `max_bytes`.
-bool read_to_eof(int fd, std::string& out, std::size_t max_bytes) {
+/// Read until orderly close; false on error, a response exceeding
+/// `max_bytes`, or `deadline` passing.  SO_RCVTIMEO alone bounds each
+/// recv(2), not the read as a whole: a server trickling one byte per
+/// timeout window would otherwise keep a "bounded" fetch alive forever.
+bool read_to_eof(int fd, std::string& out, std::size_t max_bytes,
+                 Clock::time_point deadline) {
     char buffer[8192];
     for (;;) {
+        const double remaining = seconds_left(deadline);
+        if (remaining <= 0) return false;
+        set_socket_timeouts(fd, remaining);
         const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
         if (n > 0) {
             if (out.size() + static_cast<std::size_t>(n) > max_bytes) {
@@ -91,36 +117,31 @@ std::optional<std::string> http_exchange(const std::string& host,
                                          double timeout_seconds,
                                          bool shutdown_write,
                                          std::size_t max_response_bytes) {
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_seconds));
     const int fd = connect_to(host, port, timeout_seconds);
     if (fd < 0) return std::nullopt;
-    if (!raw_request.empty() && !send_all(fd, raw_request)) {
+    if (!raw_request.empty() && !send_all(fd, raw_request, deadline)) {
         ::close(fd);
         return std::nullopt;
     }
     if (shutdown_write) ::shutdown(fd, SHUT_WR);
     std::string response;
-    const bool ok = read_to_eof(fd, response, max_response_bytes);
+    const bool ok = read_to_eof(fd, response, max_response_bytes, deadline);
     ::close(fd);
     if (!ok) return std::nullopt;
     return response;
 }
 
-std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
-                                    const std::string& target,
-                                    double timeout_seconds,
-                                    std::size_t max_body_bytes) {
-    std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
-                          "\r\nConnection: close\r\n\r\n";
-    // Headroom over the body bound for the status line + headers; an
-    // oversized raw read already fails inside http_exchange.
-    const std::optional<std::string> raw =
-        http_exchange(host, port, request, timeout_seconds, false,
-                      max_body_bytes + 65536);
-    if (!raw) return std::nullopt;
+namespace {
 
-    const std::size_t head_end = raw->find("\r\n\r\n");
+/// Parse one raw response into a FetchResult (shared by GET and POST).
+std::optional<FetchResult> parse_response(const std::string& raw,
+                                          std::size_t max_body_bytes) {
+    const std::size_t head_end = raw.find("\r\n\r\n");
     if (head_end == std::string::npos) return std::nullopt;
-    const std::string_view head{raw->data(), head_end};
+    const std::string_view head{raw.data(), head_end};
     const std::size_t line_end = head.find("\r\n");
     const std::string_view status_line =
         line_end == std::string_view::npos ? head : head.substr(0, line_end);
@@ -149,7 +170,7 @@ std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
         result.headers.emplace_back(std::string{line.substr(0, colon)},
                                     std::string{value});
     }
-    result.body = raw->substr(head_end + 4);
+    result.body = raw.substr(head_end + 4);
     if (result.body.size() > max_body_bytes) return std::nullopt;
     // A body shorter than the advertised Content-Length means the
     // connection died mid-body; returning it as a complete fetch would
@@ -165,6 +186,41 @@ std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
         if (result.body.size() < declared) return std::nullopt;
     }
     return result;
+}
+
+}  // namespace
+
+std::optional<FetchResult> http_get(const std::string& host, std::uint16_t port,
+                                    const std::string& target,
+                                    double timeout_seconds,
+                                    std::size_t max_body_bytes) {
+    std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+    // Headroom over the body bound for the status line + headers; an
+    // oversized raw read already fails inside http_exchange.
+    const std::optional<std::string> raw =
+        http_exchange(host, port, request, timeout_seconds, false,
+                      max_body_bytes + 65536);
+    if (!raw) return std::nullopt;
+    return parse_response(*raw, max_body_bytes);
+}
+
+std::optional<FetchResult> http_post(const std::string& host,
+                                     std::uint16_t port,
+                                     const std::string& target,
+                                     std::string_view body,
+                                     double timeout_seconds,
+                                     std::size_t max_body_bytes) {
+    std::string request = "POST " + target + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nContent-Type: text/plain" +
+                          "\r\nContent-Length: " + std::to_string(body.size()) +
+                          "\r\nConnection: close\r\n\r\n";
+    request += body;
+    const std::optional<std::string> raw =
+        http_exchange(host, port, request, timeout_seconds, false,
+                      max_body_bytes + 65536);
+    if (!raw) return std::nullopt;
+    return parse_response(*raw, max_body_bytes);
 }
 
 }  // namespace hpr::net

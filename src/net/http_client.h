@@ -2,11 +2,18 @@
 #define HPR_NET_HTTP_CLIENT_H
 
 /// \file http_client.h
-/// A minimal blocking HTTP/1.1 GET client — just enough to scrape the
-/// introspection daemon from tests, benches and examples without
-/// shelling out to curl.  One request per connection (the server closes
-/// after each response), bounded by SO_RCVTIMEO/SO_SNDTIMEO socket
-/// timeouts so a wedged server cannot hang a test binary.
+/// A minimal blocking HTTP/1.1 GET/POST client — just enough to talk to
+/// the serving daemon from tests, benches and examples without shelling
+/// out to curl.  One request per connection (the server closes after
+/// each response).
+///
+/// Every call is bounded by an overall wall-clock deadline of
+/// `timeout_seconds`, not just per-syscall socket timeouts: SO_RCVTIMEO
+/// alone bounds each recv(2), so a server that accepts and then
+/// trickles (or never sends) one byte per timeout window could extend a
+/// "bounded" fetch forever — exactly how `trace_query --url` used to
+/// hang.  The remaining time is re-applied as the socket timeout before
+/// every send/recv, and the call fails once the deadline passes.
 
 #include <cstdint>
 #include <optional>
@@ -40,6 +47,15 @@ struct FetchResult {
 [[nodiscard]] std::optional<FetchResult> http_get(
     const std::string& host, std::uint16_t port, const std::string& target,
     double timeout_seconds = 5.0,
+    std::size_t max_body_bytes = std::size_t{16} << 20);
+
+/// POST `body` to `target` (Content-Type: text/plain) and parse the
+/// response like http_get.  The ingest client: batched feedback bodies
+/// go up, "accepted=<n>" / error pages come back.  Same deadline and
+/// size bounds as http_get.
+[[nodiscard]] std::optional<FetchResult> http_post(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    std::string_view body, double timeout_seconds = 5.0,
     std::size_t max_body_bytes = std::size_t{16} << 20);
 
 /// Send raw bytes and return the raw response bytes (read to EOF).

@@ -14,6 +14,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "net/ingest.h"
 #include "obs/metrics.h"
 
 namespace hpr::net {
@@ -29,6 +30,8 @@ struct HttpMetrics {
     obs::Counter& rejected;
     obs::Counter& timeouts;
     obs::Counter& malformed;
+    obs::Counter& oversized;
+    obs::Counter& shed;
     obs::Counter& bytes_sent;
     obs::Gauge& active;
     obs::Histogram& request_seconds;
@@ -49,6 +52,10 @@ HttpMetrics& http_metrics() {
                          "Connections closed by the request timeout (408)"),
         registry.counter("hpr_http_malformed_total",
                          "Requests rejected as malformed or unsupported (400/405/431)"),
+        registry.counter("hpr_http_oversized_total",
+                         "POSTs rejected 413: declared body beyond max_body_bytes"),
+        registry.counter("hpr_http_shed_total",
+                         "POSTs answered 429 on behalf of the ingest gate"),
         registry.counter("hpr_http_bytes_sent_total",
                          "Response bytes written to scrape clients"),
         registry.gauge("hpr_http_active_connections",
@@ -83,7 +90,14 @@ std::string serialize_response(const HttpResponse& response, bool head_only) {
     out += response.content_type;
     out += "\r\nContent-Length: ";
     out += std::to_string(response.body.size());
-    out += "\r\nConnection: close\r\n\r\n";
+    out += "\r\nConnection: close\r\n";
+    for (const auto& [name, value] : response.extra_headers) {
+        out += name;
+        out += ": ";
+        out += value;
+        out += "\r\n";
+    }
+    out += "\r\n";
     if (!head_only) out += response.body;
     return out;
 }
@@ -131,7 +145,7 @@ ParseResult parse_request(const std::string& in, HttpRequest& request) {
         return ParseResult::kMalformed;
     }
     if (target.empty() || target.front() != '/') return ParseResult::kMalformed;
-    if (method != "GET" && method != "HEAD") {
+    if (method != "GET" && method != "HEAD" && method != "POST") {
         return ParseResult::kUnsupportedMethod;
     }
 
@@ -185,15 +199,20 @@ const char* status_reason(int status) noexcept {
         case 404: return "Not Found";
         case 405: return "Method Not Allowed";
         case 408: return "Request Timeout";
+        case 411: return "Length Required";
+        case 413: return "Payload Too Large";
+        case 429: return "Too Many Requests";
         case 431: return "Request Header Fields Too Large";
+        case 501: return "Not Implemented";
         case 500: return "Internal Server Error";
         case 503: return "Service Unavailable";
         default: return "Unknown";
     }
 }
 
-/// Per-connection state machine: reading until the header block is
-/// complete, then flushing one serialized response, then close.
+/// Per-connection state machine: reading until the header block (and,
+/// for POST, the declared body) is complete, then flushing one
+/// serialized response, then close.
 struct HttpServer::Connection {
     int fd = -1;
     std::string in;
@@ -201,6 +220,11 @@ struct HttpServer::Connection {
     std::size_t out_written = 0;
     bool writing = false;
     bool dispatched = false;  ///< response came from the handler (not an error page)
+    bool headers_done = false;  ///< request (sans body) parsed into `request`
+    HttpRequest request;        ///< valid once headers_done
+    std::size_t body_start = 0;   ///< offset of the body in `in`
+    std::size_t body_length = 0;  ///< declared Content-Length
+    std::size_t gate_charge = 0;  ///< unreleased ingest-gate records, 0 = none
     Clock::time_point deadline;
     Clock::time_point parsed_at;
 };
@@ -343,9 +367,43 @@ void HttpServer::run_loop() {
     const auto request_timeout = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(config_.request_timeout_seconds));
 
+    /// Return a connection's unreleased ingest-gate charge.  Exactly-once
+    /// by construction: every path that hands the charge back zeroes it.
+    const auto release_charge = [&](Connection& conn) {
+        if (conn.gate_charge != 0 && config_.ingest_gate != nullptr) {
+            config_.ingest_gate->release(conn.gate_charge);
+        }
+        conn.gate_charge = 0;
+    };
+
     const auto close_connection = [&](int fd) {
+        if (const auto it = connections.find(fd); it != connections.end()) {
+            release_charge(it->second);
+            connections.erase(it);
+            metrics.active.sub(1);
+        }
         ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
         ::close(fd);
+    };
+
+    /// Refuse a request whose body may still be in flight (413/429/411/
+    /// 501): best-effort answer, FIN our side, then linger draining the
+    /// peer's bytes so the error page survives its send queue — the same
+    /// mechanism the 503 admission path uses.
+    const auto reject_linger = [&](Connection& conn, const HttpResponse& page) {
+        release_charge(conn);
+        const std::string bytes = serialize_response(page, false);
+        const ssize_t sent =
+            ::send(conn.fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+        if (sent > 0) {
+            bytes_sent_.fetch_add(static_cast<std::uint64_t>(sent),
+                                  std::memory_order_relaxed);
+            metrics.bytes_sent.increment(static_cast<std::uint64_t>(sent));
+        }
+        ::shutdown(conn.fd, SHUT_WR);
+        metrics.responses.increment();
+        const int fd = conn.fd;
+        discarding.emplace(fd, Clock::now() + request_timeout);
         connections.erase(fd);
         metrics.active.sub(1);
     };
@@ -390,49 +448,132 @@ void HttpServer::run_loop() {
         close_connection(conn.fd);
     };
 
-    /// Parse-and-dispatch once the input buffer may hold a full request.
+    /// Parse-and-dispatch as input arrives: headers exactly once, then
+    /// the body admission decisions, then wait for the declared body,
+    /// then dispatch.  May finish (and erase) the connection or move it
+    /// to the discarding set; callers must re-find it afterwards.
     const auto advance_reading = [&](Connection& conn) {
-        // The byte bound applies whether or not the header block ever
-        // completes — a finished-but-huge request is just as rejected as
-        // a dribbling one.
-        if (conn.in.size() > config_.max_request_bytes) {
-            malformed_.fetch_add(1, std::memory_order_relaxed);
-            metrics.malformed.increment();
-            if (send_response(conn,
-                              serialize_response(error_page(431, {}), false))) {
-                finish_response(conn);
+        if (!conn.headers_done) {
+            const std::size_t head_end = conn.in.find("\r\n\r\n");
+            // The header byte bound applies whether or not the block
+            // ever completes — a finished-but-huge header section is
+            // just as rejected as a dribbling one.
+            if (head_end == std::string::npos
+                    ? conn.in.size() > config_.max_request_bytes
+                    : head_end > config_.max_request_bytes) {
+                malformed_.fetch_add(1, std::memory_order_relaxed);
+                metrics.malformed.increment();
+                if (send_response(
+                        conn, serialize_response(error_page(431, {}), false))) {
+                    finish_response(conn);
+                }
+                return;
             }
-            return;
-        }
-        HttpRequest request;
-        const ParseResult parsed = parse_request(conn.in, request);
-        if (parsed == ParseResult::kIncomplete) {
-            return;
-        }
-        if (parsed != ParseResult::kOk) {
-            malformed_.fetch_add(1, std::memory_order_relaxed);
-            metrics.malformed.increment();
-            const int status = parsed == ParseResult::kMalformed ? 400 : 405;
-            if (send_response(conn,
-                              serialize_response(error_page(status, {}), false))) {
-                finish_response(conn);
+            if (head_end == std::string::npos) return;  // keep reading
+            HttpRequest request;
+            const ParseResult parsed = parse_request(conn.in, request);
+            if (parsed == ParseResult::kIncomplete) return;
+            if (parsed != ParseResult::kOk) {
+                malformed_.fetch_add(1, std::memory_order_relaxed);
+                metrics.malformed.increment();
+                const int status = parsed == ParseResult::kMalformed ? 400 : 405;
+                if (send_response(
+                        conn,
+                        serialize_response(error_page(status, {}), false))) {
+                    finish_response(conn);
+                }
+                return;
             }
-            return;
+            conn.request = std::move(request);
+            conn.headers_done = true;
+            conn.body_start = head_end + 4;
+            conn.body_length = 0;
+
+            const auto content_length = conn.request.header("Content-Length");
+            if (conn.request.method == "POST") {
+                // Body admission runs before a single body byte is
+                // required, so refusals (411/501/400/413/429) answer
+                // while the peer may still be sending: linger-drain.
+                if (conn.request.header("Transfer-Encoding")) {
+                    malformed_.fetch_add(1, std::memory_order_relaxed);
+                    metrics.malformed.increment();
+                    reject_linger(conn,
+                                  error_page(501, "Transfer-Encoding"));
+                    return;
+                }
+                if (!content_length) {
+                    malformed_.fetch_add(1, std::memory_order_relaxed);
+                    metrics.malformed.increment();
+                    reject_linger(conn, error_page(411, {}));
+                    return;
+                }
+                bool digits = !content_length->empty() &&
+                              content_length->size() <= 18;
+                for (const char c : *content_length) {
+                    if (c < '0' || c > '9') digits = false;
+                }
+                if (!digits) {
+                    malformed_.fetch_add(1, std::memory_order_relaxed);
+                    metrics.malformed.increment();
+                    reject_linger(conn,
+                                  error_page(400, "bad Content-Length"));
+                    return;
+                }
+                const std::size_t declared = static_cast<std::size_t>(
+                    std::strtoull(content_length->c_str(), nullptr, 10));
+                if (declared > config_.max_body_bytes) {
+                    oversized_.fetch_add(1, std::memory_order_relaxed);
+                    metrics.oversized.increment();
+                    reject_linger(conn, error_page(413, {}));
+                    return;
+                }
+                conn.body_length = declared;
+                if (config_.ingest_gate != nullptr) {
+                    const std::size_t estimate =
+                        IngestGate::estimate_records(conn.body_length);
+                    if (!config_.ingest_gate->try_admit(estimate)) {
+                        shed_.fetch_add(1, std::memory_order_relaxed);
+                        metrics.shed.increment();
+                        HttpResponse page =
+                            error_page(429, "ingest budget exhausted");
+                        page.extra_headers.emplace_back(
+                            "Retry-After",
+                            std::to_string(
+                                config_.ingest_gate->retry_after_seconds()));
+                        reject_linger(conn, page);
+                        return;
+                    }
+                    conn.gate_charge = estimate;
+                }
+            } else if (content_length && *content_length != "0") {
+                malformed_.fetch_add(1, std::memory_order_relaxed);
+                metrics.malformed.increment();
+                reject_linger(conn, error_page(400, "unexpected request body"));
+                return;
+            }
         }
+        if (conn.in.size() < conn.body_start + conn.body_length) {
+            return;  // keep reading the body
+        }
+        conn.request.body.assign(conn.in, conn.body_start, conn.body_length);
         conn.parsed_at = Clock::now();
         conn.dispatched = true;
         conn.deadline = conn.parsed_at + request_timeout;
         metrics.requests.increment();
         HttpResponse response;
         try {
-            response = handler_(request);
+            response = handler_(conn.request);
         } catch (const std::exception& error) {
             response = error_page(500, error.what());
         } catch (...) {
             response = error_page(500, {});
         }
-        if (send_response(conn, serialize_response(response,
-                                                   request.method == "HEAD"))) {
+        // Dispatched: the request's records are the handler's (and the
+        // store's) problem now, not pending load — return the charge.
+        release_charge(conn);
+        if (send_response(conn,
+                          serialize_response(response,
+                                             conn.request.method == "HEAD"))) {
             finish_response(conn);
         }
     };
@@ -572,7 +713,12 @@ void HttpServer::run_loop() {
                     const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
                     if (n > 0) {
                         conn.in.append(buffer, static_cast<std::size_t>(n));
-                        if (conn.in.size() > config_.max_request_bytes + 4) break;
+                        // Absolute buffering bound: headers + the
+                        // largest admissible body, with framing slack.
+                        if (conn.in.size() > config_.max_request_bytes +
+                                                 config_.max_body_bytes + 8) {
+                            break;
+                        }
                         continue;
                     }
                     if (n == 0) peer_closed = true;
@@ -580,11 +726,26 @@ void HttpServer::run_loop() {
                 }
                 advance_reading(conn);
                 // advance_reading may have finished (and erased) the
-                // connection; re-find before touching it again.
+                // connection or moved it to `discarding`; re-find before
+                // touching it again.
                 const auto again = connections.find(fd);
                 if (again != connections.end() && peer_closed &&
                     !again->second.writing) {
-                    close_connection(fd);  // EOF before a complete request
+                    // EOF before a complete request.  A peer that sent
+                    // nothing gets a silent close (port probes); one
+                    // that sent a partial request gets a best-effort 400
+                    // — it half-closed, so it can still read the page.
+                    Connection& dying = again->second;
+                    if (!dying.in.empty() || dying.headers_done) {
+                        malformed_.fetch_add(1, std::memory_order_relaxed);
+                        metrics.malformed.increment();
+                        const std::string page = serialize_response(
+                            error_page(400, "incomplete request"), false);
+                        [[maybe_unused]] const ssize_t sent = ::send(
+                            fd, page.data(), page.size(), MSG_NOSIGNAL);
+                        metrics.responses.increment();
+                    }
+                    close_connection(fd);
                 }
                 continue;
             }
@@ -645,13 +806,10 @@ void HttpServer::run_loop() {
     }
 
     // Force-close anything left (loop exits only when drained or past
-    // the drain deadline, so this is normally a no-op).
+    // the drain deadline, so this is normally a no-op).  close_connection
+    // also hands unreleased ingest-gate charges back.
     while (!connections.empty()) {
-        const int fd = connections.begin()->first;
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-        ::close(fd);
-        connections.erase(fd);
-        metrics.active.sub(1);
+        close_connection(connections.begin()->first);
     }
     for (const auto& [fd, deadline] : discarding) {
         ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);

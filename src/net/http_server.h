@@ -22,7 +22,22 @@
 ///    answered `408 Request Timeout` (best effort) and closed;
 ///  * **bounded parsing**: request line + headers above
 ///    `max_request_bytes` draw `431`, malformed request lines `400`,
-///    non-GET/HEAD methods `405` — each followed by a close;
+///    methods other than GET/HEAD/POST `405` — each followed by a close;
+///  * **bounded bodies** (the ingest write path): a POST must declare a
+///    Content-Length (`411` otherwise, `501` for Transfer-Encoding);
+///    a declared length above `max_body_bytes` draws `413` *before* the
+///    body is buffered, a body that stalls mid-stream falls under the
+///    same `request_timeout_seconds` deadline (`408`), and a peer that
+///    half-closes before completing its request is answered a
+///    best-effort `400` instead of a silent close;
+///  * **ingest admission** (optional): when `config.ingest_gate` is
+///    set, every POST is charged against the gate's pending-records
+///    budget at header-parse time — *before* its body is buffered — and
+///    a shed request draws `429 Too Many Requests` with a `Retry-After`
+///    header while its body bytes are drained and discarded.  The
+///    charge is released when the request is dispatched or its
+///    connection dies, whichever comes first, so a client disconnecting
+///    mid-body can never leak budget;
 ///  * **graceful drain**: request_stop() is async-signal-safe (one
 ///    eventfd write), so SIGINT/SIGTERM handlers can call it directly;
 ///    the loop then stops accepting, finishes in-flight responses for
@@ -50,13 +65,16 @@
 
 namespace hpr::net {
 
-/// One parsed request (GET/HEAD, no body).
+class IngestGate;
+
+/// One parsed request.
 struct HttpRequest {
-    std::string method;   ///< "GET" or "HEAD"
+    std::string method;   ///< "GET", "HEAD" or "POST"
     std::string target;   ///< as sent: path plus optional "?query"
     std::string path;     ///< target before '?'
     std::string query;    ///< target after '?', possibly empty
     std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;     ///< exactly Content-Length bytes; empty for GET/HEAD
 
     /// First header with the given name, case-insensitively.
     [[nodiscard]] std::optional<std::string> header(std::string_view name) const;
@@ -68,6 +86,10 @@ struct HttpResponse {
     int status = 200;
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
+
+    /// Additional response headers (e.g. Retry-After on a 429), written
+    /// verbatim after the standard ones.
+    std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
@@ -89,6 +111,16 @@ struct HttpServerConfig {
     /// Request line + headers byte bound; beyond it the request draws
     /// 431 and the connection closes.
     std::size_t max_request_bytes = 8192;
+
+    /// Request body byte bound: a POST declaring more draws 413 before
+    /// any body byte is buffered (its body is drained and discarded so
+    /// the error page survives the peer's send queue).
+    std::size_t max_body_bytes = std::size_t{1} << 20;
+
+    /// Optional ingest admission control: when set, every POST is
+    /// charged against this gate at header-parse time (see the file
+    /// comment).  Non-owning; the gate must outlive the server.
+    IngestGate* ingest_gate = nullptr;
 
     /// Deadline for a connection to deliver its complete request
     /// headers; a slow-loris that misses it draws a best-effort 408 and
@@ -173,6 +205,14 @@ public:
     [[nodiscard]] std::uint64_t malformed_requests() const noexcept {
         return malformed_.load(std::memory_order_relaxed);
     }
+    /// 413 responses: POSTs declaring a body beyond max_body_bytes.
+    [[nodiscard]] std::uint64_t oversized_requests() const noexcept {
+        return oversized_.load(std::memory_order_relaxed);
+    }
+    /// 429 responses issued on behalf of the ingest gate.
+    [[nodiscard]] std::uint64_t shed_requests() const noexcept {
+        return shed_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
         return bytes_sent_.load(std::memory_order_relaxed);
     }
@@ -205,6 +245,8 @@ private:
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> timeouts_{0};
     std::atomic<std::uint64_t> malformed_{0};
+    std::atomic<std::uint64_t> oversized_{0};
+    std::atomic<std::uint64_t> shed_{0};
     std::atomic<std::uint64_t> bytes_sent_{0};
 };
 

@@ -196,6 +196,86 @@ void FeedbackStore::submit(const std::vector<Feedback>& feedbacks) {
     publish_level_metrics();
 }
 
+void FeedbackStore::ingest_batch(const std::vector<Feedback>& feedbacks) {
+    if (feedbacks.empty()) return;
+    std::vector<std::vector<std::size_t>> groups(shards_.size());
+    for (std::size_t i = 0; i < feedbacks.size(); ++i) {
+        groups[shard_of(feedbacks[i].server)].push_back(i);
+    }
+    // Lock every target shard, ascending.  Single-shard writers take one
+    // lock and concurrent ingest_batch calls lock in the same order, so
+    // holding several stripes at once cannot deadlock.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+        if (!groups[s].empty()) locks.push_back(lock_shard(*shards_[s]));
+    }
+    // Validate everything before touching anything.  The offending index
+    // reported is the smallest across the whole batch, not the first one
+    // some shard happened to see.
+    std::size_t offender = feedbacks.size();
+    std::string error;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+        const auto& group = groups[s];
+        if (group.empty()) continue;
+        const Shard& shard = *shards_[s];
+        std::map<EntityId, Timestamp> pending_last;
+        for (const std::size_t i : group) {
+            const Feedback& f = feedbacks[i];
+            auto [it, inserted] = pending_last.try_emplace(f.server);
+            if (inserted) {
+                const auto log = shard.logs.find(f.server);
+                if (log == shard.logs.end() || log->second.empty()) {
+                    it->second = f.time;
+                } else {
+                    it->second = log->second.feedbacks().back().time;
+                }
+            }
+            if (f.time < it->second) {
+                if (i < offender) {
+                    offender = i;
+                    error = "FeedbackStore::ingest_batch: feedback " +
+                            std::to_string(i) + " at t=" +
+                            std::to_string(f.time) + " precedes server " +
+                            std::to_string(f.server) +
+                            "'s latest feedback at t=" +
+                            std::to_string(it->second) +
+                            " (whole batch rejected)";
+                }
+                break;  // later offenders in this shard cannot be smaller
+            }
+            it->second = f.time;
+        }
+    }
+    if (offender < feedbacks.size()) throw BatchRejected(offender, error);
+
+    // Apply: validated above, so no append can throw mid-batch.
+    StoreMetrics& metrics = store_metrics();
+    std::size_t max_log = 0;
+    std::size_t max_occupancy = 0;
+    std::int64_t new_servers = 0;
+    for (std::size_t s = 0; s < groups.size(); ++s) {
+        const auto& group = groups[s];
+        if (group.empty()) continue;
+        Shard& shard = *shards_[s];
+        for (const std::size_t i : group) {
+            const Feedback& f = feedbacks[i];
+            auto [it, inserted] = shard.logs.try_emplace(f.server);
+            if (inserted) ++new_servers;
+            it->second.append(f);
+            if (it->second.size() > max_log) max_log = it->second.size();
+        }
+        if (shard.logs.size() > max_occupancy) max_occupancy = shard.logs.size();
+    }
+    total_.fetch_add(feedbacks.size(), std::memory_order_relaxed);
+    if (new_servers > 0) {
+        server_count_.fetch_add(new_servers, std::memory_order_relaxed);
+    }
+    metrics.ingested.increment(feedbacks.size());
+    metrics.history_length_max.set_max(static_cast<std::int64_t>(max_log));
+    metrics.shard_occupancy_max.set_max(static_cast<std::int64_t>(max_occupancy));
+    publish_level_metrics();
+}
+
 std::vector<EntityId> FeedbackStore::servers() const {
     std::vector<EntityId> ids;
     ids.reserve(server_count());

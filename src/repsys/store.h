@@ -64,6 +64,21 @@
 
 namespace hpr::repsys {
 
+/// Thrown by FeedbackStore::ingest_batch when a batch is inadmissible:
+/// carries the smallest offending batch index so a protocol front-end
+/// can answer "line N is wrong" instead of a bare parse failure.
+class BatchRejected : public std::invalid_argument {
+public:
+    BatchRejected(std::size_t index, const std::string& what)
+        : std::invalid_argument(what), index_(index) {}
+
+    /// 0-based position of the first offending feedback in the batch.
+    [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+private:
+    std::size_t index_;
+};
+
 /// In-memory feedback registry for a population of servers, lock-striped
 /// across shards for concurrent ingest and assessment.
 class FeedbackStore {
@@ -92,6 +107,19 @@ public:
     /// each shard lock is taken exactly once.  Validation is
     /// all-or-nothing per shard (see the file comment).
     void submit(const std::vector<Feedback>& feedbacks);
+
+    /// Ingest a batch all-or-nothing across the WHOLE batch (contrast
+    /// submit(vector), which is all-or-nothing per shard): every target
+    /// shard is locked in ascending index order, every slice is
+    /// validated, and only a fully admissible batch is applied — on
+    /// rejection the store is byte-identical to its pre-call state.
+    /// This is the network ingest path's transaction contract: a request
+    /// either lands completely or not at all, no matter how its records
+    /// spread across shards.
+    /// \throws BatchRejected carrying the smallest offending batch index
+    ///         (a feedback older than its server's latest recorded time,
+    ///         counting earlier feedbacks of this very batch).
+    void ingest_batch(const std::vector<Feedback>& feedbacks);
 
     /// Number of servers with at least one feedback.
     [[nodiscard]] std::size_t server_count() const noexcept {

@@ -13,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -178,6 +181,109 @@ TEST(HttpClient, HeaderOnlyReplyWithZeroContentLengthIsEmptySuccess) {
 TEST(HttpClient, ReplyWithoutHeaderTerminatorIsNullopt) {
     CannedServer server{"HTTP/1.1 200 OK\r\nContent-Length: 5"};
     EXPECT_FALSE(http_get("127.0.0.1", server.port(), "/", 2.0).has_value());
+}
+
+/// Accepts a connection and then does whatever `behave` says — the
+/// hanging/trickling counterpart of CannedServer.
+class MisbehavingServer {
+public:
+    explicit MisbehavingServer(std::function<void(int client)> behave) {
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        address.sin_port = 0;
+        EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+                         sizeof address),
+                  0);
+        EXPECT_EQ(::listen(listen_fd_, 1), 0);
+        socklen_t length = sizeof address;
+        EXPECT_EQ(::getsockname(listen_fd_,
+                                reinterpret_cast<sockaddr*>(&address), &length),
+                  0);
+        port_ = ntohs(address.sin_port);
+        acceptor_ = std::thread([this, behave = std::move(behave)] {
+            const int client = ::accept(listen_fd_, nullptr, nullptr);
+            if (client < 0) return;
+            behave(client);
+            ::close(client);
+        });
+    }
+
+    ~MisbehavingServer() {
+        stop_.store(true, std::memory_order_release);
+        // Unblock accept() if no client ever arrived.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        if (acceptor_.joinable()) acceptor_.join();
+        if (listen_fd_ >= 0) ::close(listen_fd_);
+    }
+
+    [[nodiscard]] std::uint16_t port() const { return port_; }
+    [[nodiscard]] bool stopping() const {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+private:
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread acceptor_;
+};
+
+TEST(HttpClient, HangingServerFailsWithinTheDeadline) {
+    // Accepts, reads the request, then never sends a byte: the fetch
+    // must fail within its timeout instead of blocking forever — the
+    // `trace_query --url` hang this deadline exists to prevent.
+    MisbehavingServer server{[](int client) {
+        char sink[4096];
+        while (::recv(client, sink, sizeof sink, 0) > 0) {}
+    }};
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = http_get("127.0.0.1", server.port(), "/", 0.5);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_FALSE(result.has_value());
+    EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(HttpClient, TricklingServerCannotExtendTheDeadline) {
+    // Sends one byte per 100ms forever.  Each recv succeeds inside its
+    // socket timeout, so only an overall wall-clock deadline can stop
+    // this fetch.
+    MisbehavingServer* handle = nullptr;
+    MisbehavingServer server{[&handle](int client) {
+        for (int i = 0; i < 600; ++i) {
+            if (handle != nullptr && handle->stopping()) break;
+            if (::send(client, "x", 1, MSG_NOSIGNAL) <= 0) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds{100});
+        }
+    }};
+    handle = &server;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = http_get("127.0.0.1", server.port(), "/", 1.0);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_FALSE(result.has_value());
+    EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(HttpClient, PostRoundTripCarriesTheBody) {
+    // CannedServer drains until the header terminator, which for a small
+    // POST swallows the body in the same read — it then answers.
+    CannedServer server{"HTTP/1.1 200 OK\r\nContent-Length: 12\r\n\r\naccepted=42\n"};
+    const auto result =
+        http_post("127.0.0.1", server.port(), "/ingest", "1 2 3\n", 2.0);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, 200);
+    EXPECT_EQ(result->body, "accepted=42\n");
+}
+
+TEST(HttpClient, PostConnectionRefusedIsNullopt) {
+    EXPECT_FALSE(
+        http_post("127.0.0.1", dead_port(), "/ingest", "1 2 3\n", 1.0)
+            .has_value());
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 // The epoll HTTP front-end (net/http_server.h): request/response round
 // trips, every rejection path (400 malformed, 405 method, 431 oversized,
-// 408 slow-loris, 503 admission control), graceful drain, and the
-// per-instance counters each path maintains.
+// 408 slow-loris, 503 admission control), the POST body state machine
+// (411/501/400/413/408 and split-body reassembly), graceful drain, and
+// the per-instance counters each path maintains.
 
 #include "net/http_server.h"
 
@@ -52,6 +53,20 @@ public:
     [[nodiscard]] bool connected() const { return connected_; }
     void send_bytes(const std::string& bytes) const {
         (void)::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    }
+    /// Read the server's response until it closes (bounded by a 5s
+    /// receive timeout per read).
+    [[nodiscard]] std::string read_to_eof() const {
+        timeval tv{5, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        std::string out;
+        char buffer[4096];
+        for (;;) {
+            const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+            if (n <= 0) break;
+            out.append(buffer, static_cast<std::size_t>(n));
+        }
+        return out;
     }
 
 private:
@@ -129,16 +144,186 @@ TEST(HttpServer, MalformedRequestLinesDraw400) {
     EXPECT_EQ(server.requests_served(), 6u);  // error pages are responses too
 }
 
-TEST(HttpServer, NonGetMethodsDraw405) {
+TEST(HttpServer, UnsupportedMethodsDraw405) {
+    HttpServer server{{}, echo_handler()};
+    server.start();
+    for (const char* method : {"PUT", "DELETE", "PATCH"}) {
+        const auto raw = http_exchange(
+            "127.0.0.1", server.port(),
+            std::string{method} +
+                " /submit HTTP/1.1\r\nHost: h\r\nContent-Length: 0\r\n\r\n");
+        ASSERT_TRUE(raw.has_value()) << method;
+        EXPECT_NE(raw->find("HTTP/1.1 405 Method Not Allowed"),
+                  std::string::npos)
+            << method;
+    }
+    server.stop();
+    EXPECT_EQ(server.malformed_requests(), 3u);
+}
+
+TEST(HttpServer, PostDeliversItsBodyToTheHandler) {
+    HttpServer server{{}, [](const HttpRequest& request) {
+                          HttpResponse response;
+                          response.body = request.method + " got " +
+                                          std::to_string(request.body.size()) +
+                                          " bytes: " + request.body;
+                          return response;
+                      }};
+    server.start();
+    const auto result =
+        http_post("127.0.0.1", server.port(), "/ingest", "1 2 3\n4 5 6\n");
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, 200);
+    EXPECT_EQ(result->body, "POST got 12 bytes: 1 2 3\n4 5 6\n");
+    server.stop();
+    EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpServer, PostBodySplitAcrossWritesIsReassembled) {
+    HttpServer server{{}, [](const HttpRequest& request) {
+                          HttpResponse response;
+                          response.body = request.body;
+                          return response;
+                      }};
+    server.start();
+    HeldConnection client{server.port()};
+    ASSERT_TRUE(client.connected());
+    // Headers, then the body in three separate writes with pauses: the
+    // server must wait for the full declared length before dispatching.
+    client.send_bytes("POST /in HTTP/1.1\r\nHost: h\r\nContent-Length: 9\r\n\r\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds{30});
+    client.send_bytes("abc");
+    std::this_thread::sleep_for(std::chrono::milliseconds{30});
+    client.send_bytes("def");
+    std::this_thread::sleep_for(std::chrono::milliseconds{30});
+    client.send_bytes("ghi");
+    const std::string raw = client.read_to_eof();
+    EXPECT_NE(raw.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(raw.find("abcdefghi"), std::string::npos);
+    server.stop();
+    EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpServer, PostWithoutContentLengthDraws411) {
+    HttpServer server{{}, echo_handler()};
+    server.start();
+    const auto raw =
+        http_exchange("127.0.0.1", server.port(),
+                      "POST /ingest HTTP/1.1\r\nHost: h\r\n\r\n", 5.0, true);
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_NE(raw->find("HTTP/1.1 411 Length Required"), std::string::npos);
+    server.stop();
+    EXPECT_EQ(server.malformed_requests(), 1u);
+}
+
+TEST(HttpServer, TransferEncodingDraws501) {
     HttpServer server{{}, echo_handler()};
     server.start();
     const auto raw = http_exchange(
         "127.0.0.1", server.port(),
-        "POST /submit HTTP/1.1\r\nHost: h\r\nContent-Length: 0\r\n\r\n");
+        "POST /ingest HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n",
+        5.0, true);
     ASSERT_TRUE(raw.has_value());
-    EXPECT_NE(raw->find("HTTP/1.1 405 Method Not Allowed"), std::string::npos);
+    EXPECT_NE(raw->find("HTTP/1.1 501 Not Implemented"), std::string::npos);
     server.stop();
-    EXPECT_EQ(server.malformed_requests(), 1u);
+}
+
+TEST(HttpServer, GarbageContentLengthDraws400) {
+    HttpServer server{{}, echo_handler()};
+    server.start();
+    for (const char* bad : {"abc", "-5", "1e3", "18446744073709551616", ""}) {
+        const auto raw = http_exchange(
+            "127.0.0.1", server.port(),
+            "POST /ingest HTTP/1.1\r\nHost: h\r\nContent-Length: " +
+                std::string{bad} + "\r\n\r\n",
+            5.0, true);
+        ASSERT_TRUE(raw.has_value()) << bad;
+        EXPECT_NE(raw->find("HTTP/1.1 400 Bad Request"), std::string::npos)
+            << bad;
+    }
+    server.stop();
+}
+
+TEST(HttpServer, OversizedDeclaredBodyDraws413BeforeTheBodyArrives) {
+    HttpServerConfig config;
+    config.max_body_bytes = 1024;
+    HttpServer server{config, echo_handler()};
+    server.start();
+    // Only the headers are sent: the refusal must come from the declared
+    // length alone, before any body byte exists.
+    const auto raw = http_exchange(
+        "127.0.0.1", server.port(),
+        "POST /ingest HTTP/1.1\r\nHost: h\r\nContent-Length: 2048\r\n\r\n", 5.0,
+        true);
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_NE(raw->find("HTTP/1.1 413 Payload Too Large"), std::string::npos);
+    server.stop();
+    EXPECT_EQ(server.oversized_requests(), 1u);
+    EXPECT_EQ(server.requests_served(), 0u);  // never dispatched
+}
+
+TEST(HttpServer, GetAdvertisingABodyDraws400) {
+    HttpServer server{{}, echo_handler()};
+    server.start();
+    const auto raw = http_exchange(
+        "127.0.0.1", server.port(),
+        "GET /x HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello", 5.0,
+        true);
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_NE(raw->find("HTTP/1.1 400 Bad Request"), std::string::npos);
+    server.stop();
+}
+
+TEST(HttpServer, StalledBodyDraws408) {
+    HttpServerConfig config;
+    config.request_timeout_seconds = 0.2;
+    HttpServer server{config, echo_handler()};
+    server.start();
+    // Complete headers, half the declared body, then silence.
+    const auto raw = http_exchange(
+        "127.0.0.1", server.port(),
+        "POST /ingest HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\n\r\nhal",
+        5.0);
+    ASSERT_TRUE(raw.has_value());
+    if (!raw->empty()) {
+        EXPECT_NE(raw->find("HTTP/1.1 408 Request Timeout"), std::string::npos);
+    }
+    server.stop();
+    EXPECT_EQ(server.timed_out_connections(), 1u);
+    EXPECT_EQ(server.requests_served(), 0u);
+}
+
+TEST(HttpServer, EofBeforeACompleteRequestDrawsBestEffort400) {
+    HttpServer server{{}, echo_handler()};
+    server.start();
+    // Truncated mid-body, then half-close: the server answers instead of
+    // silently dropping the connection.
+    const auto raw = http_exchange(
+        "127.0.0.1", server.port(),
+        "POST /ingest HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\n\r\nhal",
+        5.0, true);
+    ASSERT_TRUE(raw.has_value());
+    EXPECT_NE(raw->find("HTTP/1.1 400 Bad Request"), std::string::npos);
+    EXPECT_NE(raw->find("incomplete request"), std::string::npos);
+    server.stop();
+}
+
+TEST(HttpServer, ExtraHeadersAreEmitted) {
+    HttpServer server{{}, [](const HttpRequest&) {
+                          HttpResponse response;
+                          response.extra_headers.emplace_back("Retry-After",
+                                                              "7");
+                          response.extra_headers.emplace_back("X-Custom",
+                                                              "yes");
+                          return response;
+                      }};
+    server.start();
+    const auto result = http_get("127.0.0.1", server.port(), "/");
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(result->header("Retry-After").has_value());
+    EXPECT_EQ(*result->header("Retry-After"), "7");
+    EXPECT_EQ(*result->header("X-Custom"), "yes");
+    server.stop();
 }
 
 TEST(HttpServer, OversizedHeadersDraw431) {

@@ -1,0 +1,212 @@
+// End-to-end equivalence of the two ingest paths: the same feedback
+// stream pushed (a) over HTTP through POST /ingest and (b) directly via
+// FeedbackStore::ingest_batch + BatchAssessor::observe must leave
+// bit-identical stores, bit-identical screener-bank state, and render
+// character-identical /assess verdicts.  The wire protocol is transport,
+// not semantics — any divergence here means the network path changed
+// what the paper's assessor computes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/endpoints.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/ingest.h"
+#include "obs/introspection.h"
+#include "repsys/store.h"
+#include "repsys/trust.h"
+#include "serve/batch_assessor.h"
+
+namespace hpr::net {
+namespace {
+
+serve::BatchAssessor make_assessor() {
+    serve::BatchAssessorConfig config;
+    config.threads = 2;
+    return serve::BatchAssessor{
+        config,
+        std::shared_ptr<const repsys::TrustFunction>{
+            repsys::make_trust_function("beta")}};
+}
+
+/// A deterministic community: honest servers, one behavior-flipper (the
+/// planted dishonest player), one newcomer with too little history.
+std::vector<repsys::Feedback> community_stream() {
+    std::vector<repsys::Feedback> stream;
+    std::mt19937_64 rng{2008};
+    std::bernoulli_distribution honest{0.9};
+    repsys::Timestamp now = 0;
+    // 400 rounds of interleaved transactions.
+    for (int round = 0; round < 400; ++round) {
+        for (repsys::EntityId server : {1u, 2u, 3u}) {
+            ++now;
+            bool good;
+            if (server == 3) {
+                // The flipper: honest for 250 rounds, then sour.
+                good = round < 250 ? honest(rng) : !honest(rng);
+            } else {
+                good = honest(rng);
+            }
+            stream.push_back(repsys::Feedback{
+                now, server, 0,
+                good ? repsys::Rating::kPositive : repsys::Rating::kNegative});
+        }
+        if (round < 5) {
+            ++now;
+            stream.push_back(
+                repsys::Feedback{now, 9, 0, repsys::Rating::kPositive});
+        }
+    }
+    return stream;
+}
+
+std::string to_wire(const std::vector<repsys::Feedback>& batch) {
+    std::string body;
+    for (const repsys::Feedback& f : batch) {
+        int outcome = 1;
+        if (f.rating == repsys::Rating::kNegative) outcome = 0;
+        if (f.rating == repsys::Rating::kNeutral) outcome = 2;
+        body += std::to_string(f.server) + ' ' + std::to_string(f.time) +
+                ' ' + std::to_string(outcome) + '\n';
+    }
+    return body;
+}
+
+TEST(IngestEquivalence, HttpAndDirectIngestConverge) {
+    // Path A: full network stack.
+    repsys::FeedbackStore http_store;
+    auto http_assessor = make_assessor();
+    IngestService http_service{http_store, http_assessor};
+    obs::IntrospectionTree tree;
+    register_ingest(tree, http_service);
+    HttpServerConfig http_config;
+    http_config.ingest_gate = &http_service.gate();
+    HttpServer server{http_config, make_http_handler(tree, &http_service)};
+    server.start();
+
+    // Path B: direct library calls, no sockets anywhere.
+    repsys::FeedbackStore direct_store;
+    auto direct_assessor = make_assessor();
+    IngestService direct_service{direct_store, direct_assessor};
+
+    const std::vector<repsys::Feedback> stream = community_stream();
+    // Same batch boundaries on both paths (an awkward prime size so
+    // batches straddle rounds and servers).
+    constexpr std::size_t kBatch = 37;
+    for (std::size_t start = 0; start < stream.size(); start += kBatch) {
+        const std::vector<repsys::Feedback> batch(
+            stream.begin() + static_cast<std::ptrdiff_t>(start),
+            stream.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(start + kBatch, stream.size())));
+        const auto posted = http_post("127.0.0.1", server.port(), "/ingest",
+                                      to_wire(batch));
+        ASSERT_TRUE(posted.has_value()) << "batch at " << start;
+        ASSERT_EQ(posted->status, 200) << posted->body;
+
+        direct_store.ingest_batch(batch);
+        for (const repsys::Feedback& f : batch) direct_assessor.observe(f);
+    }
+
+    // Stores: same population, bit-identical per-server logs.
+    ASSERT_EQ(http_store.servers(), direct_store.servers());
+    ASSERT_EQ(http_store.size(), direct_store.size());
+    for (const repsys::EntityId id : direct_store.servers()) {
+        EXPECT_EQ(http_store.history_snapshot(id).feedbacks(),
+                  direct_store.history_snapshot(id).feedbacks())
+            << "server " << id;
+    }
+
+    // Screener banks: identical standing state, stream by stream.
+    ASSERT_EQ(http_assessor.tracked_streams(),
+              direct_assessor.tracked_streams());
+    for (const repsys::EntityId id : direct_store.servers()) {
+        const auto http_info = http_assessor.stream_info(id);
+        const auto direct_info = direct_assessor.stream_info(id);
+        ASSERT_EQ(http_info.has_value(), direct_info.has_value())
+            << "server " << id;
+        if (!http_info) continue;
+        EXPECT_EQ(http_info->state, direct_info->state) << "server " << id;
+        EXPECT_EQ(http_info->transactions, direct_info->transactions);
+        EXPECT_EQ(http_info->windows, direct_info->windows);
+        EXPECT_EQ(http_info->retained_windows, direct_info->retained_windows);
+        EXPECT_EQ(http_info->evaluations, direct_info->evaluations);
+        EXPECT_EQ(http_info->failing_streak, direct_info->failing_streak);
+        EXPECT_EQ(http_info->passing_streak, direct_info->passing_streak);
+        EXPECT_EQ(http_info->p_hat, direct_info->p_hat) << "server " << id;
+    }
+
+    // Rendered verdicts: the page served over HTTP equals the page the
+    // direct service renders, character for character.
+    bool saw_suspicious = false;
+    for (const repsys::EntityId id : direct_store.servers()) {
+        const std::string query = "server=" + std::to_string(id);
+        const auto fetched = http_get("127.0.0.1", server.port(),
+                                      "/assess?" + query);
+        ASSERT_TRUE(fetched.has_value()) << "server " << id;
+        const obs::IntrospectionPage local = direct_service.assess_page(
+            obs::IntrospectionRequest{"/assess", query});
+        EXPECT_EQ(fetched->status, local.status) << "server " << id;
+        EXPECT_EQ(fetched->body, local.body) << "server " << id;
+        if (local.body.find("verdict suspicious") != std::string::npos) {
+            saw_suspicious = true;
+        }
+    }
+    // The planted flipper must be caught — on both paths, since the
+    // bodies above already compared equal.
+    EXPECT_TRUE(saw_suspicious);
+
+    server.stop();
+}
+
+TEST(IngestEquivalence, RejectedBatchesPerturbNeitherPath) {
+    repsys::FeedbackStore http_store;
+    auto http_assessor = make_assessor();
+    IngestService http_service{http_store, http_assessor};
+    obs::IntrospectionTree tree;
+    register_ingest(tree, http_service);
+    HttpServerConfig http_config;
+    http_config.ingest_gate = &http_service.gate();
+    HttpServer server{http_config, make_http_handler(tree, &http_service)};
+    server.start();
+
+    repsys::FeedbackStore direct_store;
+    auto direct_assessor = make_assessor();
+
+    // Seed both with the same valid history...
+    const std::string good = "4 1 1\n4 2 0\n4 3 1\n";
+    ASSERT_EQ(http_post("127.0.0.1", server.port(), "/ingest", good)->status,
+              200);
+    std::vector<repsys::Feedback> parsed;
+    std::string error;
+    ASSERT_TRUE(parse_ingest_body(good, parsed, error));
+    direct_store.ingest_batch(parsed);
+    for (const repsys::Feedback& f : parsed) direct_assessor.observe(f);
+
+    // ...then throw the same inadmissible batch at both.
+    const std::string stale = "4 10 1\n4 2 1\n";
+    const auto posted =
+        http_post("127.0.0.1", server.port(), "/ingest", stale);
+    ASSERT_TRUE(posted.has_value());
+    EXPECT_EQ(posted->status, 400);
+    std::vector<repsys::Feedback> stale_parsed;
+    ASSERT_TRUE(parse_ingest_body(stale, stale_parsed, error));
+    EXPECT_THROW(direct_store.ingest_batch(stale_parsed),
+                 repsys::BatchRejected);
+
+    // Both paths still agree, bit for bit.
+    EXPECT_EQ(http_store.history_snapshot(4).feedbacks(),
+              direct_store.history_snapshot(4).feedbacks());
+    EXPECT_EQ(http_store.size(), direct_store.size());
+
+    server.stop();
+}
+
+}  // namespace
+}  // namespace hpr::net

@@ -1,0 +1,341 @@
+// Protocol property suite for the ingest write path: start from valid
+// request bodies and mutate them — truncation, CRLF smeared across TCP
+// reads, huge lines, non-numeric fields, duplicate and out-of-order
+// timestamps, random byte damage — then assert the two invariants that
+// make the endpoint safe to expose:
+//
+//  1. every reply is a well-formed HTTP/1.1 response with a known
+//     status, whatever bytes arrived;
+//  2. the store mutates exactly on 200 (by the accepted count) and is
+//     byte-identical to its pre-request state on any error.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/endpoints.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/ingest.h"
+#include "repsys/store.h"
+#include "repsys/trust.h"
+#include "serve/batch_assessor.h"
+
+namespace hpr::net {
+namespace {
+
+/// Full store contents, server by server — the "byte-identical" oracle.
+using StoreImage =
+    std::vector<std::pair<repsys::EntityId, std::vector<repsys::Feedback>>>;
+
+StoreImage image_of(const repsys::FeedbackStore& store) {
+    StoreImage image;
+    for (const repsys::EntityId server : store.servers()) {
+        image.emplace_back(server,
+                           store.history_snapshot(server).feedbacks());
+    }
+    return image;
+}
+
+struct ProtocolDaemon {
+    repsys::FeedbackStore store;
+    serve::BatchAssessor assessor{
+        [] {
+            serve::BatchAssessorConfig config;
+            config.threads = 2;
+            return config;
+        }(),
+        std::shared_ptr<const repsys::TrustFunction>{
+            repsys::make_trust_function("beta")}};
+    obs::IntrospectionTree tree;
+    std::unique_ptr<IngestService> service;
+    std::unique_ptr<HttpServer> server;
+
+    ProtocolDaemon() {
+        service = std::make_unique<IngestService>(store, assessor);
+        register_ingest(tree, *service);
+        HttpServerConfig http;
+        http.ingest_gate = &service->gate();
+        server = std::make_unique<HttpServer>(
+            http, make_http_handler(tree, service.get()));
+        server->start();
+    }
+    ~ProtocolDaemon() { server->stop(); }
+    [[nodiscard]] std::uint16_t port() const { return server->port(); }
+};
+
+std::string ingest_request(const std::string& body,
+                           std::size_t declared_length) {
+    return "POST /ingest HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+           std::to_string(declared_length) + "\r\n\r\n" + body;
+}
+
+std::string ingest_request(const std::string& body) {
+    return ingest_request(body, body.size());
+}
+
+/// The response is structurally HTTP: status line, header block, and a
+/// recognized status code.  Returns the parsed status.
+int require_well_formed(const std::string& response) {
+    EXPECT_EQ(response.rfind("HTTP/1.1 ", 0), 0u) << response;
+    EXPECT_NE(response.find("\r\n\r\n"), std::string::npos) << response;
+    const int status = std::stoi(response.substr(9, 3));
+    const bool known = status == 200 || status == 400 || status == 404 ||
+                       status == 408 || status == 411 || status == 413 ||
+                       status == 429 || status == 431 || status == 501;
+    EXPECT_TRUE(known) << "unexpected status in: " << response;
+    return status;
+}
+
+/// Open a socket, write the fragments with pauses between them
+/// (optionally half-closing after the last), read to EOF.
+std::string send_fragments(std::uint16_t port,
+                           const std::vector<std::string>& fragments,
+                           bool shutdown_write = false) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                        sizeof address),
+              0);
+    timeval timeout{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+        const std::string& fragment = fragments[i];
+        std::size_t written = 0;
+        while (written < fragment.size()) {
+            const ssize_t sent =
+                ::send(fd, fragment.data() + written,
+                       fragment.size() - written, MSG_NOSIGNAL);
+            if (sent <= 0) break;
+            written += static_cast<std::size_t>(sent);
+        }
+        if (i + 1 < fragments.size()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds{20});
+        }
+    }
+    if (shutdown_write) ::shutdown(fd, SHUT_WR);
+    std::string response;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof buffer, 0)) > 0) {
+        response.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string valid_body(repsys::EntityId server, int first_time, int lines) {
+    std::string body;
+    for (int i = 0; i < lines; ++i) {
+        body += std::to_string(server) + ' ' +
+                std::to_string(first_time + i) + ' ' +
+                (i % 4 == 0 ? "0" : "1") + '\n';
+    }
+    return body;
+}
+
+TEST(IngestProtocol, ValidBodyIsTheBaseline) {
+    ProtocolDaemon daemon;
+    const std::string response = send_fragments(
+        daemon.port(), {ingest_request(valid_body(50, 1, 8))});
+    EXPECT_EQ(require_well_formed(response), 200);
+    EXPECT_NE(response.find("accepted=8"), std::string::npos);
+    EXPECT_EQ(daemon.store.size(), 8u);
+}
+
+TEST(IngestProtocol, EveryTruncationOfAValidBodyLeavesTheStoreUntouched) {
+    ProtocolDaemon daemon;
+    const std::string body = valid_body(51, 1, 8);
+    const StoreImage before = image_of(daemon.store);
+    // Declare the full length, deliver a strict prefix, half-close: the
+    // server must answer (408 on timeout or best-effort 400 on EOF) and
+    // must not apply a partial batch.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, body.size() / 2,
+          body.size() - 1}) {
+        const std::string response = send_fragments(
+            daemon.port(), {ingest_request(body.substr(0, keep), body.size())},
+            /*shutdown_write=*/true);
+        const int status = require_well_formed(response);
+        EXPECT_NE(status, 200) << "truncated to " << keep;
+        EXPECT_EQ(image_of(daemon.store), before) << "truncated to " << keep;
+    }
+}
+
+TEST(IngestProtocol, HeaderCrlfSplitAcrossReadsStillParses) {
+    ProtocolDaemon daemon;
+    // Cut the request at every CR and LF of the header block: the parser
+    // must reassemble regardless of how the kernel frames the reads.  A
+    // fresh server id per cut keeps every batch independently admissible.
+    const std::size_t probe_cuts =
+        ingest_request(valid_body(200, 1, 4)).find("\r\n\r\n") + 4;
+    std::size_t submitted = 0;
+    for (std::size_t cut = 0; cut < probe_cuts; ++cut) {
+        const std::string request = ingest_request(
+            valid_body(static_cast<repsys::EntityId>(200 + cut), 1, 4));
+        const char at = request[cut];
+        if (at != '\r' && at != '\n') continue;
+        const std::string response = send_fragments(
+            daemon.port(),
+            {request.substr(0, cut), request.substr(cut)});
+        EXPECT_EQ(require_well_formed(response), 200) << "cut at " << cut;
+        ++submitted;
+    }
+    EXPECT_GT(submitted, 4u);
+    EXPECT_EQ(daemon.store.size(), submitted * 4);
+}
+
+TEST(IngestProtocol, BodySplitMidCrlfIsStillRejectedAsCr) {
+    ProtocolDaemon daemon;
+    // A CRLF-terminated record line is illegal however it arrives; here
+    // the CR and LF land in different reads.
+    const std::string body = "53 1 1\r\n";
+    const std::string request = ingest_request(body);
+    const std::size_t cr = request.find("53 1 1\r") + 7;  // just past the CR
+    const std::string response = send_fragments(
+        daemon.port(), {request.substr(0, cr), request.substr(cr)});
+    EXPECT_EQ(require_well_formed(response), 400);
+    EXPECT_NE(response.find("carriage return"), std::string::npos);
+    EXPECT_EQ(daemon.store.size(), 0u);
+}
+
+TEST(IngestProtocol, HugeSingleLineIsRejectedNotBuffered) {
+    ProtocolDaemon daemon;
+    const StoreImage before = image_of(daemon.store);
+    std::string line(100000, '7');  // one absurd numeric field
+    line += " 1 1\n";
+    const std::string response =
+        send_fragments(daemon.port(), {ingest_request(line)});
+    EXPECT_EQ(require_well_formed(response), 400);
+    EXPECT_NE(response.find("line 1"), std::string::npos);
+    EXPECT_EQ(image_of(daemon.store), before);
+}
+
+TEST(IngestProtocol, NonNumericFieldMutationsAllDraw400) {
+    ProtocolDaemon daemon;
+    const StoreImage before = image_of(daemon.store);
+    const std::string garbage[] = {"x", "1x", "0x10", "1.5", "+1", " ", ""};
+    int mutations = 0;
+    for (int field = 0; field < 3; ++field) {
+        for (const std::string& value : garbage) {
+            std::string fields[] = {"54", "1", "1"};
+            fields[field] = value;
+            const std::string body =
+                fields[0] + ' ' + fields[1] + ' ' + fields[2] + "\n54 2 1\n";
+            const std::string response =
+                send_fragments(daemon.port(), {ingest_request(body)});
+            EXPECT_EQ(require_well_formed(response), 400) << body;
+            EXPECT_NE(response.find("line 1"), std::string::npos) << body;
+            ++mutations;
+        }
+    }
+    EXPECT_EQ(mutations, 21);
+    EXPECT_EQ(image_of(daemon.store), before);
+}
+
+TEST(IngestProtocol, DuplicateTimestampsAreLegalOutOfOrderIsNot) {
+    ProtocolDaemon daemon;
+    // Duplicates: logical clocks may tie, the store accepts equal times.
+    const std::string dup = send_fragments(
+        daemon.port(), {ingest_request("55 7 1\n55 7 0\n55 7 1\n")});
+    EXPECT_EQ(require_well_formed(dup), 200);
+    EXPECT_EQ(daemon.store.history_length(55).value_or(0), 3u);
+
+    // Regression within the batch: rejected, naming the line, batch dead.
+    const StoreImage before = image_of(daemon.store);
+    const std::string regress = send_fragments(
+        daemon.port(), {ingest_request("55 8 1\n55 6 1\n")});
+    EXPECT_EQ(require_well_formed(regress), 400);
+    EXPECT_NE(regress.find("line 2"), std::string::npos);
+    EXPECT_EQ(image_of(daemon.store), before);
+
+    // Regression against resident history (t=7 already recorded).
+    const std::string stale =
+        send_fragments(daemon.port(), {ingest_request("55 3 1\n")});
+    EXPECT_EQ(require_well_formed(stale), 400);
+    EXPECT_NE(stale.find("line 1"), std::string::npos);
+    EXPECT_EQ(image_of(daemon.store), before);
+}
+
+TEST(IngestProtocol, RandomByteDamageNeverBreaksTheInvariants) {
+    ProtocolDaemon daemon;
+    std::mt19937_64 rng{0x1ce57u};  // deterministic: failures reproduce
+    int accepted = 0;
+    int rejected = 0;
+    for (int round = 0; round < 60; ++round) {
+        // Fresh server id and era per round so an *unmutated* body is
+        // always admissible — only the damage can make it fail.
+        std::string body =
+            valid_body(static_cast<repsys::EntityId>(100 + round), 1, 6);
+        const int damage = static_cast<int>(rng() % 4);
+        for (int hit = 0; hit <= damage; ++hit) {
+            const std::size_t at = rng() % body.size();
+            switch (rng() % 3) {
+                case 0:  // overwrite with a printable byte or separator
+                    body[at] = static_cast<char>("0123456789 \nabc:-"
+                                                 [rng() % 17]);
+                    break;
+                case 1:  // delete
+                    body.erase(at, 1);
+                    break;
+                default:  // duplicate a byte
+                    body.insert(at, 1, body[at]);
+                    break;
+            }
+            if (body.empty()) body = "1";
+        }
+        const std::size_t size_before = daemon.store.size();
+        const StoreImage before = image_of(daemon.store);
+        const std::string response =
+            send_fragments(daemon.port(), {ingest_request(body)});
+        const int status = require_well_formed(response);
+        if (status == 200) {
+            // Growth must match the advertised accepted count exactly.
+            const std::size_t mark = response.find("accepted=");
+            ASSERT_NE(mark, std::string::npos) << response;
+            const std::size_t count = static_cast<std::size_t>(
+                std::stoul(response.substr(mark + 9)));
+            EXPECT_EQ(daemon.store.size(), size_before + count) << body;
+            ++accepted;
+        } else {
+            EXPECT_EQ(image_of(daemon.store), before) << '"' << body << '"';
+            ++rejected;
+        }
+    }
+    // The sweep must genuinely exercise both sides of the invariant.
+    EXPECT_GT(accepted, 0);
+    EXPECT_GT(rejected, 0);
+    // Nothing leaked from shed/errored requests.
+    EXPECT_EQ(daemon.service->gate().pending(), 0u);
+}
+
+TEST(IngestProtocol, PipelinedGarbageAfterAValidRequestIsIgnored) {
+    ProtocolDaemon daemon;
+    // The server is one-request-per-connection: trailing junk beyond the
+    // declared body must not be interpreted as a second request.
+    const std::string body = valid_body(60, 1, 2);
+    const std::string response = send_fragments(
+        daemon.port(),
+        {ingest_request(body) + "GET /nonsense HTTP/1.1\r\n\r\n"});
+    EXPECT_EQ(require_well_formed(response), 200);
+    EXPECT_EQ(daemon.store.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hpr::net

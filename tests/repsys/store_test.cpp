@@ -329,6 +329,67 @@ TEST(FeedbackStore, LoadRejectsMissingDirectory) {
                  std::runtime_error);
 }
 
+TEST(FeedbackStoreIngestBatch, AppliesAValidBatchAtomically) {
+    FeedbackStore store{4};
+    store.ingest_batch({fb(1, 10, 0, true), fb(2, 20, 0, false),
+                        fb(3, 10, 0, true), fb(1, 30, 0, true)});
+    EXPECT_EQ(store.size(), 4u);
+    EXPECT_EQ(store.history(10).size(), 2u);
+    EXPECT_EQ(store.history(20).size(), 1u);
+    EXPECT_EQ(store.history(30).size(), 1u);
+}
+
+TEST(FeedbackStoreIngestBatch, RejectionLeavesEveryShardUntouched) {
+    FeedbackStore store{4};
+    store.submit(fb(5, 10, 0, true));
+    // Spread the batch over several servers (hence shards); the offender
+    // regresses server 10, which may hash to a LATER shard than some of
+    // the valid slices — unlike submit(vector), none of them may land.
+    std::vector<Feedback> batch;
+    for (EntityId server = 11; server <= 30; ++server) {
+        batch.push_back(fb(1, server, 0, true));
+    }
+    batch.push_back(fb(4, 10, 0, true));  // index 20: precedes t=5
+    EXPECT_THROW(store.ingest_batch(batch), BatchRejected);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.server_count(), 1u);
+    for (EntityId server = 11; server <= 30; ++server) {
+        EXPECT_FALSE(store.contains(server)) << "server " << server;
+    }
+}
+
+TEST(FeedbackStoreIngestBatch, ReportsTheSmallestOffendingIndex) {
+    FeedbackStore store{4};
+    std::vector<Feedback> batch{fb(1, 10, 0, true), fb(5, 11, 0, true),
+                                fb(3, 11, 0, true),   // index 2 regresses
+                                fb(0, 10, 0, false)};  // index 3 regresses too
+    try {
+        store.ingest_batch(batch);
+        FAIL() << "batch should have been rejected";
+    } catch (const BatchRejected& rejected) {
+        EXPECT_EQ(rejected.index(), 2u);
+    }
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(FeedbackStoreIngestBatch, CountsOrderWithinTheBatchItself) {
+    FeedbackStore store{4};
+    // Both feedbacks are newer than the (empty) resident log, but the
+    // second regresses against the first within the batch.
+    EXPECT_THROW(store.ingest_batch({fb(7, 10, 0, true), fb(6, 10, 0, true)}),
+                 BatchRejected);
+    EXPECT_FALSE(store.contains(10));
+    // Equal timestamps are legal (logical clocks may tie).
+    store.ingest_batch({fb(7, 10, 0, true), fb(7, 10, 0, false)});
+    EXPECT_EQ(store.history(10).size(), 2u);
+}
+
+TEST(FeedbackStoreIngestBatch, EmptyBatchIsANoOp) {
+    FeedbackStore store{4};
+    store.ingest_batch({});
+    EXPECT_EQ(store.size(), 0u);
+}
+
 TEST(FeedbackStore, LoadIgnoresNonCsvFiles) {
     const auto dir =
         (std::filesystem::temp_directory_path() / "hpr_store_mixed").string();
